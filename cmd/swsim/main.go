@@ -1,0 +1,303 @@
+// Command swsim runs individual spin-wave gate simulations and the
+// §IV-D robustness sweeps.
+//
+//	swsim -gate xor -inputs 10                    one micromagnetic case
+//	swsim -gate maj3 -inputs 011 -ascii           case + wave-pattern art
+//	swsim -sweep width                            width variability sweep
+//	swsim -sweep roughness                        edge roughness sweep
+//	swsim -sweep thermal                          temperature sweep
+//	swsim -demo interference                      Figure 2 demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"spinwave"
+	"spinwave/internal/core"
+	"spinwave/internal/detect"
+	"spinwave/internal/grid"
+	"spinwave/internal/layout"
+	"spinwave/internal/material"
+	"spinwave/internal/report"
+	"spinwave/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swsim: ")
+	gate := flag.String("gate", "xor", "gate: xor, maj3, maj3single")
+	inputs := flag.String("inputs", "", "input bits, I1 first (e.g. 10 or 011); empty = full truth table")
+	full := flag.Bool("full", false, "use the paper's full dimensions (slow)")
+	temp := flag.Float64("temp", 0, "temperature in kelvin (adds thermal field)")
+	seed := flag.Int64("seed", 1, "thermal/roughness seed")
+	rough := flag.Float64("rough", 0, "edge roughness probability in [0,1]")
+	asciiArt := flag.Bool("ascii", false, "print the wave pattern after the run")
+	sweepKind := flag.String("sweep", "", "run a sweep instead: width, roughness, thermal")
+	demo := flag.String("demo", "", "run a demo: interference")
+	flag.Parse()
+
+	if *demo == "interference" {
+		demoInterference()
+		return
+	}
+	if *sweepKind != "" {
+		runSweep(*sweepKind, *seed)
+		return
+	}
+
+	kind, err := parseGate(*gate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := spinwave.ReducedSpec()
+	if *full {
+		spec = spinwave.PaperMicromagSpec()
+	}
+	cfg := spinwave.MicromagConfig{
+		Spec:        spec,
+		Mat:         material.FeCoB(),
+		Temperature: *temp,
+		Seed:        *seed,
+	}
+	if *rough > 0 {
+		cfg.RegionMutator = sweep.EdgeRoughness(*rough, *seed)
+	}
+	m, err := spinwave.NewMicromagnetic(kind, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gate %s: drive %.2f GHz, time step %.3g ps, %.2f ns per case\n",
+		kind, m.Freq/1e9, m.Dt()*1e12, m.Duration()*1e9)
+	if kind != spinwave.XOR {
+		trim, err := m.CalibrateI3()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("I3 phase trim: %.3f rad\n", trim)
+	}
+
+	if *inputs == "" {
+		runTruthTable(kind, m)
+	} else {
+		runSingleCase(kind, m, *inputs, *temp > 0)
+	}
+	if *asciiArt {
+		in, err := parseInputs(kind, orDefault(*inputs, kind))
+		if err != nil {
+			log.Fatal(err)
+		}
+		art, err := spinwave.RenderSnapshotASCII(m, in, "mx", 120)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(art)
+	}
+}
+
+func orDefault(inputs string, kind spinwave.GateKind) string {
+	if inputs != "" {
+		return inputs
+	}
+	if kind == spinwave.XOR {
+		return "00"
+	}
+	return "000"
+}
+
+func parseGate(name string) (spinwave.GateKind, error) {
+	switch name {
+	case "xor":
+		return spinwave.XOR, nil
+	case "maj3", "maj":
+		return spinwave.MAJ3, nil
+	case "maj3single":
+		return spinwave.MAJ3Single, nil
+	default:
+		return 0, fmt.Errorf("unknown gate %q", name)
+	}
+}
+
+func parseInputs(kind spinwave.GateKind, s string) ([]bool, error) {
+	if len(s) != kind.NumInputs() {
+		return nil, fmt.Errorf("gate %s needs %d input bits, got %q", kind, kind.NumInputs(), s)
+	}
+	in := make([]bool, len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+		case '1':
+			in[i] = true
+		default:
+			return nil, fmt.Errorf("input bits must be 0/1, got %q", s)
+		}
+	}
+	return in, nil
+}
+
+func runTruthTable(kind spinwave.GateKind, m *spinwave.Micromagnetic) {
+	var tt *spinwave.TruthTable
+	var err error
+	if kind == spinwave.XOR {
+		tt, err = spinwave.XORTruthTable(m, false)
+	} else {
+		tt, err = spinwave.MajorityTruthTable(m)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(spinwave.FormatTruthTable(tt))
+	fmt.Printf("fan-out mismatch |O1-O2|: %.4f, all correct: %v\n", tt.FanOutMatched(), tt.AllCorrect())
+}
+
+func runSingleCase(kind spinwave.GateKind, m *spinwave.Micromagnetic, bits string, thermal bool) {
+	in, err := parseInputs(kind, bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out map[string]detect.Readout
+	if thermal {
+		out, err = sweep.CoherentReadout(m, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("(coherent background-subtracted thermal readout)")
+	} else {
+		out, err = m.Run(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	t := report.NewTable(fmt.Sprintf("%s inputs %s", kind, report.Bits(in)),
+		"output", "amplitude", "phase (rad)")
+	for _, name := range []string{"O1", "O2"} {
+		if r, ok := out[name]; ok {
+			t.AddRow(name, fmt.Sprintf("%.4g", r.Amplitude), fmt.Sprintf("%.3f", r.Phase))
+		}
+	}
+	fmt.Print(t.String())
+}
+
+func demoInterference() {
+	fmt.Println("Two-wave interference (Figure 2):")
+	for _, c := range []struct{ p1, p2 float64 }{{0, 0}, {0, math.Pi}} {
+		amp, phase := spinwave.Interfere(1, c.p1, 1, c.p2)
+		fmt.Printf("  phases (%.2f, %.2f) -> amplitude %.2f, phase %.2f\n", c.p1, c.p2, amp, phase)
+	}
+}
+
+func runSweep(kind string, seed int64) {
+	spec := spinwave.ReducedSpec()
+	mat := material.FeCoB()
+	switch kind {
+	case "width":
+		res, err := sweep.Width(spec, []float64{0.8, 0.9, 1.0, 1.1}, func(s layout.Spec) (*core.TruthTable, error) {
+			m, err := core.NewMicromagnetic(core.XOR, core.MicromagConfig{Spec: s, Mat: mat})
+			if err != nil {
+				return nil, err
+			}
+			return core.XORTruthTable(m, false)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSweep("XOR width variability (scale on 24.75 nm)", "width scale", res)
+	case "roughness":
+		res, err := sweep.Roughness([]float64{0, 0.1, 0.2}, seed, func(mut func(grid.Mesh, grid.Region) grid.Region) (*core.TruthTable, error) {
+			m, err := core.NewMicromagnetic(core.XOR, core.MicromagConfig{Spec: spec, Mat: mat, RegionMutator: mut})
+			if err != nil {
+				return nil, err
+			}
+			return core.XORTruthTable(m, false)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSweep("XOR edge roughness", "flip probability", res)
+	case "dimension":
+		// §III-A sensitivity: trunk-length (d2) error in fractions of λ.
+		m, err := core.NewMicromagnetic(core.MAJ3, core.MicromagConfig{Spec: spec, Mat: mat})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := m.CalibrateI3()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sweep.DimensionError([]float64{0, 0.05, 0.1, 0.15, 0.2}, func(phaseError float64) (*core.TruthTable, error) {
+			mm, err := core.NewMicromagnetic(core.MAJ3, core.MicromagConfig{
+				Spec: spec, Mat: mat, I3PhaseTrim: base + phaseError,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return core.MajorityTruthTable(mm)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSweep("MAJ3 trunk-length error sensitivity", "error (λ)", res)
+	case "thermal":
+		res, err := sweep.Thermal([]float64{0, 100, 300}, func(T float64) (*core.TruthTable, error) {
+			m, err := core.NewMicromagnetic(core.XOR, core.MicromagConfig{
+				Spec: spec, Mat: mat, Temperature: T, Seed: seed,
+				DriveField: 20e-3, MeasurePeriods: 12,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return thermalTruthTable(m)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSweep("XOR thermal sweep (coherent readout)", "T (K)", res)
+	default:
+		log.Fatalf("unknown sweep %q", kind)
+	}
+}
+
+// thermalTruthTable evaluates the XOR truth table using the coherent
+// background-subtracted readout suitable for noisy runs.
+func thermalTruthTable(m *core.Micromagnetic) (*core.TruthTable, error) {
+	ref, err := sweep.CoherentReadout(m, []bool{false, false})
+	if err != nil {
+		return nil, err
+	}
+	tt := &core.TruthTable{Gate: "xor-fo2", Backend: "micromagnetic+coherent", Detection: "threshold"}
+	for _, in := range core.EnumerateInputs(2) {
+		res, err := sweep.CoherentReadout(m, in)
+		if err != nil {
+			return nil, err
+		}
+		want := in[0] != in[1]
+		cr := core.CaseResult{Inputs: in, Expected: want, Correct: true}
+		for _, name := range []string{"O1", "O2"} {
+			r := res[name]
+			norm := 0.0
+			if ref[name].Amplitude > 0 {
+				norm = r.Amplitude / ref[name].Amplitude
+			}
+			logic := norm <= 0.5
+			cr.Outputs = append(cr.Outputs, core.OutputResult{
+				Name: name, Amplitude: r.Amplitude, Normalized: norm, Phase: r.Phase, Logic: logic,
+			})
+			if logic != want {
+				cr.Correct = false
+			}
+		}
+		tt.Cases = append(tt.Cases, cr)
+	}
+	return tt, nil
+}
+
+func printSweep(title, param string, res []sweep.Result) {
+	t := report.NewTable(title, param, "correct", "fan-out mismatch", "margin")
+	for _, r := range res {
+		t.AddRow(fmt.Sprintf("%g", r.Param), fmt.Sprintf("%v", r.Correct),
+			fmt.Sprintf("%.4f", r.FanOutMismatch), fmt.Sprintf("%.3f", r.Margin))
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"spinwave"
+)
+
+func TestParseGate(t *testing.T) {
+	cases := map[string]spinwave.GateKind{
+		"xor":        spinwave.XOR,
+		"maj3":       spinwave.MAJ3,
+		"maj":        spinwave.MAJ3,
+		"maj3single": spinwave.MAJ3Single,
+	}
+	for name, want := range cases {
+		got, err := parseGate(name)
+		if err != nil || got != want {
+			t.Errorf("parseGate(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseGate("nope"); err == nil {
+		t.Error("unknown gate accepted")
+	}
+}
+
+func TestParseInputs(t *testing.T) {
+	in, err := parseInputs(spinwave.MAJ3, "011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in[0] || !in[1] || !in[2] {
+		t.Errorf("parseInputs = %v", in)
+	}
+	if _, err := parseInputs(spinwave.MAJ3, "01"); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := parseInputs(spinwave.XOR, "0x"); err == nil {
+		t.Error("non-binary accepted")
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if got := orDefault("", spinwave.XOR); got != "00" {
+		t.Errorf("XOR default = %q", got)
+	}
+	if got := orDefault("", spinwave.MAJ3); got != "000" {
+		t.Errorf("MAJ default = %q", got)
+	}
+	if got := orDefault("11", spinwave.XOR); got != "11" {
+		t.Errorf("explicit = %q", got)
+	}
+}

@@ -1,0 +1,153 @@
+// Command swtables regenerates the paper's tables.
+//
+//	swtables -table 1              Table I  (MAJ3 FO2 normalized output)
+//	swtables -table 2              Table II (XOR FO2 normalized output)
+//	swtables -table 3              Table III (performance comparison)
+//	swtables -table derived        §III-A derived (N)AND/(N)OR gates
+//	swtables -table ratios         §IV-D derived comparison ratios
+//	swtables -table all            everything
+//
+// Tables I/II default to the fast behavioral backend; -backend micromag
+// runs the full solver (reduced-scale device by default, -full for the
+// paper's dimensions — slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"spinwave"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swtables: ")
+	table := flag.String("table", "all", "which table: 1, 2, 3, derived, ratios, all")
+	backend := flag.String("backend", "behavioral", "backend for tables 1/2: behavioral or micromag")
+	full := flag.Bool("full", false, "use the paper's full dimensions for micromagnetic runs (slow)")
+	flag.Parse()
+
+	switch *table {
+	case "1":
+		printTableI(*backend, *full)
+	case "2":
+		printTableII(*backend, *full)
+	case "3":
+		printTableIII()
+	case "derived":
+		printDerived()
+	case "maj5":
+		printMAJ5(*backend, *full)
+	case "ratios":
+		printRatios()
+	case "all":
+		printTableI(*backend, *full)
+		fmt.Println()
+		printTableII(*backend, *full)
+		fmt.Println()
+		printTableIII()
+		fmt.Println()
+		printRatios()
+		fmt.Println()
+		printDerived()
+	default:
+		log.Fatalf("unknown table %q", *table)
+	}
+}
+
+func newBackend(kind spinwave.GateKind, backend string, full bool) spinwave.Backend {
+	switch backend {
+	case "behavioral":
+		b, err := spinwave.NewBehavioral(kind, spinwave.PaperSpec(), spinwave.FeCoB())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b
+	case "micromag", "micromagnetic":
+		spec := spinwave.ReducedSpec()
+		if full {
+			spec = spinwave.PaperMicromagSpec()
+		}
+		m, err := spinwave.NewMicromagnetic(kind, spinwave.MicromagConfig{Spec: spec, Mat: spinwave.FeCoB()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if kind != spinwave.XOR {
+			fmt.Fprintln(os.Stderr, "calibrating I3 path ...")
+			trim, err := m.CalibrateI3()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "I3 phase trim: %.3f rad\n", trim)
+		}
+		return m
+	default:
+		log.Fatalf("unknown backend %q", backend)
+		return nil
+	}
+}
+
+func printTableI(backend string, full bool) {
+	b := newBackend(spinwave.MAJ3, backend, full)
+	tt, err := spinwave.MajorityTruthTable(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table I: fan-in of 3 fan-out of 2 Majority gate normalized output magnetization")
+	fmt.Print(spinwave.FormatTruthTable(tt))
+	fmt.Printf("fan-out mismatch |O1-O2|: %.4f, all cases correct: %v\n", tt.FanOutMatched(), tt.AllCorrect())
+}
+
+func printTableII(backend string, full bool) {
+	b := newBackend(spinwave.XOR, backend, full)
+	tt, err := spinwave.XORTruthTable(b, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table II: fan-in of 2 fan-out of 2 XOR gate normalized output magnetization")
+	fmt.Print(spinwave.FormatTruthTable(tt))
+	fmt.Printf("fan-out mismatch |O1-O2|: %.4f, all cases correct: %v\n", tt.FanOutMatched(), tt.AllCorrect())
+
+	xnor, err := spinwave.XORTruthTable(b, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nXNOR (flipped threshold, §III-B):")
+	fmt.Print(spinwave.FormatTruthTable(xnor))
+}
+
+func printTableIII() {
+	fmt.Print(spinwave.TableIII().String())
+}
+
+func printRatios() {
+	fmt.Print(spinwave.TableIIIRatios().String())
+}
+
+func printMAJ5(backend string, full bool) {
+	b := newBackend(spinwave.MAJ5, backend, full)
+	tt, err := spinwave.MajorityTruthTable(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fan-in of 5 fan-out of 2 Majority gate (§III-A extension)")
+	fmt.Print(spinwave.FormatTruthTable(tt))
+	fmt.Printf("fan-out mismatch |O1-O2|: %.4f, all cases correct: %v\n", tt.FanOutMatched(), tt.AllCorrect())
+}
+
+func printDerived() {
+	b, err := spinwave.NewBehavioral(spinwave.MAJ3, spinwave.PaperSpec(), spinwave.FeCoB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range []spinwave.DerivedGate{spinwave.AND, spinwave.OR, spinwave.NAND, spinwave.NOR} {
+		tt, err := spinwave.DerivedTruthTable(b, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(spinwave.FormatTruthTable(tt))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,40 @@
+// Package spinwave is a from-scratch Go reproduction of
+//
+//	A. Mahmoud, F. Vanderveken, F. Ciubotaru, C. Adelmann, S. Cotofana,
+//	S. Hamdioui: "Fan-out of 2 Triangle Shape Spin Wave Logic Gates",
+//	DATE 2021, pp. 948–953. DOI 10.23919/DATE51398.2021.9474089
+//
+// It provides:
+//
+//   - a pure-Go 2-D micromagnetic solver for perpendicular-anisotropy
+//     thin films (LLG with exchange, uniaxial anisotropy, thin-film
+//     demagnetization, antenna excitation, absorbing boundaries and an
+//     optional stochastic thermal field), validated against the
+//     Kalinikos–Slavin forward-volume dispersion;
+//   - the paper's triangle-shape fan-out-of-2 Majority and X(N)OR gates
+//     as parameterized layouts, evaluated either by full micromagnetic
+//     simulation or by a fast behavioral phasor network;
+//   - the ladder-shape baseline of refs [22,23], the derived
+//     (N)AND/(N)OR gates, and a gate-level circuit layer (full adder,
+//     ripple-carry adder) with energy/delay/fan-out accounting;
+//   - the paper's §IV-D performance model (ME transducers, CMOS
+//     references) regenerating Table III and its derived claims;
+//   - harnesses that regenerate every table and figure of the paper's
+//     evaluation (see EXPERIMENTS.md), MuMax3 script generation for
+//     cross-validation, OVF 2.0 snapshot I/O, and field rendering.
+//
+// This package is the public facade: it re-exports the types and
+// constructors a downstream user needs, while the implementation lives
+// in internal/ packages (one per subsystem, see DESIGN.md).
+//
+// # Quick start
+//
+//	b, err := spinwave.NewBehavioral(spinwave.XOR, spinwave.PaperSpec(), spinwave.FeCoB())
+//	if err != nil { ... }
+//	tt, err := spinwave.XORTruthTable(b, false)
+//	fmt.Print(spinwave.FormatTruthTable(tt))
+//
+// For the full physics, swap NewBehavioral for NewMicromagnetic (slower;
+// use ReducedSpec for laptop-scale runs, PaperMicromagSpec for the
+// paper's dimensions).
+package spinwave

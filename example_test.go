@@ -1,0 +1,112 @@
+package spinwave_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"spinwave"
+)
+
+// The Figure 2 phenomenon: equal-phase waves add, opposite-phase waves
+// cancel.
+func ExampleInterfere() {
+	constructive, _ := spinwave.Interfere(1, 0, 1, 0)
+	destructive, _ := spinwave.Interfere(1, 0, 1, math.Pi)
+	fmt.Printf("constructive: %.1f\n", constructive)
+	fmt.Printf("destructive: %.1f\n", destructive)
+	// Output:
+	// constructive: 2.0
+	// destructive: 0.0
+}
+
+// Evaluate the paper's XOR gate with the behavioral backend and print
+// the Table II reproduction.
+func ExampleXORTruthTable() {
+	gate, err := spinwave.NewBehavioral(spinwave.XOR, spinwave.PaperSpec(), spinwave.FeCoB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tt, err := spinwave.XORTruthTable(gate, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range tt.Cases {
+		fmt.Printf("I1=%v I2=%v -> O1 normalized %.2f, logic %v\n",
+			b2i(c.Inputs[0]), b2i(c.Inputs[1]), c.Outputs[0].Normalized, b2i(c.Outputs[0].Logic))
+	}
+	// Output:
+	// I1=0 I2=0 -> O1 normalized 1.00, logic 0
+	// I1=1 I2=0 -> O1 normalized 0.00, logic 1
+	// I1=0 I2=1 -> O1 normalized 0.00, logic 1
+	// I1=1 I2=1 -> O1 normalized 1.00, logic 0
+}
+
+// The triangle Majority gate decodes by phase; its two outputs are
+// identical (fan-out of 2).
+func ExampleMajorityTruthTable() {
+	gate, err := spinwave.NewBehavioral(spinwave.MAJ3, spinwave.PaperSpec(), spinwave.FeCoB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tt, err := spinwave.MajorityTruthTable(gate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all correct:", tt.AllCorrect())
+	fmt.Printf("worst |O1-O2|: %.3f\n", tt.FanOutMatched())
+	// Output:
+	// all correct: true
+	// worst |O1-O2|: 0.000
+}
+
+// A full adder out of FO2 gates: carry = MAJ3, sum = XOR·XOR.
+func ExampleFullAdder() {
+	fa, err := spinwave.FullAdder(spinwave.TriangleFO2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := fa.Evaluate(map[spinwave.Net]bool{"a": true, "b": true, "cin": false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1+1+0: sum=%v cout=%v, energy %.1f aJ\n",
+		b2i(out["sum"]), b2i(out["cout"]), fa.Energy()/1e-18)
+	// Output:
+	// 1+1+0: sum=0 cout=1, energy 24.1 aJ
+}
+
+// Four XOR operations through one gate at once, each on its own carrier
+// frequency (the ref [9] data-parallel extension).
+func ExampleNewParallelGate() {
+	g, err := spinwave.NewParallelGate(spinwave.XOR, spinwave.PaperMicromagSpec(), spinwave.FeCoB(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := g.Eval(spinwave.WordFromUint(0b1100, 4), spinwave.WordFromUint(0b1010, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1100 XOR 1010 = %04b\n", out["O1"].Uint())
+	// Output:
+	// 1100 XOR 1010 = 0110
+}
+
+// The drive frequency that realizes the paper's λ = 55 nm in this repo's
+// solver.
+func ExampleDriveFrequency() {
+	f, err := spinwave.DriveFrequency(spinwave.FeCoB(), 1e-9, 55e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.1f GHz\n", f/1e9)
+	// Output:
+	// 15.9 GHz
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

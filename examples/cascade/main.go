@@ -1,0 +1,185 @@
+// Cascade example: the energy argument behind fan-out.
+//
+// "If the spin wave logic gate output is taken as input for multiple
+// following logic gates in a circuit, then the logic gate must be
+// replicated multiple times which gives significant energy overhead."
+// (paper, introduction)
+//
+// This example wires one MAJ3 gate into TWO next-stage XOR gates three
+// ways and compares the transducer energy:
+//
+//  1. triangle FO2 gate → both consumers directly (this work),
+//  2. replicated single-output gates (the naive FO1 approach),
+//  3. single-output gate + directional coupler + repeaters ([36],[37]),
+//
+// and then extends the triangle gate beyond FO2 (fan-out of 4) with a
+// coupler/repeater tree, the §III-A extension.
+//
+//	go run ./examples/cascade
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spinwave"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	builds := []struct {
+		name  string
+		build func() (*spinwave.Netlist, error)
+	}{
+		{"triangle FO2 (this work)", buildFO2},
+		{"replicated single-output gates", buildReplicated},
+		{"single-output + coupler + repeaters", buildRepeaters},
+	}
+	fmt.Println("one MAJ3 driving two XOR consumers:")
+	var base float64
+	for i, b := range builds {
+		n, err := b.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := n.CheckFanOut(2); err != nil {
+			log.Fatal(err)
+		}
+		if err := verify(n); err != nil {
+			log.Fatal(err)
+		}
+		e := n.Energy() / 1e-18
+		if i == 0 {
+			base = e
+		}
+		d, err := n.CriticalDelay()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-36s %5.1f aJ (%.2fx)  delay %.2f ns\n", b.name, e, e/base, d/1e-9)
+	}
+
+	// Fan-out of 4: split each triangle output with a 1x2 coupler and
+	// regenerate with repeaters (§III-A: "the gate fan-out capabilities
+	// can be extended beyond 2 by using directional couplers [36] ...
+	// and repeaters [37]").
+	n := spinwave.NewNetlist("fo4", "a", "b", "c")
+	must(n.Add(spinwave.MAJ3Gate(), ns("a", "b", "c"), ns("m1", "m2")))
+	must(n.Add(spinwave.SplitterComponent(2), ns("m1"), ns("s1", "s2")))
+	must(n.Add(spinwave.SplitterComponent(2), ns("m2"), ns("s3", "s4")))
+	for i := 1; i <= 4; i++ {
+		must(n.Add(spinwave.RepeaterComponent(), ns(fmt.Sprintf("s%d", i)), ns(fmt.Sprintf("f%d", i))))
+	}
+	n.MarkOutput("f1", "f2", "f3", "f4")
+	if err := n.CheckFanOut(1); err != nil {
+		log.Fatal(err)
+	}
+	out, err := n.Evaluate(map[spinwave.Net]bool{"a": true, "b": false, "c": true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfan-out of 4 extension: MAJ(1,0,1) fanned to %v %v %v %v, energy %.1f aJ\n",
+		b01(out["f1"]), b01(out["f2"]), b01(out["f3"]), b01(out["f4"]), n.Energy()/1e-18)
+}
+
+// buildFO2: MAJ3's two outputs feed the two XOR gates directly.
+func buildFO2() (*spinwave.Netlist, error) {
+	n := spinwave.NewNetlist("fo2", "a", "b", "c", "x", "y")
+	if err := n.Add(spinwave.MAJ3Gate(), ns("a", "b", "c"), ns("m1", "m2")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.XORGate(), ns("m1", "x"), ns("o1", "")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.XORGate(), ns("m2", "y"), ns("o2", "")); err != nil {
+		return nil, err
+	}
+	n.MarkOutput("o1", "o2")
+	return n, nil
+}
+
+// buildReplicated: the FO1 fallback — compute the majority twice.
+func buildReplicated() (*spinwave.Netlist, error) {
+	n := spinwave.NewNetlist("replicated", "a", "b", "c", "x", "y")
+	// Each primary input now needs two transducers upstream (fan-out 2
+	// on the inputs), and the MAJ energy is paid twice.
+	if err := n.Add(spinwave.MAJ3SingleGate(), ns("a", "b", "c"), ns("m1")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.MAJ3SingleGate(), ns("a", "b", "c"), ns("m2")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.XORGate(), ns("m1", "x"), ns("o1", "")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.XORGate(), ns("m2", "y"), ns("o2", "")); err != nil {
+		return nil, err
+	}
+	n.MarkOutput("o1", "o2")
+	return n, nil
+}
+
+// buildRepeaters: single-output MAJ + coupler + two repeaters.
+func buildRepeaters() (*spinwave.Netlist, error) {
+	n := spinwave.NewNetlist("repeaters", "a", "b", "c", "x", "y")
+	if err := n.Add(spinwave.MAJ3SingleGate(), ns("a", "b", "c"), ns("raw")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.SplitterComponent(2), ns("raw"), ns("s1", "s2")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.RepeaterComponent(), ns("s1"), ns("m1")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.RepeaterComponent(), ns("s2"), ns("m2")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.XORGate(), ns("m1", "x"), ns("o1", "")); err != nil {
+		return nil, err
+	}
+	if err := n.Add(spinwave.XORGate(), ns("m2", "y"), ns("o2", "")); err != nil {
+		return nil, err
+	}
+	n.MarkOutput("o1", "o2")
+	return n, nil
+}
+
+// verify exhaustively checks o1 = MAJ(a,b,c)⊕x and o2 = MAJ(a,b,c)⊕y.
+func verify(n *spinwave.Netlist) error {
+	for c := 0; c < 32; c++ {
+		in := map[spinwave.Net]bool{
+			"a": c&1 != 0, "b": c&2 != 0, "c": c&4 != 0, "x": c&8 != 0, "y": c&16 != 0,
+		}
+		out, err := n.Evaluate(in)
+		if err != nil {
+			return err
+		}
+		maj := (in["a"] && in["b"]) || (in["a"] && in["c"]) || (in["b"] && in["c"])
+		if out["o1"] != (maj != in["x"]) || out["o2"] != (maj != in["y"]) {
+			return fmt.Errorf("%s wrong at case %d", n.Name, c)
+		}
+	}
+	return nil
+}
+
+func ns(names ...string) []spinwave.Net {
+	out := make([]spinwave.Net, len(names))
+	for i, n := range names {
+		out[i] = spinwave.Net(n)
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func b01(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,59 @@
+// Quickstart: evaluate the paper's two headline gates with the fast
+// behavioral backend and print the Table I/II/III reproductions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spinwave"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's device: λ = 55 nm, w = 50 nm, Fe60Co20B20.
+	spec := spinwave.PaperSpec()
+	mat := spinwave.FeCoB()
+
+	// Table II: fan-out-of-2 XOR by threshold detection.
+	xor, err := spinwave.NewBehavioral(spinwave.XOR, spec, mat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xorTT, err := spinwave.XORTruthTable(xor, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(spinwave.FormatTruthTable(xorTT))
+	fmt.Println()
+
+	// Table I: fan-out-of-2 3-input Majority by phase detection.
+	maj, err := spinwave.NewBehavioral(spinwave.MAJ3, spec, mat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	majTT, err := spinwave.MajorityTruthTable(maj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(spinwave.FormatTruthTable(majTT))
+	fmt.Printf("fan-out of 2 achieved: worst |O1-O2| = %.4f\n\n", majTT.FanOutMatched())
+
+	// §III-A: the same structure computes AND/OR/NAND/NOR by pinning I3.
+	for _, d := range []spinwave.DerivedGate{spinwave.AND, spinwave.NOR} {
+		tt, err := spinwave.DerivedTruthTable(maj, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(spinwave.FormatTruthTable(tt))
+		fmt.Println()
+	}
+
+	// Table III: energy/delay comparison with the ladder SW gates and CMOS.
+	fmt.Print(spinwave.TableIII().String())
+	fmt.Println()
+	fmt.Print(spinwave.TableIIIRatios().String())
+}

@@ -1,0 +1,3 @@
+module spinwave
+
+go 1.22

@@ -1,0 +1,164 @@
+package circuit
+
+import (
+	"fmt"
+)
+
+// AdderStyle selects how an adder's gates provide the fan-out its wiring
+// needs.
+type AdderStyle int
+
+const (
+	// TriangleFO2 uses this work's fan-out-of-2 triangle gates: the two
+	// copies of each carry come for free from the gate structure.
+	TriangleFO2 AdderStyle = iota
+	// LadderFO2 uses the baseline ladder-shape FO2 gates of [22,23].
+	LadderFO2
+	// SingleWithRepeaters uses single-output gates; every signal needed
+	// twice passes a directional coupler [36] followed by two repeaters
+	// [37], each costing one ME excitation.
+	SingleWithRepeaters
+)
+
+// String names the style.
+func (s AdderStyle) String() string {
+	switch s {
+	case TriangleFO2:
+		return "triangle-fo2"
+	case LadderFO2:
+		return "ladder-fo2"
+	case SingleWithRepeaters:
+		return "single+repeaters"
+	default:
+		return fmt.Sprintf("AdderStyle(%d)", int(s))
+	}
+}
+
+// FullAdder builds a 1-bit full adder: sum = a⊕b⊕cin computed by two
+// cascaded XOR gates and carry = MAJ3(a, b, cin) — the carry-out is a
+// 3-input majority, the paper's §II-B flagship use case. The carry-out
+// copies appear on nets "cout" and "cout2".
+func FullAdder(style AdderStyle) (*Netlist, error) {
+	n := NewNetlist("full-adder-"+style.String(), "a", "b", "cin")
+	if err := addFullAdderStage(n, style, "a", "b", "cin", "cin", "sum", "cout", "cout2"); err != nil {
+		return nil, err
+	}
+	n.MarkOutput("sum", "cout")
+	return n, nil
+}
+
+// addFullAdderStage wires one full-adder bit. The two carry-in nets
+// cinMaj and cinXor are the two copies of the incoming carry (equal for
+// primary inputs); sum, cout and cout2 name the produced nets.
+func addFullAdderStage(n *Netlist, style AdderStyle, a, b Net, cinMaj, cinXor Net, sum, cout, cout2 Net) error {
+	t1 := sum + ".t1"
+	switch style {
+	case TriangleFO2:
+		if err := n.Add(XOR(), []Net{a, b}, []Net{t1, ""}); err != nil {
+			return err
+		}
+		if err := n.Add(XOR(), []Net{t1, cinXor}, []Net{sum, ""}); err != nil {
+			return err
+		}
+		return n.Add(MAJ3(), []Net{a, b, cinMaj}, []Net{cout, cout2})
+	case LadderFO2:
+		if err := n.Add(LadderXOR(), []Net{a, b}, []Net{t1, ""}); err != nil {
+			return err
+		}
+		if err := n.Add(LadderXOR(), []Net{t1, cinXor}, []Net{sum, ""}); err != nil {
+			return err
+		}
+		return n.Add(LadderMAJ3(), []Net{a, b, cinMaj}, []Net{cout, cout2})
+	case SingleWithRepeaters:
+		if err := n.Add(XORSingle(), []Net{a, b}, []Net{t1}); err != nil {
+			return err
+		}
+		if err := n.Add(XORSingle(), []Net{t1, cinXor}, []Net{sum}); err != nil {
+			return err
+		}
+		// Single-output MAJ followed by a coupler and two repeaters to
+		// regenerate the two carry copies.
+		raw := cout + ".raw"
+		s1, s2 := cout+".s1", cout+".s2"
+		if err := n.Add(MAJ3Single(), []Net{a, b, cinMaj}, []Net{raw}); err != nil {
+			return err
+		}
+		if err := n.Add(Splitter{Ways: 2}, []Net{raw}, []Net{s1, s2}); err != nil {
+			return err
+		}
+		if err := n.Add(Repeater{}, []Net{s1}, []Net{cout}); err != nil {
+			return err
+		}
+		return n.Add(Repeater{}, []Net{s2}, []Net{cout2})
+	default:
+		return fmt.Errorf("circuit: unknown adder style %d", int(style))
+	}
+}
+
+// RippleCarryAdder builds an n-bit ripple-carry adder. With FO2 gates the
+// two consumers of each carry (the next stage's MAJ and XOR) are fed by
+// the gate's two outputs directly — no replication, which is the energy
+// argument of the paper's introduction. Primary inputs a[i], b[i] are
+// each consumed twice, which assumes the previous pipeline stage produces
+// them with fan-out 2 as well (check with CheckFanOut(2)).
+func RippleCarryAdder(bits int, style AdderStyle) (*Netlist, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("circuit: adder needs at least 1 bit, got %d", bits)
+	}
+	var inputs []Net
+	for i := 0; i < bits; i++ {
+		inputs = append(inputs, Net(fmt.Sprintf("a%d", i)), Net(fmt.Sprintf("b%d", i)))
+	}
+	inputs = append(inputs, "cin")
+	n := NewNetlist(fmt.Sprintf("rca%d-%s", bits, style), inputs...)
+
+	cinMaj, cinXor := Net("cin"), Net("cin")
+	for i := 0; i < bits; i++ {
+		a := Net(fmt.Sprintf("a%d", i))
+		b := Net(fmt.Sprintf("b%d", i))
+		sum := Net(fmt.Sprintf("sum%d", i))
+		cout := Net(fmt.Sprintf("c%d", i+1))
+		cout2 := cout + "_2"
+		if err := addFullAdderStage(n, style, a, b, cinMaj, cinXor, sum, cout, cout2); err != nil {
+			return nil, err
+		}
+		n.MarkOutput(sum)
+		cinMaj, cinXor = cout, cout2
+	}
+	n.MarkOutput(cinMaj)
+	return n, nil
+}
+
+// AdderComparison summarizes cost metrics of one adder build.
+type AdderComparison struct {
+	Style    AdderStyle
+	Bits     int
+	Gates    int
+	EnergyAJ float64
+	DelayNS  float64
+}
+
+// CompareAdders builds the n-bit ripple adder in all three styles and
+// reports gate count, energy and critical delay — the circuit-level
+// version of the paper's Table III argument.
+func CompareAdders(bits int) ([]AdderComparison, error) {
+	var out []AdderComparison
+	for _, style := range []AdderStyle{TriangleFO2, LadderFO2, SingleWithRepeaters} {
+		n, err := RippleCarryAdder(bits, style)
+		if err != nil {
+			return nil, err
+		}
+		d, err := n.CriticalDelay()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AdderComparison{
+			Style:    style,
+			Bits:     bits,
+			Gates:    n.NumGates(),
+			EnergyAJ: n.Energy() / 1e-18,
+			DelayNS:  d / 1e-9,
+		})
+	}
+	return out, nil
+}

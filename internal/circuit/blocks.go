@@ -1,0 +1,118 @@
+package circuit
+
+import (
+	"fmt"
+)
+
+// Inverter is a passive phase inverter: a (n+½)·λ waveguide section
+// (paper §III-A: an output detected at (n+½)λ yields the inverted
+// value). It moves the 0/π phase reference, costing no transducer energy
+// and negligible delay.
+type Inverter struct{}
+
+// Name implements Component.
+func (Inverter) Name() string { return "inverter ((n+1/2)λ section)" }
+
+// NumInputs implements Component.
+func (Inverter) NumInputs() int { return 1 }
+
+// NumOutputs implements Component.
+func (Inverter) NumOutputs() int { return 1 }
+
+// FanOut implements Component.
+func (Inverter) FanOut() int { return 1 }
+
+// Eval implements Component.
+func (Inverter) Eval(in []bool) ([]bool, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("circuit: inverter needs 1 input, got %d", len(in))
+	}
+	return []bool{!in[0]}, nil
+}
+
+// Energy implements Component: passive.
+func (Inverter) Energy() float64 { return 0 }
+
+// Delay implements Component: waveguide propagation is neglected
+// (paper assumption (iii)).
+func (Inverter) Delay() float64 { return 0 }
+
+// ParityTree builds an n-input XOR reduction tree computing the parity
+// of inputs in[0..n-1] on net "parity" — the error-detection workload the
+// paper's §II-B motivates. Intermediate XOR gates use one of their two
+// outputs; the unused fan-out copy is available on "<net>_spare".
+func ParityTree(n int) (*Netlist, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("circuit: parity tree needs ≥ 2 inputs, got %d", n)
+	}
+	inputs := make([]Net, n)
+	for i := range inputs {
+		inputs[i] = Net(fmt.Sprintf("in%d", i))
+	}
+	nl := NewNetlist(fmt.Sprintf("parity%d", n), inputs...)
+	level := inputs
+	stage := 0
+	for len(level) > 1 {
+		var next []Net
+		for i := 0; i+1 < len(level); i += 2 {
+			out := Net(fmt.Sprintf("p%d_%d", stage, i/2))
+			if err := nl.Add(XOR(), []Net{level[i], level[i+1]}, []Net{out, out + "_spare"}); err != nil {
+				return nil, err
+			}
+			next = append(next, out)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		stage++
+	}
+	// Rename-by-wiring: a passive inverter pair would cost nothing, but
+	// simplest is to mark the final net as the output.
+	nl.MarkOutput(level[0])
+	return nl, nil
+}
+
+// ParityOutput returns the name of the parity tree's output net.
+func ParityOutput(nl *Netlist) (Net, error) {
+	outs := nl.Outputs()
+	if len(outs) == 0 {
+		return "", fmt.Errorf("circuit: netlist has no outputs")
+	}
+	return outs[0], nil
+}
+
+// TMRVoter builds a triple-modular-redundancy voter: out = MAJ3 of the
+// three module result inputs "m0", "m1", "m2" — the fault-tolerance
+// workload of §II-B ("most of the error detection and correction schemes
+// rely on n-input majorities"). Both majority outputs are exposed as
+// "vote" and "vote2" so the corrected value can feed two consumers.
+func TMRVoter() (*Netlist, error) {
+	nl := NewNetlist("tmr-voter", "m0", "m1", "m2")
+	if err := nl.Add(MAJ3(), []Net{"m0", "m1", "m2"}, []Net{"vote", "vote2"}); err != nil {
+		return nil, err
+	}
+	nl.MarkOutput("vote", "vote2")
+	return nl, nil
+}
+
+// MUX2 builds a 2:1 multiplexer out = sel ? b : a, using the derived
+// AND/OR gates (§III-A) and a passive inverter for ¬sel. The select
+// signal is consumed twice, which its upstream FO2 gate provides.
+func MUX2() (*Netlist, error) {
+	nl := NewNetlist("mux2", "a", "b", "sel", "sel2")
+	if err := nl.Add(Inverter{}, []Net{"sel"}, []Net{"nsel"}); err != nil {
+		return nil, err
+	}
+	if err := nl.Add(AND(), []Net{"a", "nsel"}, []Net{"t0", ""}); err != nil {
+		return nil, err
+	}
+	if err := nl.Add(AND(), []Net{"b", "sel2"}, []Net{"t1", ""}); err != nil {
+		return nil, err
+	}
+	if err := nl.Add(OR(), []Net{"t0", "t1"}, []Net{"out", "out2"}); err != nil {
+		return nil, err
+	}
+	nl.MarkOutput("out")
+	return nl, nil
+}

@@ -1,0 +1,143 @@
+package circuit
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestInverter(t *testing.T) {
+	inv := Inverter{}
+	out, err := inv.Eval([]bool{true})
+	if err != nil || out[0] {
+		t.Errorf("¬1 = %v, %v", out, err)
+	}
+	out, err = inv.Eval([]bool{false})
+	if err != nil || !out[0] {
+		t.Errorf("¬0 = %v, %v", out, err)
+	}
+	if _, err := inv.Eval(nil); err == nil {
+		t.Error("bad arity accepted")
+	}
+	if inv.Energy() != 0 || inv.Delay() != 0 {
+		t.Error("inverter should be passive")
+	}
+}
+
+func TestParityTreeValidation(t *testing.T) {
+	if _, err := ParityTree(1); err == nil {
+		t.Error("1-input parity accepted")
+	}
+}
+
+func TestParityTreeExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		nl, err := ParityTree(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outNet, err := ParityOutput(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 1<<n; v++ {
+			assign := map[Net]bool{}
+			parity := false
+			for i := 0; i < n; i++ {
+				bit := v&(1<<i) != 0
+				assign[Net(fmt.Sprintf("in%d", i))] = bit
+				parity = parity != bit
+			}
+			out, err := nl.Evaluate(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[outNet] != parity {
+				t.Fatalf("parity%d(%0*b) = %v, want %v", n, n, v, out[outNet], parity)
+			}
+		}
+	}
+}
+
+func TestParityTreeCosts(t *testing.T) {
+	nl, err := ParityTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 inputs → 7 XOR gates, 7·6.88 aJ.
+	if nl.NumGates() != 7 {
+		t.Errorf("gates = %d, want 7", nl.NumGates())
+	}
+	if got := nl.Energy() / 1e-18; got < 48 || got > 49 {
+		t.Errorf("energy = %g aJ, want ≈48.2", got)
+	}
+	d, err := nl.CriticalDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced tree of 8: depth 3 stages.
+	if got := d / 0.42e-9; got < 2.99 || got > 3.01 {
+		t.Errorf("depth = %g stages, want 3", got)
+	}
+}
+
+func TestTMRVoter(t *testing.T) {
+	nl, err := TMRVoter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(m0, m1, m2 bool) bool {
+		out, err := nl.Evaluate(map[Net]bool{"m0": m0, "m1": m1, "m2": m2})
+		if err != nil {
+			return false
+		}
+		want := (m0 && m1) || (m0 && m2) || (m1 && m2)
+		return out["vote"] == want && out["vote2"] == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// A single faulty module never corrupts the vote: flip each module
+	// against a clean consensus.
+	for flip := 0; flip < 3; flip++ {
+		for _, truth := range []bool{false, true} {
+			assign := map[Net]bool{"m0": truth, "m1": truth, "m2": truth}
+			assign[Net(fmt.Sprintf("m%d", flip))] = !truth
+			out, err := nl.Evaluate(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out["vote"] != truth {
+				t.Errorf("TMR failed to mask fault in m%d (truth %v)", flip, truth)
+			}
+		}
+	}
+}
+
+func TestMUX2(t *testing.T) {
+	nl, err := MUX2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.CheckFanOut(2); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 8; c++ {
+		a, b, sel := c&1 != 0, c&2 != 0, c&4 != 0
+		out, err := nl.Evaluate(map[Net]bool{"a": a, "b": b, "sel": sel, "sel2": sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a
+		if sel {
+			want = b
+		}
+		if out["out"] != want {
+			t.Errorf("mux(a=%v, b=%v, sel=%v) = %v", a, b, sel, out["out"])
+		}
+	}
+	// Cost: 2 AND (MAJ structure) + 1 OR (MAJ structure) = 3·10.32 aJ.
+	if got := nl.Energy() / 1e-18; got < 30.9 || got > 31.1 {
+		t.Errorf("mux energy = %g aJ", got)
+	}
+}

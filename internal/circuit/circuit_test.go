@@ -1,0 +1,389 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentBasics(t *testing.T) {
+	cases := []struct {
+		c         Component
+		nin, nout int
+		energyAJ  float64
+	}{
+		{MAJ3(), 3, 2, 10.32},
+		{XOR(), 2, 2, 6.88},
+		{XNOR(), 2, 2, 6.88},
+		{AND(), 2, 2, 10.32},
+		{OR(), 2, 2, 10.32},
+		{MAJ3Single(), 3, 1, 10.32},
+		{XORSingle(), 2, 1, 6.88},
+		{LadderMAJ3(), 3, 2, 13.76},
+		{LadderXOR(), 2, 2, 13.76},
+	}
+	for _, c := range cases {
+		if c.c.NumInputs() != c.nin || c.c.NumOutputs() != c.nout {
+			t.Errorf("%s ports = %d/%d", c.c.Name(), c.c.NumInputs(), c.c.NumOutputs())
+		}
+		if got := c.c.Energy() / 1e-18; math.Abs(got-c.energyAJ) > 0.01 {
+			t.Errorf("%s energy = %g aJ, want %g", c.c.Name(), got, c.energyAJ)
+		}
+		if c.c.Delay() <= 0 {
+			t.Errorf("%s zero delay", c.c.Name())
+		}
+		if c.c.FanOut() != 1 {
+			t.Errorf("%s per-port fan-out = %d", c.c.Name(), c.c.FanOut())
+		}
+	}
+}
+
+func TestComponentTruthFunctions(t *testing.T) {
+	for _, in := range [][]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+		a, b := in[0], in[1]
+		check := func(c Component, want bool) {
+			t.Helper()
+			out, err := c.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range out {
+				if o != want {
+					t.Errorf("%s(%v,%v) = %v, want %v", c.Name(), a, b, o, want)
+				}
+			}
+		}
+		check(XOR(), a != b)
+		check(XNOR(), a == b)
+		check(AND(), a && b)
+		check(OR(), a || b)
+	}
+	for c := 0; c < 8; c++ {
+		in := []bool{c&1 != 0, c&2 != 0, c&4 != 0}
+		cnt := 0
+		for _, b := range in {
+			if b {
+				cnt++
+			}
+		}
+		want := cnt >= 2
+		for _, g := range []Component{MAJ3(), MAJ3Single(), LadderMAJ3()} {
+			out, err := g.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != want {
+				t.Errorf("%s(%v) = %v, want %v", g.Name(), in, out[0], want)
+			}
+		}
+	}
+}
+
+func TestComponentEvalArity(t *testing.T) {
+	if _, err := MAJ3().Eval([]bool{true}); err == nil {
+		t.Error("bad arity accepted")
+	}
+	if _, err := (Splitter{Ways: 2}).Eval([]bool{true, false}); err == nil {
+		t.Error("splitter bad arity accepted")
+	}
+	if _, err := (Repeater{}).Eval(nil); err == nil {
+		t.Error("repeater bad arity accepted")
+	}
+}
+
+func TestSplitterAndRepeater(t *testing.T) {
+	s := Splitter{Ways: 3}
+	out, err := s.Eval([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || !out[0] || !out[1] || !out[2] {
+		t.Errorf("splitter out = %v", out)
+	}
+	if s.Energy() != 0 {
+		t.Error("passive splitter consumes energy")
+	}
+	r := Repeater{}
+	out, err = r.Eval([]bool{true})
+	if err != nil || len(out) != 1 || !out[0] {
+		t.Errorf("repeater out = %v, %v", out, err)
+	}
+	if got := r.Energy() / 1e-18; math.Abs(got-3.44) > 0.01 {
+		t.Errorf("repeater energy = %g aJ, want 3.44", got)
+	}
+}
+
+func TestNetlistWiringErrors(t *testing.T) {
+	n := NewNetlist("t", "a", "b")
+	if err := n.Add(XOR(), []Net{"a"}, []Net{"x", ""}); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if err := n.Add(XOR(), []Net{"a", "b"}, []Net{"x"}); err == nil {
+		t.Error("wrong output count accepted")
+	}
+	if err := n.Add(XOR(), []Net{"a", "b"}, []Net{"a", ""}); err == nil {
+		t.Error("re-driving a net accepted")
+	}
+	if err := n.Add(XOR(), []Net{"a", "b"}, []Net{"x", ""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(XOR(), []Net{"a", "b"}, []Net{"x", ""}); err == nil {
+		t.Error("duplicate driver accepted")
+	}
+}
+
+func TestNetlistEvaluateAndErrors(t *testing.T) {
+	n := NewNetlist("t", "a", "b")
+	if err := n.Add(XOR(), []Net{"a", "b"}, []Net{"x", ""}); err != nil {
+		t.Fatal(err)
+	}
+	n.MarkOutput("x")
+	out, err := n.Evaluate(map[Net]bool{"a": true, "b": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out["x"] {
+		t.Error("XOR(1,0) = 0")
+	}
+	if _, err := n.Evaluate(map[Net]bool{"a": true}); err == nil {
+		t.Error("missing input accepted")
+	}
+	// Undriven consumed net.
+	bad := NewNetlist("bad", "a")
+	_ = bad.Add(Repeater{}, []Net{"ghost"}, []Net{"x"})
+	bad.MarkOutput("x")
+	if _, err := bad.Evaluate(map[Net]bool{"a": true}); err == nil {
+		t.Error("undriven net accepted")
+	}
+}
+
+func TestCheckFanOut(t *testing.T) {
+	n := NewNetlist("t", "a", "b", "c")
+	_ = n.Add(XOR(), []Net{"a", "b"}, []Net{"x1", "x2"})
+	_ = n.Add(XOR(), []Net{"x1", "c"}, []Net{"y", ""})
+	_ = n.Add(Repeater{}, []Net{"x2"}, []Net{"z"})
+	n.MarkOutput("y", "z")
+	if err := n.CheckFanOut(1); err != nil {
+		t.Errorf("legal wiring rejected: %v", err)
+	}
+	// Overloading one output port.
+	over := NewNetlist("over", "a", "b")
+	_ = over.Add(XOR(), []Net{"a", "b"}, []Net{"x", ""})
+	_ = over.Add(Repeater{}, []Net{"x"}, []Net{"p"})
+	_ = over.Add(Repeater{}, []Net{"x"}, []Net{"q"})
+	over.MarkOutput("p", "q")
+	if err := over.CheckFanOut(1); err == nil {
+		t.Error("port overload not detected")
+	}
+	// Primary input overload.
+	pin := NewNetlist("pin", "a")
+	_ = pin.Add(Repeater{}, []Net{"a"}, []Net{"x"})
+	_ = pin.Add(Repeater{}, []Net{"a"}, []Net{"y"})
+	pin.MarkOutput("x", "y")
+	if err := pin.CheckFanOut(1); err == nil {
+		t.Error("input overload not detected")
+	}
+	if err := pin.CheckFanOut(2); err != nil {
+		t.Errorf("input fan-out 2 rejected: %v", err)
+	}
+	// Consumed-but-undriven net.
+	ghost := NewNetlist("ghost", "a")
+	_ = ghost.Add(Repeater{}, []Net{"phantom"}, []Net{"x"})
+	if err := ghost.CheckFanOut(1); err == nil {
+		t.Error("undriven net not detected")
+	}
+}
+
+func TestFullAdderAllStyles(t *testing.T) {
+	for _, style := range []AdderStyle{TriangleFO2, LadderFO2, SingleWithRepeaters} {
+		fa, err := FullAdder(style)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fa.CheckFanOut(2); err != nil {
+			t.Errorf("%v: %v", style, err)
+		}
+		for c := 0; c < 8; c++ {
+			a, b, cin := c&1 != 0, c&2 != 0, c&4 != 0
+			out, err := fa.Evaluate(map[Net]bool{"a": a, "b": b, "cin": cin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSum := (a != b) != cin
+			wantCarry := (a && b) || (a && cin) || (b && cin)
+			if out["sum"] != wantSum || out["cout"] != wantCarry {
+				t.Errorf("%v FA(%v,%v,%v) = %v", style, a, b, cin, out)
+			}
+		}
+	}
+}
+
+// TestRippleCarryAdderAddition exhaustively checks 4-bit addition and
+// property-checks 8-bit addition for all styles.
+func TestRippleCarryAdderAddition(t *testing.T) {
+	for _, style := range []AdderStyle{TriangleFO2, SingleWithRepeaters} {
+		rca, err := RippleCarryAdder(4, style)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rca.CheckFanOut(2); err != nil {
+			t.Fatalf("%v: %v", style, err)
+		}
+		for a := 0; a < 16; a++ {
+			for b := 0; b < 16; b++ {
+				got, err := addWith(rca, 4, a, b, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != a+b {
+					t.Fatalf("%v: %d+%d = %d", style, a, b, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRippleCarryAdderProperty(t *testing.T) {
+	rca, err := RippleCarryAdder(8, TriangleFO2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8, cin bool) bool {
+		got, err := addWith(rca, 8, int(a), int(b), cin)
+		if err != nil {
+			return false
+		}
+		want := int(a) + int(b)
+		if cin {
+			want++
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func addWith(n *Netlist, bits, a, b int, cin bool) (int, error) {
+	assign := map[Net]bool{"cin": cin}
+	for i := 0; i < bits; i++ {
+		assign[Net(sprintfNet("a%d", i))] = a&(1<<i) != 0
+		assign[Net(sprintfNet("b%d", i))] = b&(1<<i) != 0
+	}
+	out, err := n.Evaluate(assign)
+	if err != nil {
+		return 0, err
+	}
+	res := 0
+	for i := 0; i < bits; i++ {
+		if out[Net(sprintfNet("sum%d", i))] {
+			res |= 1 << i
+		}
+	}
+	if out[Net(sprintfNet("c%d", bits))] {
+		res |= 1 << bits
+	}
+	return res, nil
+}
+
+func sprintfNet(format string, i int) string {
+	switch {
+	case format == "a%d":
+		return "a" + itoa(i)
+	case format == "b%d":
+		return "b" + itoa(i)
+	case format == "sum%d":
+		return "sum" + itoa(i)
+	default:
+		return "c" + itoa(i)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func TestRippleCarryAdderValidation(t *testing.T) {
+	if _, err := RippleCarryAdder(0, TriangleFO2); err == nil {
+		t.Error("zero-bit adder accepted")
+	}
+	if _, err := FullAdder(AdderStyle(99)); err == nil {
+		t.Error("unknown style accepted")
+	}
+}
+
+// TestCompareAddersShowsFO2Advantage is the circuit-level version of the
+// paper's energy argument: the triangle FO2 adder must beat both the
+// ladder FO2 adder (25-50% per gate) and the single-output + repeater
+// build.
+func TestCompareAddersShowsFO2Advantage(t *testing.T) {
+	rows, err := CompareAdders(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byStyle := map[AdderStyle]AdderComparison{}
+	for _, r := range rows {
+		byStyle[r.Style] = r
+	}
+	tri := byStyle[TriangleFO2]
+	lad := byStyle[LadderFO2]
+	single := byStyle[SingleWithRepeaters]
+	if !(tri.EnergyAJ < lad.EnergyAJ) {
+		t.Errorf("triangle %g aJ not below ladder %g aJ", tri.EnergyAJ, lad.EnergyAJ)
+	}
+	if !(tri.EnergyAJ < single.EnergyAJ) {
+		t.Errorf("triangle %g aJ not below single+repeaters %g aJ", tri.EnergyAJ, single.EnergyAJ)
+	}
+	// Same gate-stage delay for triangle and ladder (paper: same delay).
+	if math.Abs(tri.DelayNS-lad.DelayNS) > 1e-9 {
+		t.Errorf("delays differ: %g vs %g", tri.DelayNS, lad.DelayNS)
+	}
+	// Repeater style adds repeater stages on the carry chain → slower.
+	if !(single.DelayNS > tri.DelayNS) {
+		t.Errorf("repeater build not slower: %g vs %g", single.DelayNS, tri.DelayNS)
+	}
+}
+
+func TestAdderStyleString(t *testing.T) {
+	if TriangleFO2.String() != "triangle-fo2" || LadderFO2.String() != "ladder-fo2" ||
+		SingleWithRepeaters.String() != "single+repeaters" || AdderStyle(9).String() == "" {
+		t.Error("style names wrong")
+	}
+}
+
+func TestCriticalDelayLinearInBits(t *testing.T) {
+	d4, err := delayOf(t, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := delayOf(t, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ripple carry: delay grows with bit count.
+	if d8 <= d4 {
+		t.Errorf("delay not growing: %g vs %g", d4, d8)
+	}
+}
+
+func delayOf(t *testing.T, bits int) (float64, error) {
+	t.Helper()
+	n, err := RippleCarryAdder(bits, TriangleFO2)
+	if err != nil {
+		return 0, err
+	}
+	return n.CriticalDelay()
+}

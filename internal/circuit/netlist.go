@@ -1,0 +1,239 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Net is a named signal wire. A net is driven by exactly one source
+// (primary input or gate output) and consumed by gate inputs and/or a
+// primary output.
+type Net string
+
+// instance is one placed component.
+type instance struct {
+	comp Component
+	in   []Net
+	out  []Net
+}
+
+// Netlist is a combinational circuit of spin-wave components.
+type Netlist struct {
+	Name      string
+	inputs    []Net
+	outputs   []Net
+	instances []instance
+	driver    map[Net]bool // net has a driver
+}
+
+// NewNetlist creates an empty circuit with the given primary inputs.
+func NewNetlist(name string, primaryInputs ...Net) *Netlist {
+	n := &Netlist{Name: name, driver: map[Net]bool{}}
+	for _, in := range primaryInputs {
+		n.inputs = append(n.inputs, in)
+		n.driver[in] = true
+	}
+	return n
+}
+
+// Add places a component, wiring its inputs and outputs to the named
+// nets. Output nets must not already be driven.
+func (n *Netlist) Add(c Component, inputs []Net, outputs []Net) error {
+	if len(inputs) != c.NumInputs() {
+		return fmt.Errorf("circuit: %s needs %d inputs, got %d", c.Name(), c.NumInputs(), len(inputs))
+	}
+	if len(outputs) != c.NumOutputs() {
+		return fmt.Errorf("circuit: %s has %d outputs, got %d nets", c.Name(), c.NumOutputs(), len(outputs))
+	}
+	for _, o := range outputs {
+		if o == "" {
+			continue // unused output
+		}
+		if n.driver[o] {
+			return fmt.Errorf("circuit: net %q already driven", o)
+		}
+	}
+	for _, o := range outputs {
+		if o != "" {
+			n.driver[o] = true
+		}
+	}
+	n.instances = append(n.instances, instance{comp: c, in: inputs, out: outputs})
+	return nil
+}
+
+// MarkOutput declares a net as a primary output.
+func (n *Netlist) MarkOutput(nets ...Net) {
+	n.outputs = append(n.outputs, nets...)
+}
+
+// Inputs returns the primary input nets.
+func (n *Netlist) Inputs() []Net { return n.inputs }
+
+// Outputs returns the primary output nets.
+func (n *Netlist) Outputs() []Net { return n.outputs }
+
+// NumGates returns the number of placed components.
+func (n *Netlist) NumGates() int { return len(n.instances) }
+
+// CheckFanOut verifies that no driven output port feeds more consumers
+// than the driving component's fan-out allows, and that every consumed
+// net has a driver. Primary inputs are assumed to come from transducers
+// with fan-out 1 unless relaxed by inputFanOut.
+func (n *Netlist) CheckFanOut(inputFanOut int) error {
+	if inputFanOut < 1 {
+		inputFanOut = 1
+	}
+	consumers := map[Net]int{}
+	for _, inst := range n.instances {
+		for _, in := range inst.in {
+			consumers[in]++
+		}
+	}
+	for _, out := range n.outputs {
+		consumers[out]++
+	}
+	// Per-port fan-out of each instance output.
+	for _, inst := range n.instances {
+		for _, out := range inst.out {
+			if out == "" {
+				continue
+			}
+			if c := consumers[out]; c > inst.comp.FanOut() {
+				return fmt.Errorf("circuit: net %q driven by %s (fan-out %d) has %d consumers",
+					out, inst.comp.Name(), inst.comp.FanOut(), c)
+			}
+		}
+	}
+	for _, in := range n.inputs {
+		if c := consumers[in]; c > inputFanOut {
+			return fmt.Errorf("circuit: primary input %q has %d consumers (limit %d)", in, c, inputFanOut)
+		}
+	}
+	// Every consumed net must be driven.
+	for net := range consumers {
+		if !n.driver[net] {
+			return fmt.Errorf("circuit: net %q consumed but never driven", net)
+		}
+	}
+	return nil
+}
+
+// Evaluate computes all primary outputs for the given input assignment.
+// The circuit must be acyclic; instances are evaluated in dependency
+// order.
+func (n *Netlist) Evaluate(assign map[Net]bool) (map[Net]bool, error) {
+	values := map[Net]bool{}
+	for _, in := range n.inputs {
+		v, ok := assign[in]
+		if !ok {
+			return nil, fmt.Errorf("circuit: missing value for input %q", in)
+		}
+		values[in] = v
+	}
+	remaining := make([]instance, len(n.instances))
+	copy(remaining, n.instances)
+	for len(remaining) > 0 {
+		progressed := false
+		next := remaining[:0]
+		for _, inst := range remaining {
+			ready := true
+			for _, in := range inst.in {
+				if _, ok := values[in]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, inst)
+				continue
+			}
+			in := make([]bool, len(inst.in))
+			for i, net := range inst.in {
+				in[i] = values[net]
+			}
+			out, err := inst.comp.Eval(in)
+			if err != nil {
+				return nil, err
+			}
+			for i, net := range inst.out {
+				if net != "" {
+					values[net] = out[i]
+				}
+			}
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("circuit: %s has a combinational cycle or undriven nets", n.Name)
+		}
+		remaining = append([]instance(nil), next...)
+	}
+	result := map[Net]bool{}
+	for _, o := range n.outputs {
+		v, ok := values[o]
+		if !ok {
+			return nil, fmt.Errorf("circuit: output %q never driven", o)
+		}
+		result[o] = v
+	}
+	return result, nil
+}
+
+// Energy returns the total per-operation energy of all components.
+func (n *Netlist) Energy() float64 {
+	var e float64
+	for _, inst := range n.instances {
+		e += inst.comp.Energy()
+	}
+	return e
+}
+
+// CriticalDelay returns the worst-case input-to-output delay, computed
+// as the longest accumulated component delay along any path.
+func (n *Netlist) CriticalDelay() (float64, error) {
+	arrival := map[Net]float64{}
+	for _, in := range n.inputs {
+		arrival[in] = 0
+	}
+	remaining := make([]instance, len(n.instances))
+	copy(remaining, n.instances)
+	for len(remaining) > 0 {
+		progressed := false
+		next := remaining[:0]
+		for _, inst := range remaining {
+			ready := true
+			worst := 0.0
+			for _, in := range inst.in {
+				t, ok := arrival[in]
+				if !ok {
+					ready = false
+					break
+				}
+				worst = math.Max(worst, t)
+			}
+			if !ready {
+				next = append(next, inst)
+				continue
+			}
+			for _, out := range inst.out {
+				if out != "" {
+					arrival[out] = worst + inst.comp.Delay()
+				}
+			}
+			progressed = true
+		}
+		if !progressed {
+			return 0, fmt.Errorf("circuit: %s has a cycle", n.Name)
+		}
+		remaining = append([]instance(nil), next...)
+	}
+	worst := 0.0
+	for _, o := range n.outputs {
+		t, ok := arrival[o]
+		if !ok {
+			return 0, fmt.Errorf("circuit: output %q never driven", o)
+		}
+		worst = math.Max(worst, t)
+	}
+	return worst, nil
+}

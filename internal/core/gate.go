@@ -1,0 +1,405 @@
+// Package core implements the paper's primary contribution: fan-out-of-2
+// triangle-shape spin-wave logic gates. It exposes
+//
+//   - gate definitions (3-input Majority with phase detection, 2-input
+//     X(N)OR with threshold detection, and the derived (N)AND/(N)OR gates
+//     obtained by pinning I3, §III-A),
+//   - two interchangeable evaluation backends — the fast behavioral
+//     phasor model and the full micromagnetic simulation — behind the
+//     Backend interface, and
+//   - truth-table runners that reproduce the paper's Table I and Table II
+//     (normalized output magnetization per input combination).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spinwave/internal/detect"
+)
+
+// GateKind identifies a triangle-gate structure.
+type GateKind int
+
+const (
+	// MAJ3 is the fan-out-of-2 3-input Majority gate (Figure 3).
+	MAJ3 GateKind = iota
+	// MAJ3Single is the simplified single-output Majority variant
+	// (§III-A: one side removed).
+	MAJ3Single
+	// XOR is the fan-out-of-2 2-input XOR gate (Figure 4).
+	XOR
+	// MAJ5 is the fan-in-of-5 Majority extension (§III-A: extra data
+	// inputs above I1 and below I2).
+	MAJ5
+)
+
+// String names the gate kind.
+func (g GateKind) String() string {
+	switch g {
+	case MAJ3:
+		return "maj3-fo2"
+	case MAJ3Single:
+		return "maj3-single"
+	case XOR:
+		return "xor-fo2"
+	case MAJ5:
+		return "maj5-fo2"
+	default:
+		return fmt.Sprintf("GateKind(%d)", int(g))
+	}
+}
+
+// NumInputs returns the number of data inputs of the gate.
+func (g GateKind) NumInputs() int {
+	switch g {
+	case XOR:
+		return 2
+	case MAJ5:
+		return 5
+	default:
+		return 3
+	}
+}
+
+// InputNames returns the transducer names in I1..In order.
+func (g GateKind) InputNames() []string {
+	switch g {
+	case XOR:
+		return []string{"I1", "I2"}
+	case MAJ5:
+		return []string{"I1", "I2", "I3", "I4", "I5"}
+	default:
+		return []string{"I1", "I2", "I3"}
+	}
+}
+
+// Backend evaluates the raw wave readout of a gate structure for one
+// input combination. Implementations: Behavioral (phasor model) and
+// Micromagnetic (LLG simulation).
+type Backend interface {
+	// Name identifies the backend for reports.
+	Name() string
+	// Kind returns the gate structure the backend was built for.
+	Kind() GateKind
+	// Run excites the inputs with the phase-encoded levels (inputs[i]
+	// drives I<i+1>) and returns the steady-state readout at every
+	// output, keyed by output name ("O1", "O2").
+	Run(inputs []bool) (map[string]detect.Readout, error)
+}
+
+// OutputResult is the decoded state of one gate output for one case.
+type OutputResult struct {
+	Name       string
+	Amplitude  float64 // raw detected amplitude
+	Normalized float64 // amplitude / reference-case amplitude
+	Phase      float64 // detected phase, rad
+	Logic      bool
+}
+
+// CaseResult is the outcome of one input combination.
+type CaseResult struct {
+	Inputs  []bool
+	Outputs []OutputResult
+	// Expected is the ideal Boolean value for this case.
+	Expected bool
+	// Correct reports whether every output decoded to Expected.
+	Correct bool
+}
+
+// TruthTable is a full enumeration of a gate's input space.
+type TruthTable struct {
+	Gate      string
+	Backend   string
+	Detection string // "phase" or "threshold"
+	Cases     []CaseResult
+}
+
+// AllCorrect reports whether every case decoded correctly.
+func (t *TruthTable) AllCorrect() bool {
+	for _, c := range t.Cases {
+		if !c.Correct {
+			return false
+		}
+	}
+	return true
+}
+
+// FanOutMatched reports the largest |O1 − O2| normalized-amplitude
+// mismatch across cases, the paper's fan-out-equivalence figure of merit
+// (Table I shows ≤ 0.001 difference). Gates with one output return 0.
+func (t *TruthTable) FanOutMatched() float64 {
+	worst := 0.0
+	for _, c := range t.Cases {
+		if len(c.Outputs) < 2 {
+			continue
+		}
+		d := math.Abs(c.Outputs[0].Normalized - c.Outputs[1].Normalized)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MajorityExpected returns the ideal MAJ3 output.
+func MajorityExpected(in []bool) bool {
+	n := 0
+	for _, b := range in {
+		if b {
+			n++
+		}
+	}
+	return n*2 > len(in)
+}
+
+// XORExpected returns the ideal XOR output of two inputs.
+func XORExpected(in []bool) bool { return in[0] != in[1] }
+
+// EnumerateInputs yields all 2^n input combinations in the paper's table
+// order: the case index counts up with I1 as the least-significant bit,
+// so rows read {I3 I2 I1} = 000, 001, 010, ... as in Table I.
+func EnumerateInputs(n int) [][]bool {
+	out := make([][]bool, 1<<n)
+	for c := range out {
+		in := make([]bool, n)
+		for b := 0; b < n; b++ {
+			in[b] = c&(1<<b) != 0
+		}
+		out[c] = in
+	}
+	return out
+}
+
+// referenceCase runs the all-zeros case and returns its readouts, used
+// for amplitude normalization and as the logic-0 phase reference.
+func referenceCase(b Backend) (map[string]detect.Readout, error) {
+	zeros := make([]bool, b.Kind().NumInputs())
+	ref, err := b.Run(zeros)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference case failed: %w", err)
+	}
+	for name, r := range ref {
+		if r.Amplitude <= 0 {
+			return nil, fmt.Errorf("core: reference case has zero amplitude at %s", name)
+		}
+	}
+	return ref, nil
+}
+
+// MajorityTruthTable reproduces Table I: it runs all 8 input cases of a
+// MAJ3 backend, normalizes output amplitudes to the {0,0,0} case, and
+// decodes each output by phase detection against the {0,0,0} phase.
+func MajorityTruthTable(b Backend) (*TruthTable, error) {
+	if b.Kind() == XOR {
+		return nil, fmt.Errorf("core: majority truth table needs a MAJ3 backend, got %s", b.Kind())
+	}
+	ref, err := referenceCase(b)
+	if err != nil {
+		return nil, err
+	}
+	tt := &TruthTable{Gate: b.Kind().String(), Backend: b.Name(), Detection: "phase"}
+	for _, in := range EnumerateInputs(b.Kind().NumInputs()) {
+		res, err := b.Run(in)
+		if err != nil {
+			return nil, fmt.Errorf("core: case %v: %w", in, err)
+		}
+		cr := CaseResult{Inputs: in, Expected: MajorityExpected(in), Correct: true}
+		for _, name := range sortedOutputs(res) {
+			r := res[name]
+			det := detect.PhaseDetector{RefPhase: ref[name].Phase}
+			logic := det.Detect(r)
+			cr.Outputs = append(cr.Outputs, OutputResult{
+				Name:       name,
+				Amplitude:  r.Amplitude,
+				Normalized: r.Amplitude / ref[name].Amplitude,
+				Phase:      r.Phase,
+				Logic:      logic,
+			})
+			if logic != cr.Expected {
+				cr.Correct = false
+			}
+		}
+		tt.Cases = append(tt.Cases, cr)
+	}
+	return tt, nil
+}
+
+// XORTruthTable reproduces Table II: all 4 input cases of the XOR
+// backend, normalized to the {0,0} case and decoded by threshold
+// detection with the paper's threshold of 0.5. Setting inverted yields
+// the XNOR gate (§III-B).
+func XORTruthTable(b Backend, inverted bool) (*TruthTable, error) {
+	if b.Kind() != XOR {
+		return nil, fmt.Errorf("core: XOR truth table needs an XOR backend, got %s", b.Kind())
+	}
+	ref, err := referenceCase(b)
+	if err != nil {
+		return nil, err
+	}
+	gate := "xor-fo2"
+	if inverted {
+		gate = "xnor-fo2"
+	}
+	tt := &TruthTable{Gate: gate, Backend: b.Name(), Detection: "threshold"}
+	for _, in := range EnumerateInputs(2) {
+		res, err := b.Run(in)
+		if err != nil {
+			return nil, fmt.Errorf("core: case %v: %w", in, err)
+		}
+		want := XORExpected(in)
+		if inverted {
+			want = !want
+		}
+		cr := CaseResult{Inputs: in, Expected: want, Correct: true}
+		for _, name := range sortedOutputs(res) {
+			r := res[name]
+			det := detect.ThresholdDetector{Threshold: 0.5, RefAmp: ref[name].Amplitude, Inverted: inverted}
+			logic := det.Detect(r)
+			cr.Outputs = append(cr.Outputs, OutputResult{
+				Name:       name,
+				Amplitude:  r.Amplitude,
+				Normalized: r.Amplitude / ref[name].Amplitude,
+				Phase:      r.Phase,
+				Logic:      logic,
+			})
+			if logic != want {
+				cr.Correct = false
+			}
+		}
+		tt.Cases = append(tt.Cases, cr)
+	}
+	return tt, nil
+}
+
+// DerivedGate selects a 2-input gate implemented on the MAJ3 structure by
+// pinning I3 (§III-A) and, for the inverting variants, placing the output
+// detector at (n+1/2)λ — equivalently flipping the phase reference.
+type DerivedGate int
+
+const (
+	// AND pins I3 = 0.
+	AND DerivedGate = iota
+	// OR pins I3 = 1.
+	OR
+	// NAND pins I3 = 0 with inverted detection.
+	NAND
+	// NOR pins I3 = 1 with inverted detection.
+	NOR
+)
+
+// String names the derived gate.
+func (d DerivedGate) String() string {
+	switch d {
+	case AND:
+		return "and"
+	case OR:
+		return "or"
+	case NAND:
+		return "nand"
+	case NOR:
+		return "nor"
+	default:
+		return fmt.Sprintf("DerivedGate(%d)", int(d))
+	}
+}
+
+// control returns the pinned I3 level and whether detection is inverted.
+func (d DerivedGate) control() (i3 bool, inverted bool, err error) {
+	switch d {
+	case AND:
+		return false, false, nil
+	case OR:
+		return true, false, nil
+	case NAND:
+		return false, true, nil
+	case NOR:
+		return true, true, nil
+	default:
+		return false, false, fmt.Errorf("core: unknown derived gate %d", int(d))
+	}
+}
+
+// Expected returns the ideal output of the derived gate.
+func (d DerivedGate) Expected(a, b bool) bool {
+	switch d {
+	case AND:
+		return a && b
+	case OR:
+		return a || b
+	case NAND:
+		return !(a && b)
+	default: // NOR
+		return !(a || b)
+	}
+}
+
+// DerivedTruthTable evaluates a 2-input derived gate on a MAJ3 backend:
+// I1 and I2 carry data, I3 is the control input (§III-A).
+func DerivedTruthTable(b Backend, d DerivedGate) (*TruthTable, error) {
+	if b.Kind() == XOR {
+		return nil, fmt.Errorf("core: derived gates need a MAJ3 backend")
+	}
+	i3, inverted, err := d.control()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := referenceCase(b)
+	if err != nil {
+		return nil, err
+	}
+	tt := &TruthTable{Gate: d.String() + "-on-maj3", Backend: b.Name(), Detection: "phase"}
+	for _, in := range EnumerateInputs(2) {
+		res, err := b.Run([]bool{in[0], in[1], i3})
+		if err != nil {
+			return nil, fmt.Errorf("core: case %v: %w", in, err)
+		}
+		want := d.Expected(in[0], in[1])
+		cr := CaseResult{Inputs: in, Expected: want, Correct: true}
+		for _, name := range sortedOutputs(res) {
+			r := res[name]
+			refPhase := ref[name].Phase
+			if inverted {
+				refPhase += math.Pi // detector at (n+1/2)λ flips the reference
+			}
+			det := detect.PhaseDetector{RefPhase: refPhase}
+			logic := det.Detect(r)
+			cr.Outputs = append(cr.Outputs, OutputResult{
+				Name:       name,
+				Amplitude:  r.Amplitude,
+				Normalized: r.Amplitude / ref[name].Amplitude,
+				Phase:      r.Phase,
+				Logic:      logic,
+			})
+			if logic != want {
+				cr.Correct = false
+			}
+		}
+		tt.Cases = append(tt.Cases, cr)
+	}
+	return tt, nil
+}
+
+// sortedOutputs returns the output names in O1, O2, ... order.
+func sortedOutputs(res map[string]detect.Readout) []string {
+	names := make([]string, 0, len(res))
+	for i := 1; i <= len(res)+2; i++ {
+		name := fmt.Sprintf("O%d", i)
+		if _, ok := res[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) != len(res) {
+		// Fallback: unknown naming scheme; collect all.
+		names = names[:0]
+		for name := range res {
+			names = append(names, name)
+		}
+		for i := 1; i < len(names); i++ {
+			for j := i; j > 0 && names[j] < names[j-1]; j-- {
+				names[j], names[j-1] = names[j-1], names[j]
+			}
+		}
+	}
+	return names
+}

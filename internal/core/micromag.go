@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spinwave/internal/detect"
+	"spinwave/internal/dispersion"
+	"spinwave/internal/dsp"
+	"spinwave/internal/excite"
+	"spinwave/internal/grid"
+	"spinwave/internal/layout"
+	"spinwave/internal/llg"
+	"spinwave/internal/material"
+	"spinwave/internal/thermal"
+	"spinwave/internal/units"
+	"spinwave/internal/vec"
+)
+
+// MicromagConfig tunes the micromagnetic backend.
+type MicromagConfig struct {
+	Spec layout.Spec
+	Mat  material.Params
+
+	// CellSize is the square cell edge (default λ/11, i.e. 5 nm for the
+	// paper's λ = 55 nm).
+	CellSize float64
+	// DriveField is the antenna RF amplitude in Tesla (default 2 mT,
+	// linear regime).
+	DriveField float64
+	// RampPeriods is the smooth turn-on length in drive periods
+	// (default 3).
+	RampPeriods float64
+	// MeasurePeriods is the lock-in window in drive periods (default 4).
+	MeasurePeriods int
+	// SettleFactor multiplies the longest-path travel time to decide how
+	// long to wait before measuring (default 1.6).
+	SettleFactor float64
+	// SampleEvery records probe samples every N solver steps (default 4).
+	SampleEvery int
+	// MaxAlpha is the absorber peak damping (default 0.5).
+	MaxAlpha float64
+	// Scheme selects the integrator (default RK4).
+	Scheme llg.Scheme
+	// Workers > 1 parallelizes the field evaluation over row bands
+	// (useful on multi-core machines; results are identical).
+	Workers int
+	// Temperature enables the stochastic thermal field when > 0 (kelvin).
+	Temperature float64
+	// Seed seeds the thermal field.
+	Seed int64
+	// RegionMutator, when non-nil, post-processes the rasterized material
+	// region (edge roughness, width erosion, defects) before simulation —
+	// the hook used by the §IV-D variability experiments.
+	RegionMutator func(grid.Mesh, grid.Region) grid.Region
+	// I3PhaseTrim is added to the I3 drive phase to compensate the
+	// junction-region phase accumulated along the body path relative to
+	// the trunk path. In a fabricated device this is a sub-λ trim of the
+	// d2 trunk length (a phase trim τ is the exact equivalent of a length
+	// trim −τ/k); the paper's design rule "dimensions must be chosen
+	// accurately" (§III-A) refers to exactly this adjustment. Use
+	// CalibrateI3 to measure it.
+	I3PhaseTrim float64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c MicromagConfig) withDefaults() MicromagConfig {
+	if c.CellSize == 0 {
+		c.CellSize = c.Spec.Lambda / 11
+	}
+	if c.DriveField == 0 {
+		c.DriveField = 2e-3
+	}
+	if c.RampPeriods == 0 {
+		c.RampPeriods = 3
+	}
+	if c.MeasurePeriods == 0 {
+		c.MeasurePeriods = 4
+	}
+	if c.SettleFactor == 0 {
+		c.SettleFactor = 1.6
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 4
+	}
+	if c.MaxAlpha == 0 {
+		c.MaxAlpha = 0.5
+	}
+	return c
+}
+
+// Micromagnetic is the full-simulation backend: each Run builds a fresh
+// LLG solver on the rasterized gate, drives the input antennas with
+// phase-encoded RF fields, waits for steady state, and lock-in detects
+// the outputs.
+type Micromagnetic struct {
+	kind GateKind
+	cfg  MicromagConfig
+
+	L      *layout.Layout
+	Mesh   grid.Mesh
+	Region grid.Region
+
+	// Freq is the drive frequency chosen from the solver-matched
+	// dispersion so the simulated wavelength equals Spec.Lambda.
+	Freq float64
+	// Vg is the group velocity at the design wave number.
+	Vg float64
+
+	dt       float64
+	duration float64
+}
+
+// NewMicromagnetic prepares the backend (mesh, region, timing). It does
+// not run anything yet.
+func NewMicromagnetic(kind GateKind, cfg MicromagConfig) (*Micromagnetic, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Mat.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Mat.IsPerpendicular() {
+		return nil, fmt.Errorf("core: material %s is not perpendicular (forward-volume configuration impossible without bias)", cfg.Mat.Name)
+	}
+	l, err := buildLayout(kind, cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	// Snap the mirror axis onto a cell-center row so the rasterized top
+	// and bottom halves are exact mirror images (O1 ≡ O2 by construction).
+	l.AlignAxisToCells(cfg.CellSize)
+	mesh, err := l.Mesh(cfg.CellSize, units.NM(1))
+	if err != nil {
+		return nil, err
+	}
+	region := l.Rasterize(mesh)
+	if cfg.RegionMutator != nil {
+		region = cfg.RegionMutator(mesh, region)
+	}
+	if region.Count() == 0 {
+		return nil, fmt.Errorf("core: gate rasterized to zero cells")
+	}
+
+	model, err := dispersion.New(cfg.Mat, mesh.Dz, dispersion.LocalDemag)
+	if err != nil {
+		return nil, err
+	}
+	k := units.WaveNumber(cfg.Spec.Lambda)
+	freq := model.Frequency(k)
+	vg := model.GroupVelocity(k)
+
+	dt := llg.StableDt(mesh, cfg.Mat)
+	period := 1 / freq
+	// Longest signal path: generous estimate from the layout bounds.
+	b := l.Bounds()
+	travel := (b.Width() + b.Height()) / vg
+	duration := cfg.RampPeriods*period + cfg.SettleFactor*travel + float64(cfg.MeasurePeriods+1)*period
+
+	return &Micromagnetic{
+		kind:     kind,
+		cfg:      cfg,
+		L:        l,
+		Mesh:     mesh,
+		Region:   region,
+		Freq:     freq,
+		Vg:       vg,
+		dt:       dt,
+		duration: duration,
+	}, nil
+}
+
+// Name implements Backend.
+func (m *Micromagnetic) Name() string { return "micromagnetic" }
+
+// Kind implements Backend.
+func (m *Micromagnetic) Kind() GateKind { return m.kind }
+
+// Duration returns the per-case simulated time in seconds.
+func (m *Micromagnetic) Duration() float64 { return m.duration }
+
+// Dt returns the solver time step.
+func (m *Micromagnetic) Dt() float64 { return m.dt }
+
+// nodeCells returns the material cells within radius of the node position.
+func (m *Micromagnetic) nodeCells(n layout.Node, radius float64) []int {
+	var cells []int
+	for j := 0; j < m.Mesh.Ny; j++ {
+		for i := 0; i < m.Mesh.Nx; i++ {
+			idx := m.Mesh.Idx(i, j)
+			if !m.Region[idx] {
+				continue
+			}
+			x, y := m.Mesh.CellCenter(i, j)
+			if math.Hypot(x-n.Pos.X, y-n.Pos.Y) <= radius {
+				cells = append(cells, idx)
+			}
+		}
+	}
+	return cells
+}
+
+// newSolver builds a fresh solver with absorbers and the input antennas
+// configured for the given input levels. Inputs whose name appears in
+// mute are left out entirely (used by calibration runs).
+func (m *Micromagnetic) newSolver(inputs []bool, mute map[string]bool) (*llg.Solver, map[string]*detect.Probe, error) {
+	names := m.kind.InputNames()
+	if len(inputs) != len(names) {
+		return nil, nil, fmt.Errorf("core: %s needs %d inputs, got %d", m.kind, len(names), len(inputs))
+	}
+	s, err := llg.New(m.Mesh, m.Region, m.cfg.Mat, m.dt)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.Scheme = m.cfg.Scheme
+	s.Eval.Workers = m.cfg.Workers
+
+	// Matched terminations at the layout's absorbing ends.
+	ramp := m.cfg.Spec.Tail
+	if ramp <= 0 {
+		ramp = 3 * m.cfg.Spec.Lambda
+	}
+	for _, ti := range m.L.Terminations() {
+		n := m.L.Nodes[ti]
+		s.AddAbsorberTowards(n.Pos.X, n.Pos.Y, ramp, m.cfg.MaxAlpha)
+	}
+
+	// Input antennas: a disc of radius w/2 at each input node end.
+	rAnt := math.Max(m.cfg.Spec.Width/2, 1.5*m.Mesh.Dx)
+	for i, name := range names {
+		if mute[name] {
+			continue
+		}
+		ni, err := m.L.NodeByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells := m.nodeCells(m.L.Nodes[ni], rAnt)
+		if len(cells) == 0 {
+			return nil, nil, fmt.Errorf("core: antenna %s has no cells", name)
+		}
+		ant, err := excite.NewAntenna(name, cells, vec.UnitX, m.cfg.DriveField, m.Freq, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		ant.SetLogic(inputs[i])
+		if name == "I3" {
+			ant.Phase += m.cfg.I3PhaseTrim
+		}
+		ant.Env = excite.RampEnvelope(m.cfg.RampPeriods / m.Freq)
+		s.Eval.Sources = append(s.Eval.Sources, ant)
+	}
+
+	// Thermal field, if requested.
+	if m.cfg.Temperature > 0 {
+		th, err := thermal.New(m.Mesh, m.Region, m.cfg.Mat, m.cfg.Temperature, m.dt, m.cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.Eval.Sources = append(s.Eval.Sources, th)
+	}
+
+	// Output probes.
+	probes := make(map[string]*detect.Probe)
+	for _, oi := range m.L.Outputs() {
+		n := m.L.Nodes[oi]
+		cells := m.nodeCells(n, rAnt)
+		if len(cells) == 0 {
+			return nil, nil, fmt.Errorf("core: probe %s has no cells", n.Name)
+		}
+		p, err := detect.NewProbe(n.Name, cells)
+		if err != nil {
+			return nil, nil, err
+		}
+		probes[n.Name] = p
+	}
+	return s, probes, nil
+}
+
+// Run implements Backend: a full transient simulation per case.
+func (m *Micromagnetic) Run(inputs []bool) (map[string]detect.Readout, error) {
+	return m.run(inputs, nil)
+}
+
+// RunSingle excites only the named input at logic 0 and measures the
+// outputs; the other transducers are absent. Used for path calibration
+// and transmission diagnostics.
+func (m *Micromagnetic) RunSingle(name string) (map[string]detect.Readout, error) {
+	names := m.kind.InputNames()
+	mute := make(map[string]bool, len(names))
+	found := false
+	for _, n := range names {
+		if n == name {
+			found = true
+		} else {
+			mute[n] = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: %s has no input %q", m.kind, name)
+	}
+	return m.run(make([]bool, len(names)), mute)
+}
+
+// RunBackground simulates with every antenna muted — only the thermal
+// field (if configured) drives the system. With a fixed seed the noise
+// realization is identical between runs, so subtracting the background
+// lock-in output from a driven run's output coherently removes the
+// thermal contribution (see sweep.CoherentReadout).
+func (m *Micromagnetic) RunBackground() (map[string]detect.Readout, error) {
+	names := m.kind.InputNames()
+	mute := make(map[string]bool, len(names))
+	for _, n := range names {
+		mute[n] = true
+	}
+	return m.run(make([]bool, len(names)), mute)
+}
+
+// CalibrateI3 measures the phase offset between the I1 body path and the
+// I3 trunk path at O1 and sets I3PhaseTrim so the two arrive in phase —
+// the simulation-domain equivalent of the paper's "dimensions must be
+// chosen accurately" trim of d2. It returns the applied trim in radians.
+// Only meaningful for Majority structures.
+func (m *Micromagnetic) CalibrateI3() (float64, error) {
+	if m.kind == XOR {
+		return 0, fmt.Errorf("core: %s has no I3 to calibrate", m.kind)
+	}
+	prev := m.cfg.I3PhaseTrim
+	m.cfg.I3PhaseTrim = 0
+	r1, err := m.RunSingle("I1")
+	if err != nil {
+		m.cfg.I3PhaseTrim = prev
+		return 0, err
+	}
+	r3, err := m.RunSingle("I3")
+	if err != nil {
+		m.cfg.I3PhaseTrim = prev
+		return 0, err
+	}
+	trim := dsp.PhaseDiff(r1["O1"].Phase, r3["O1"].Phase)
+	m.cfg.I3PhaseTrim = trim
+	return trim, nil
+}
+
+func (m *Micromagnetic) run(inputs []bool, mute map[string]bool) (map[string]detect.Readout, error) {
+	s, probes, err := m.newSolver(inputs, mute)
+	if err != nil {
+		return nil, err
+	}
+	every := m.cfg.SampleEvery
+	s.Run(m.duration, func(step int) bool {
+		if step%every == 0 {
+			for _, p := range probes {
+				p.Sample(s.Time, s.M)
+			}
+		}
+		return true
+	})
+	if err := s.CheckFinite(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]detect.Readout, len(probes))
+	for name, p := range probes {
+		r, err := p.LockIn(m.Freq, m.cfg.MeasurePeriods)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = r
+	}
+	return out, nil
+}
+
+// Snapshot runs the case and returns the final magnetization field along
+// with the mesh and material region — the raw material for the Figure 5
+// panels.
+func (m *Micromagnetic) Snapshot(inputs []bool) (vec.Field, grid.Mesh, grid.Region, error) {
+	s, _, err := m.newSolver(inputs, nil)
+	if err != nil {
+		return nil, grid.Mesh{}, nil, err
+	}
+	s.Run(m.duration, nil)
+	if err := s.CheckFinite(); err != nil {
+		return nil, grid.Mesh{}, nil, err
+	}
+	return s.M, m.Mesh, m.Region, nil
+}

@@ -1,0 +1,207 @@
+package demag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/units"
+	"spinwave/internal/vec"
+)
+
+func TestCubeSelfDemag(t *testing.T) {
+	// A cube has Nxx = Nyy = Nzz = 1/3 exactly.
+	for _, f := range []func(X, Y, Z, dx, dy, dz float64) float64{Nxx, Nyy, Nzz} {
+		if got := f(0, 0, 0, 1e-9, 1e-9, 1e-9); math.Abs(got-1.0/3.0) > 1e-10 {
+			t.Errorf("cube self term = %.12f, want 1/3", got)
+		}
+	}
+	if got := Nxy(0, 0, 0, 1e-9, 1e-9, 1e-9); math.Abs(got) > 1e-12 {
+		t.Errorf("cube self Nxy = %g, want 0", got)
+	}
+}
+
+func TestThinCellSelfDemag(t *testing.T) {
+	// A 5×5×1 nm cell is plate-like: Nzz dominates but is well below the
+	// infinite-film value of 1.
+	tp := Tensor(0, 0, 5e-9, 5e-9, 1e-9)
+	if err := tp.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if !(tp.ZZ > 0.6 && tp.ZZ < 0.8) {
+		t.Errorf("thin cell Nzz = %g, want ≈0.69", tp.ZZ)
+	}
+	if math.Abs(tp.XX-tp.YY) > 1e-12 {
+		t.Errorf("square cell XX != YY: %g vs %g", tp.XX, tp.YY)
+	}
+}
+
+// Property: the trace identity holds for arbitrary offsets — the sharpest
+// single test of the Newell f/g implementation.
+func TestTraceIdentity(t *testing.T) {
+	dx, dy, dz := 5e-9, 4e-9, 1e-9
+	f := func(ox, oy int8) bool {
+		X := float64(ox%13) * dx
+		Y := float64(oy%13) * dy
+		tp := Tensor(X, Y, dx, dy, dz)
+		self := X == 0 && Y == 0
+		return tp.Validate(self) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFarFieldMatchesDipole(t *testing.T) {
+	dx, dy, dz := 5e-9, 5e-9, 1e-9
+	v := dx * dy * dz
+	// In-plane offset, z-magnetized: H = −Nzz·M must approach the dipole
+	// field −V·M/(4π·R³) (θ = 90°).
+	for _, cells := range []int{15, 25, 40} {
+		R := float64(cells) * dx
+		want := v / (4 * math.Pi * R * R * R)
+		got := Nzz(R, 0, 0, dx, dy, dz)
+		if math.Abs(got-want) > 0.01*want {
+			t.Errorf("R=%d cells: Nzz = %.6g, dipole %.6g", cells, got, want)
+		}
+		// Along-axis for x-magnetized cells: Nxx(R,0,0) → −2V/(4πR³)
+		// (field parallel to moment, factor −2).
+		wantXX := -2 * v / (4 * math.Pi * R * R * R)
+		gotXX := Nxx(R, 0, 0, dx, dy, dz)
+		if math.Abs(gotXX-wantXX) > 0.01*math.Abs(wantXX) {
+			t.Errorf("R=%d cells: Nxx = %.6g, dipole %.6g", cells, gotXX, wantXX)
+		}
+	}
+}
+
+func TestTensorSymmetries(t *testing.T) {
+	dx, dy, dz := 5e-9, 4e-9, 1e-9
+	a := Tensor(3*dx, 2*dy, dx, dy, dz)
+	b := Tensor(-3*dx, 2*dy, dx, dy, dz)
+	c := Tensor(3*dx, -2*dy, dx, dy, dz)
+	// The second differences amplify last-ulp rounding of the corner
+	// evaluations, so the parity holds to ~1e-10 rather than machine ε.
+	const tol = 1e-9
+	if math.Abs(a.XX-b.XX) > tol || math.Abs(a.ZZ-c.ZZ) > tol {
+		t.Errorf("diagonal elements not even in offsets: %g %g", a.XX-b.XX, a.ZZ-c.ZZ)
+	}
+	// Nxy is odd in each in-plane offset.
+	if math.Abs(a.XY+b.XY) > tol || math.Abs(a.XY+c.XY) > tol {
+		t.Errorf("Nxy parity wrong: %g %g", a.XY+b.XY, a.XY+c.XY)
+	}
+}
+
+func TestEffectiveNzzGrowsWithArea(t *testing.T) {
+	small := EffectiveNzz(grid.MustMesh(8, 8, 5e-9, 5e-9, 1e-9))
+	large := EffectiveNzz(grid.MustMesh(32, 32, 5e-9, 5e-9, 1e-9))
+	if !(small < large && large < 1) {
+		t.Errorf("Nzz_eff: small %g, large %g — want increasing toward 1", small, large)
+	}
+	// A 200 nm patch of 1 nm film: local approximation good to ~2%.
+	if got := EffectiveNzz(grid.MustMesh(40, 40, 5e-9, 5e-9, 1e-9)); got < 0.97 {
+		t.Errorf("Nzz_eff(200 nm patch) = %g, want > 0.97", got)
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	mesh := grid.MustMesh(4, 4, 5e-9, 5e-9, 1e-9)
+	if _, err := NewKernel(mesh, 0); err == nil {
+		t.Error("zero Ms accepted")
+	}
+	k, err := NewKernel(mesh, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddInto(vec.NewField(3), vec.NewField(16)); err == nil {
+		t.Error("mismatched field accepted")
+	}
+}
+
+func TestFFTMatchesDirect(t *testing.T) {
+	mesh := grid.MustMesh(9, 6, 5e-9, 4e-9, 1e-9) // non-power-of-two grid
+	ms := 1.1e6
+	k, err := NewKernel(mesh, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pseudo-random magnetization with some vacuum cells.
+	m := vec.NewField(mesh.NCells())
+	x := uint64(99)
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%2000)/1000 - 1
+	}
+	for i := range m {
+		if i%11 == 3 {
+			continue // vacuum
+		}
+		m[i] = vec.V(next(), next(), next()+1.2).Normalized()
+	}
+	bFFT := vec.NewField(mesh.NCells())
+	if err := k.AddInto(m, bFFT); err != nil {
+		t.Fatal(err)
+	}
+	bDir := vec.NewField(mesh.NCells())
+	if err := DirectField(mesh, ms, m, bDir); err != nil {
+		t.Fatal(err)
+	}
+	scale := units.Mu0 * ms
+	for i := range bFFT {
+		if d := bFFT[i].Sub(bDir[i]).Norm(); d > 1e-9*scale {
+			t.Fatalf("cell %d: FFT %v vs direct %v", i, bFFT[i], bDir[i])
+		}
+	}
+}
+
+func TestUniformFilmField(t *testing.T) {
+	// Uniformly z-magnetized film patch: the demag field at the center
+	// approaches −µ0·Ms·ẑ as the patch grows; in-plane components vanish
+	// by symmetry.
+	mesh := grid.MustMesh(32, 32, 5e-9, 5e-9, 1e-9)
+	ms := 1.1e6
+	k, err := NewKernel(mesh, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vec.NewField(mesh.NCells())
+	m.Fill(vec.UnitZ)
+	B := vec.NewField(mesh.NCells())
+	if err := k.AddInto(m, B); err != nil {
+		t.Fatal(err)
+	}
+	center := mesh.Idx(16, 16)
+	bz := B[center].Z
+	want := -units.Mu0 * ms
+	if math.Abs(bz-want) > 0.03*math.Abs(want) {
+		t.Errorf("center Bz = %g, want ≈ %g (−µ0·Ms)", bz, want)
+	}
+	if math.Abs(B[center].X) > 1e-6 || math.Abs(B[center].Y) > 1e-6 {
+		t.Errorf("center in-plane field not zero: %v", B[center])
+	}
+	// Edge cells feel a weaker demag field (flux closure).
+	edge := mesh.Idx(0, 16)
+	if !(math.Abs(B[edge].Z) < math.Abs(bz)) {
+		t.Errorf("edge |Bz| = %g not below center %g", math.Abs(B[edge].Z), math.Abs(bz))
+	}
+}
+
+func BenchmarkKernelConvolution64x64(b *testing.B) {
+	mesh := grid.MustMesh(64, 64, 5e-9, 5e-9, 1e-9)
+	k, err := NewKernel(mesh, 1.1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vec.NewField(mesh.NCells())
+	m.Fill(vec.V(0.1, 0, 1).Normalized())
+	B := vec.NewField(mesh.NCells())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.AddInto(m, B); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

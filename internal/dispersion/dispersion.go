@@ -1,0 +1,200 @@
+// Package dispersion implements the forward-volume spin-wave (FVSW)
+// dispersion relation used to design the gates: the Kalinikos–Slavin
+// lowest-mode expression for a perpendicular-magnetized film (the paper's
+// configuration), plus the simplified "local demag" branch that exactly
+// matches the finite-difference solver in internal/mag, which treats the
+// thin-film demagnetizing field as a local −Ms·mz·ẑ term.
+//
+// Both branches share the exchange-stiffened FMR frequency
+//
+//	ω0(k) = γ·µ0·(Hi + (2·Aex/(µ0·Ms))·k²),  Hi = Hk − Ms + Hext
+//
+// and the full branch adds the dipolar correction
+//
+//	ω(k)² = ω0(k)·(ω0(k) + ωM·F(kd)),  F(x) = 1 − (1 − e^(−x))/x
+//
+// with ωM = γ·µ0·Ms and d the film thickness.
+package dispersion
+
+import (
+	"fmt"
+	"math"
+
+	"spinwave/internal/material"
+	"spinwave/internal/units"
+)
+
+// Mode selects the dispersion branch.
+type Mode int
+
+const (
+	// Full is the Kalinikos–Slavin lowest FVSW mode with the dipolar
+	// thickness correction. Use it for physical design numbers.
+	Full Mode = iota
+	// LocalDemag drops the dipolar k-dependence, matching the dispersion
+	// of the internal/mag solver (local thin-film demag approximation).
+	// Use it to choose drive frequencies for in-repo simulations so the
+	// simulated wavelength equals the design wavelength.
+	LocalDemag
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Full:
+		return "full"
+	case LocalDemag:
+		return "local-demag"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Model evaluates the FVSW dispersion for one material/film configuration.
+type Model struct {
+	Mat       material.Params
+	Thickness float64 // film thickness d in meters
+	Hext      float64 // external out-of-plane field in A/m (may be 0)
+	Mode      Mode
+}
+
+// New constructs a model, validating the configuration.
+func New(mat material.Params, thickness float64, mode Mode) (Model, error) {
+	if err := mat.Validate(); err != nil {
+		return Model{}, err
+	}
+	if thickness <= 0 {
+		return Model{}, fmt.Errorf("dispersion: thickness %g must be positive", thickness)
+	}
+	return Model{Mat: mat, Thickness: thickness, Mode: mode}, nil
+}
+
+// InternalField returns Hi = Hk − Ms + Hext in A/m, the static internal
+// field seen by the out-of-plane magnetization.
+func (m Model) InternalField() float64 {
+	return m.Mat.AnisotropyField() - m.Mat.Ms + m.Hext
+}
+
+// omega0 returns the exchange-stiffened FMR frequency at wave number k.
+func (m Model) omega0(k float64) float64 {
+	g := m.Mat.GammaOrDefault()
+	hex := 2 * m.Mat.Aex / (units.Mu0 * m.Mat.Ms) * k * k
+	return g * units.Mu0 * (m.InternalField() + hex)
+}
+
+// dipoleF returns F(kd) = 1 − (1 − e^(−kd))/(kd), with the analytic k→0
+// limit F → kd/2.
+func dipoleF(kd float64) float64 {
+	if kd < 1e-9 {
+		return kd / 2
+	}
+	return 1 - (1-math.Exp(-kd))/kd
+}
+
+// Omega returns the angular frequency ω(k) in rad/s at wave number k
+// (rad/m). Results are only meaningful for Hi > 0 (stable perpendicular
+// state); for Hi ≤ 0 at small k the returned value is NaN, signaling an
+// unstable configuration.
+func (m Model) Omega(k float64) float64 {
+	w0 := m.omega0(k)
+	if m.Mode == LocalDemag {
+		return w0
+	}
+	wM := m.Mat.GammaOrDefault() * units.Mu0 * m.Mat.Ms
+	arg := w0 * (w0 + wM*dipoleF(k*m.Thickness))
+	return math.Sqrt(arg)
+}
+
+// Frequency returns f(k) = ω(k)/2π in Hz.
+func (m Model) Frequency(k float64) float64 { return m.Omega(k) / (2 * math.Pi) }
+
+// GroupVelocity returns vg = dω/dk in m/s by central difference.
+func (m Model) GroupVelocity(k float64) float64 {
+	h := math.Max(k*1e-4, 1.0)
+	return (m.Omega(k+h) - m.Omega(k-h)) / (2 * h)
+}
+
+// SolveK finds the wave number k (rad/m) whose frequency equals f (Hz) by
+// bisection on [0, kMax]. It returns an error when f is below the k=0 gap
+// or above the band edge at kMax.
+func (m Model) SolveK(f, kMax float64) (float64, error) {
+	if kMax <= 0 {
+		return 0, fmt.Errorf("dispersion: kMax %g must be positive", kMax)
+	}
+	fLo, fHi := m.Frequency(0), m.Frequency(kMax)
+	if math.IsNaN(fLo) || math.IsNaN(fHi) {
+		return 0, fmt.Errorf("dispersion: unstable configuration (internal field %g A/m)", m.InternalField())
+	}
+	if f < fLo {
+		return 0, fmt.Errorf("dispersion: f = %.4g GHz below band gap %.4g GHz", units.ToGHz(f), units.ToGHz(fLo))
+	}
+	if f > fHi {
+		return 0, fmt.Errorf("dispersion: f = %.4g GHz above %.4g GHz at kMax", units.ToGHz(f), units.ToGHz(fHi))
+	}
+	lo, hi := 0.0, kMax
+	for i := 0; i < 200 && hi-lo > 1e-9*kMax; i++ {
+		mid := (lo + hi) / 2
+		if m.Frequency(mid) < f {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// FrequencyForWavelength returns the drive frequency that produces a spin
+// wave of wavelength λ in this model.
+func (m Model) FrequencyForWavelength(lambda float64) float64 {
+	return m.Frequency(units.WaveNumber(lambda))
+}
+
+// Lifetime returns the amplitude relaxation time τ = 1/(α·Γω) where
+// Γω = ∂ω/∂ω0 · ω reduces to α·(ω0 + ωM·F/2) for the full branch and α·ω
+// for the local branch.
+func (m Model) Lifetime(k float64) float64 {
+	a := m.Mat.Alpha
+	if a == 0 {
+		return math.Inf(1)
+	}
+	if m.Mode == LocalDemag {
+		return 1 / (a * m.Omega(k))
+	}
+	wM := m.Mat.GammaOrDefault() * units.Mu0 * m.Mat.Ms
+	rate := a * (m.omega0(k) + wM*dipoleF(k*m.Thickness)/2)
+	return 1 / rate
+}
+
+// AttenuationLength returns the 1/e amplitude decay length vg·τ in meters.
+func (m Model) AttenuationLength(k float64) float64 {
+	return m.GroupVelocity(k) * m.Lifetime(k)
+}
+
+// Point is one sample of the dispersion curve.
+type Point struct {
+	K          float64 // rad/m
+	Lambda     float64 // m
+	F          float64 // Hz
+	Vg         float64 // m/s
+	AttnLength float64 // m
+}
+
+// Curve samples the dispersion uniformly in k over [kMin, kMax] with n
+// points, for plotting or table output.
+func (m Model) Curve(kMin, kMax float64, n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		k := kMin + (kMax-kMin)*float64(i)/float64(n-1)
+		pts[i] = Point{
+			K:          k,
+			Lambda:     units.Wavelength(math.Max(k, 1e-12)),
+			F:          m.Frequency(k),
+			Vg:         m.GroupVelocity(k),
+			AttnLength: m.AttenuationLength(k),
+		}
+	}
+	return pts
+}

@@ -1,0 +1,184 @@
+package dispersion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spinwave/internal/material"
+	"spinwave/internal/units"
+)
+
+func paperModel(mode Mode) Model {
+	m, err := New(material.FeCoB(), units.NM(1), mode)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(material.Params{}, units.NM(1), Full); err == nil {
+		t.Error("invalid material accepted")
+	}
+	if _, err := New(material.FeCoB(), 0, Full); err == nil {
+		t.Error("zero thickness accepted")
+	}
+}
+
+func TestGapFrequency(t *testing.T) {
+	m := paperModel(Full)
+	// k=0 gap: f0 = γµ0(Hk−Ms)/2π ≈ 3.65 GHz for the paper's FeCoB.
+	f0 := m.Frequency(0)
+	if math.Abs(units.ToGHz(f0)-3.65) > 0.15 {
+		t.Errorf("gap = %.3f GHz, want ≈3.65", units.ToGHz(f0))
+	}
+	// Local branch has the same k=0 limit (dipole term vanishes).
+	if got := paperModel(LocalDemag).Frequency(0); math.Abs(got-f0) > 1e-3*f0 {
+		t.Errorf("local gap %.4g != full gap %.4g", got, f0)
+	}
+}
+
+func TestMonotoneIncreasing(t *testing.T) {
+	for _, mode := range []Mode{Full, LocalDemag} {
+		m := paperModel(mode)
+		prev := m.Frequency(0)
+		for k := 1e6; k <= 3e8; k *= 1.3 {
+			f := m.Frequency(k)
+			if f <= prev {
+				t.Errorf("mode %v: f(k) not increasing at k=%g", mode, k)
+			}
+			prev = f
+		}
+	}
+}
+
+func TestPaperDesignPoint(t *testing.T) {
+	// The paper designs for λ = 55 nm. In our solver-matched branch this
+	// corresponds to a definite drive frequency; assert it is in the
+	// 10–20 GHz range the paper's setup targets and that SolveK inverts it.
+	m := paperModel(LocalDemag)
+	lambda := units.NM(55)
+	f := m.FrequencyForWavelength(lambda)
+	if g := units.ToGHz(f); g < 8 || g > 25 {
+		t.Errorf("f(λ=55nm) = %.2f GHz, outside plausible design window", g)
+	}
+	k, err := m.SolveK(f, units.WaveNumber(units.NM(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLambda := units.Wavelength(k); math.Abs(gotLambda-lambda) > 0.01*lambda {
+		t.Errorf("SolveK round trip λ = %.3g, want 55 nm", gotLambda)
+	}
+}
+
+func TestSolveKErrors(t *testing.T) {
+	m := paperModel(Full)
+	if _, err := m.SolveK(units.GHz(1), 1e9); err == nil {
+		t.Error("frequency below gap accepted")
+	}
+	if _, err := m.SolveK(units.GHz(1e6), 1e9); err == nil {
+		t.Error("frequency above band edge accepted")
+	}
+	if _, err := m.SolveK(units.GHz(10), 0); err == nil {
+		t.Error("zero kMax accepted")
+	}
+}
+
+// Property: SolveK inverts Frequency across the band for both branches.
+func TestSolveKInvertsFrequency(t *testing.T) {
+	kMax := units.WaveNumber(units.NM(12))
+	for _, mode := range []Mode{Full, LocalDemag} {
+		m := paperModel(mode)
+		f := func(u float64) bool {
+			k := (0.01 + 0.98*frac(u)) * kMax
+			freq := m.Frequency(k)
+			got, err := m.SolveK(freq, kMax)
+			if err != nil {
+				return false
+			}
+			return math.Abs(got-k) < 1e-4*kMax
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func frac(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Abs(x - math.Trunc(x))
+}
+
+func TestGroupVelocityPositiveAndReasonable(t *testing.T) {
+	m := paperModel(LocalDemag)
+	k := units.WaveNumber(units.NM(55))
+	vg := m.GroupVelocity(k)
+	// Exchange wave at λ=55 nm in FeCoB: a few hundred m/s to a few km/s.
+	if vg < 100 || vg > 20e3 {
+		t.Errorf("vg = %g m/s, outside plausible range", vg)
+	}
+}
+
+func TestLifetimeAndAttenuation(t *testing.T) {
+	m := paperModel(LocalDemag)
+	k := units.WaveNumber(units.NM(55))
+	tau := m.Lifetime(k)
+	if tau <= 0 || tau > 1e-6 {
+		t.Errorf("τ = %g s implausible", tau)
+	}
+	lAtt := m.AttenuationLength(k)
+	// The gate's longest path (d2 = 880 nm) must be well within one
+	// attenuation length, otherwise the paper's gate could not work.
+	if lAtt < units.NM(880) {
+		t.Errorf("attenuation length %g m shorter than longest gate arm", lAtt)
+	}
+	// Zero damping → infinite lifetime.
+	mat := material.FeCoB()
+	mat.Alpha = 0
+	m2, _ := New(mat, units.NM(1), LocalDemag)
+	if !math.IsInf(m2.Lifetime(k), 1) {
+		t.Error("zero-damping lifetime not infinite")
+	}
+}
+
+func TestFullAboveLocal(t *testing.T) {
+	// The dipolar term only adds stiffness: f_full(k) ≥ f_local(k).
+	full, local := paperModel(Full), paperModel(LocalDemag)
+	for k := 0.0; k <= 2e8; k += 2e7 {
+		if full.Frequency(k)+1e-3 < local.Frequency(k) {
+			t.Errorf("f_full < f_local at k=%g", k)
+		}
+	}
+}
+
+func TestCurve(t *testing.T) {
+	m := paperModel(Full)
+	pts := m.Curve(0, 2e8, 21)
+	if len(pts) != 21 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].K != 0 || math.Abs(pts[20].K-2e8) > 1 {
+		t.Errorf("endpoints wrong: %g..%g", pts[0].K, pts[20].K)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].F <= pts[i-1].F {
+			t.Errorf("curve not monotone at %d", i)
+		}
+	}
+	// n < 2 clamps.
+	if got := m.Curve(0, 1e8, 1); len(got) != 2 {
+		t.Errorf("clamped curve len = %d", len(got))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Full.String() != "full" || LocalDemag.String() != "local-demag" {
+		t.Error("mode names wrong")
+	}
+	if Mode(99).String() == "" {
+		t.Error("unknown mode name empty")
+	}
+}

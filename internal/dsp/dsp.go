@@ -1,0 +1,228 @@
+// Package dsp contains the signal-processing primitives used by the
+// detection stage: single-bin Goertzel analysis (the lock-in detector for
+// phase/amplitude readout at the drive frequency), a radix-2 FFT for
+// spectrum inspection, window functions, and small statistics helpers.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Goertzel computes the complex amplitude of the frequency component f in
+// samples acquired at rate fs. The returned amplitude is normalized so a
+// pure tone a·sin(2πft+φ) yields amplitude ≈ a; the returned phase is the
+// phase of the equivalent a·cos(2πft+φc) representation in radians in
+// (−π, π].
+//
+// Unlike an FFT bin, f need not be an exact multiple of fs/len(samples);
+// for best accuracy callers should still analyze an integer number of
+// periods.
+func Goertzel(samples []float64, fs, f float64) (amplitude, phase float64, err error) {
+	if len(samples) == 0 {
+		return 0, 0, fmt.Errorf("dsp: Goertzel on empty input")
+	}
+	if fs <= 0 {
+		return 0, 0, fmt.Errorf("dsp: sample rate %g must be positive", fs)
+	}
+	if f < 0 || f > fs/2 {
+		return 0, 0, fmt.Errorf("dsp: frequency %g outside [0, fs/2]", f)
+	}
+	// Direct correlation form: robust for non-integer bin frequencies.
+	w := 2 * math.Pi * f / fs
+	var re, im float64
+	for n, s := range samples {
+		c, sn := math.Cos(w*float64(n)), math.Sin(w*float64(n))
+		re += s * c
+		im -= s * sn
+	}
+	norm := 2 / float64(len(samples))
+	z := complex(re*norm, im*norm)
+	return cmplx.Abs(z), cmplx.Phase(z), nil
+}
+
+// PhaseDiff returns the wrapped difference a−b in (−π, π].
+func PhaseDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	return d
+}
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x. The
+// length of x must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 {
+		return fmt.Errorf("dsp: FFT of empty input")
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT of x in place (power-of-two length).
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+	return nil
+}
+
+// Spectrum returns the single-sided amplitude spectrum of a real signal,
+// zero-padding to the next power of two. The i-th bin corresponds to
+// frequency i·fs/nfft. The DC bin is not doubled.
+func Spectrum(samples []float64, fs float64) (amps []float64, binHz float64, err error) {
+	if len(samples) == 0 {
+		return nil, 0, fmt.Errorf("dsp: Spectrum of empty input")
+	}
+	nfft := 1
+	for nfft < len(samples) {
+		nfft <<= 1
+	}
+	buf := make([]complex128, nfft)
+	for i, s := range samples {
+		buf[i] = complex(s, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, 0, err
+	}
+	half := nfft/2 + 1
+	amps = make([]float64, half)
+	for i := 0; i < half; i++ {
+		a := cmplx.Abs(buf[i]) / float64(len(samples))
+		if i != 0 && i != nfft/2 {
+			a *= 2
+		}
+		amps[i] = a
+	}
+	return amps, fs / float64(nfft), nil
+}
+
+// PeakBin returns the index of the largest value in amps, ignoring the DC
+// bin when the slice has more than one element.
+func PeakBin(amps []float64) int {
+	if len(amps) == 0 {
+		return -1
+	}
+	start := 0
+	if len(amps) > 1 {
+		start = 1
+	}
+	best := start
+	for i := start + 1; i < len(amps); i++ {
+		if amps[i] > amps[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Hann fills a window of length n with Hann coefficients.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// ApplyWindow multiplies samples by the window element-wise, returning a
+// new slice. The lengths must match.
+func ApplyWindow(samples, window []float64) ([]float64, error) {
+	if len(samples) != len(window) {
+		return nil, fmt.Errorf("dsp: window length %d != samples %d", len(window), len(samples))
+	}
+	out := make([]float64, len(samples))
+	for i := range samples {
+		out[i] = samples[i] * window[i]
+	}
+	return out, nil
+}
+
+// RMS returns the root-mean-square of samples (0 for empty input).
+func RMS(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range samples {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(samples)))
+}
+
+// Mean returns the arithmetic mean of samples (0 for empty input).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range samples {
+		s += v
+	}
+	return s / float64(len(samples))
+}
+
+// Detrend subtracts the mean from samples, returning a new slice.
+func Detrend(samples []float64) []float64 {
+	m := Mean(samples)
+	out := make([]float64, len(samples))
+	for i, v := range samples {
+		out[i] = v - m
+	}
+	return out
+}
+
+// Sine generates n samples of a·sin(2πft+φ) at sample rate fs. It is used
+// by tests and by the Figure 1 wave-parameter harness.
+func Sine(n int, fs, f, a, phi float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / fs
+		out[i] = a * math.Sin(2*math.Pi*f*t+phi)
+	}
+	return out
+}

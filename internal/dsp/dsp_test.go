@@ -1,0 +1,289 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoertzelPureTone(t *testing.T) {
+	fs, f := 1000.0, 50.0
+	n := 200 // 10 full periods
+	for _, tc := range []struct{ amp, phi float64 }{
+		{1, 0}, {0.5, math.Pi / 3}, {2, -math.Pi / 2}, {1, math.Pi},
+	} {
+		s := Sine(n, fs, f, tc.amp, tc.phi)
+		amp, _, err := Goertzel(s, fs, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(amp-tc.amp) > 1e-9 {
+			t.Errorf("amp(a=%g, φ=%g) = %g", tc.amp, tc.phi, amp)
+		}
+	}
+}
+
+func TestGoertzelPhaseDifference(t *testing.T) {
+	// Two tones with a known phase offset must show that offset in the
+	// detected phase difference — this is exactly the gate's phase
+	// detection mechanism (0 vs π encodes logic 0 vs 1).
+	fs, f := 1000.0, 50.0
+	n := 400
+	s0 := Sine(n, fs, f, 1, 0)
+	s1 := Sine(n, fs, f, 1, math.Pi)
+	_, p0, err := Goertzel(s0, fs, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p1, err := Goertzel(s1, fs, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(PhaseDiff(p1, p0)); math.Abs(d-math.Pi) > 1e-9 {
+		t.Errorf("phase difference = %g, want π", d)
+	}
+}
+
+func TestGoertzelRejectsOtherFrequencies(t *testing.T) {
+	fs := 1000.0
+	s := Sine(1000, fs, 100, 1, 0.3)
+	amp, _, err := Goertzel(s, fs, 50) // integer periods of both tones
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp > 1e-9 {
+		t.Errorf("off-frequency leakage amp = %g", amp)
+	}
+}
+
+func TestGoertzelErrors(t *testing.T) {
+	if _, _, err := Goertzel(nil, 1000, 50); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := Goertzel([]float64{1}, 0, 50); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	if _, _, err := Goertzel([]float64{1, 2}, 1000, 600); err == nil {
+		t.Error("frequency above Nyquist accepted")
+	}
+	if _, _, err := Goertzel([]float64{1, 2}, 1000, -1); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+// Property: Goertzel amplitude is linear in signal amplitude.
+func TestGoertzelLinearity(t *testing.T) {
+	fs, f := 1000.0, 50.0
+	base := Sine(200, fs, f, 1, 0.7)
+	f2 := func(scaleRaw float64) bool {
+		scale := 0.1 + 10*frac(scaleRaw)
+		s := make([]float64, len(base))
+		for i := range s {
+			s[i] = scale * base[i]
+		}
+		amp, _, err := Goertzel(s, fs, f)
+		if err != nil {
+			return false
+		}
+		return math.Abs(amp-scale) < 1e-6*scale
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func frac(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Abs(x - math.Trunc(x))
+}
+
+func TestPhaseDiffWrapping(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{math.Pi, 0, math.Pi},
+		{-math.Pi + 0.1, math.Pi - 0.1, 0.2},
+		{3 * math.Pi, 0, math.Pi},
+		{0.1, -0.1, 0.2},
+	}
+	for _, c := range cases {
+		if got := PhaseDiff(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("PhaseDiff(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)*0.37), math.Cos(float64(i)*0.11))
+	}
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip bin %d: %v != %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTErrors(t *testing.T) {
+	if err := FFT(nil); err == nil {
+		t.Error("empty FFT accepted")
+	}
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Error("non-power-of-two FFT accepted")
+	}
+	if err := IFFT(make([]complex128, 5)); err == nil {
+		t.Error("non-power-of-two IFFT accepted")
+	}
+}
+
+// Property: Parseval's theorem holds for the FFT.
+func TestParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 32
+		x := make([]complex128, n)
+		v := seed
+		for i := range x {
+			v = v*6364136223846793005 + 1442695040888963407
+			x[i] = complex(float64(v%1000)/1000, float64((v>>16)%1000)/1000)
+		}
+		var sumT float64
+		for _, c := range x {
+			sumT += real(c)*real(c) + imag(c)*imag(c)
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		var sumF float64
+		for _, c := range x {
+			sumF += real(c)*real(c) + imag(c)*imag(c)
+		}
+		sumF /= float64(n)
+		return math.Abs(sumT-sumF) < 1e-9*(1+sumT)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpectrumFindsTone(t *testing.T) {
+	fs := 1024.0
+	s := Sine(512, fs, 64, 0.8, 0.2)
+	amps, bin, err := Spectrum(s, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := PeakBin(amps)
+	if got := float64(peak) * bin; math.Abs(got-64) > bin {
+		t.Errorf("peak at %g Hz, want 64", got)
+	}
+	if math.Abs(amps[peak]-0.8) > 0.05 {
+		t.Errorf("peak amplitude %g, want ≈0.8", amps[peak])
+	}
+}
+
+func TestSpectrumErrorsAndPeakBinEdges(t *testing.T) {
+	if _, _, err := Spectrum(nil, 1000); err == nil {
+		t.Error("empty spectrum accepted")
+	}
+	if got := PeakBin(nil); got != -1 {
+		t.Errorf("PeakBin(nil) = %d", got)
+	}
+	if got := PeakBin([]float64{5}); got != 0 {
+		t.Errorf("PeakBin(single) = %d", got)
+	}
+}
+
+func TestHannWindow(t *testing.T) {
+	w := Hann(5)
+	want := []float64{0, 0.5, 1, 0.5, 0}
+	for i := range w {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Errorf("Hann[%d] = %g, want %g", i, w[i], want[i])
+		}
+	}
+	if got := Hann(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Hann(1) = %v", got)
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	out, err := ApplyWindow([]float64{1, 2, 3}, []float64{1, 0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 1 || out[2] != 0 {
+		t.Errorf("ApplyWindow = %v", out)
+	}
+	if _, err := ApplyWindow([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched window accepted")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	if got := RMS([]float64{3, -3, 3, -3}); got != 3 {
+		t.Errorf("RMS = %g", got)
+	}
+	if got := RMS(nil); got != 0 {
+		t.Errorf("RMS(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	d := Detrend([]float64{1, 2, 3})
+	if Mean(d) != 0 {
+		t.Errorf("Detrend mean = %g", Mean(d))
+	}
+}
+
+func BenchmarkGoertzel(b *testing.B) {
+	s := Sine(2048, 1e12, 1e10, 1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Goertzel(s, 1e12, 1e10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/units"
+)
+
+func TestMECellDefaults(t *testing.T) {
+	me := DefaultMECell()
+	if math.Abs(me.Power-34.4e-9) > 1e-18 {
+		t.Errorf("power = %g, want 34.4 nW", me.Power)
+	}
+	if math.Abs(me.Delay-0.42e-9) > 1e-18 {
+		t.Errorf("delay = %g, want 0.42 ns", me.Delay)
+	}
+	if DefaultPulse != 100e-12 {
+		t.Errorf("pulse = %g, want 100 ps", DefaultPulse)
+	}
+}
+
+// TestTableIIIEnergies verifies the headline Table III numbers.
+func TestTableIIIEnergies(t *testing.T) {
+	cases := []struct {
+		gate     SWGate
+		cells    int
+		energyAJ float64
+	}{
+		{TriangleMAJ3(), 5, 10.3},
+		{TriangleXOR(), 4, 6.9},
+		// 4 · 3.44 aJ = 13.76 aJ; the paper prints 13.7 (truncated), we
+		// round to 13.8.
+		{LadderMAJ3(), 6, 13.8},
+		{LadderXOR(), 6, 13.8},
+	}
+	for _, c := range cases {
+		if err := c.gate.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.gate.Name, err)
+		}
+		if got := c.gate.Cells(); got != c.cells {
+			t.Errorf("%s cells = %d, want %d", c.gate.Name, got, c.cells)
+		}
+		if got := math.Round(units.ToAJ(c.gate.Energy())*10) / 10; got != c.energyAJ {
+			t.Errorf("%s energy = %g aJ, want %g", c.gate.Name, got, c.energyAJ)
+		}
+		if got := math.Round(units.ToNS(c.gate.Delay())*10) / 10; got != 0.4 {
+			t.Errorf("%s delay = %g ns, want 0.4", c.gate.Name, got)
+		}
+	}
+}
+
+func TestTrianglePropertiesVsLadder(t *testing.T) {
+	tri, lad := TriangleMAJ3(), LadderMAJ3()
+	if !tri.EqualExcitation {
+		t.Error("triangle should allow equal excitation levels")
+	}
+	if tri.ReplicatedInput {
+		t.Error("triangle should not replicate inputs")
+	}
+	if !lad.ReplicatedInput {
+		t.Error("ladder replicates an input")
+	}
+	if lad.ExcitationCells != tri.ExcitationCells+1 {
+		t.Errorf("ladder should need exactly one extra exciting cell: %d vs %d",
+			lad.ExcitationCells, tri.ExcitationCells)
+	}
+	if tri.Energy() >= lad.Energy() {
+		t.Error("triangle must consume less energy than ladder")
+	}
+	if tri.Delay() != lad.Delay() {
+		t.Error("paper: same delay as the state-of-the-art SW gates")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []SWGate{
+		{Name: "noExc", DetectionCells: 1, ME: DefaultMECell(), Pulse: DefaultPulse},
+		{Name: "noDet", ExcitationCells: 1, ME: DefaultMECell(), Pulse: DefaultPulse},
+		{Name: "noME", ExcitationCells: 1, DetectionCells: 1, Pulse: DefaultPulse},
+		{Name: "noPulse", ExcitationCells: 1, DetectionCells: 1, ME: DefaultMECell()},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s accepted", g.Name)
+		}
+	}
+}
+
+func TestCMOSReferences(t *testing.T) {
+	refs := CMOSReferences()
+	if len(refs) != 4 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	// Table III: 16 devices for MAJ (4 NANDs), 8 for XOR.
+	for _, g := range refs {
+		want := 16
+		if g.Function == "XOR" {
+			want = 8
+		}
+		if g.Cells() != want {
+			t.Errorf("%s devices = %d, want %d", g.Name, g.Cells(), want)
+		}
+	}
+	if math.Abs(units.ToAJ(refs[0].Energy())-466) > 1e-9 {
+		t.Errorf("16nm MAJ energy = %g", units.ToAJ(refs[0].Energy()))
+	}
+	if units.ToNS(refs[3].Delay()) != 0.01 {
+		t.Errorf("7nm XOR delay = %g", units.ToNS(refs[3].Delay()))
+	}
+}
+
+func TestComparisonTableShape(t *testing.T) {
+	tab := ComparisonTable()
+	if len(tab) != 8 {
+		t.Fatalf("table rows = %d, want 8", len(tab))
+	}
+	// The last two rows are this work; they must have the lowest SW
+	// energies.
+	var thisWorkMAJ, thisWorkXOR, ladderMAJ, ladderXOR Entry
+	for _, e := range tab {
+		switch e.Design {
+		case "triangle MAJ3 (this work)":
+			thisWorkMAJ = e
+		case "triangle XOR (this work)":
+			thisWorkXOR = e
+		case "ladder MAJ3 [22,23]":
+			ladderMAJ = e
+		case "ladder XOR [22,23]":
+			ladderXOR = e
+		}
+	}
+	if thisWorkMAJ.EnergyAJ != 10.3 || thisWorkXOR.EnergyAJ != 6.9 {
+		t.Errorf("this work energies = %g, %g", thisWorkMAJ.EnergyAJ, thisWorkXOR.EnergyAJ)
+	}
+	if ladderMAJ.EnergyAJ != 13.8 || ladderXOR.EnergyAJ != 13.8 {
+		t.Errorf("ladder energies = %g, %g (13.76 exact; paper prints 13.7)", ladderMAJ.EnergyAJ, ladderXOR.EnergyAJ)
+	}
+	if thisWorkMAJ.DelayNS != 0.4 || ladderMAJ.DelayNS != 0.4 {
+		t.Errorf("SW delays = %g, %g, want 0.4", thisWorkMAJ.DelayNS, ladderMAJ.DelayNS)
+	}
+}
+
+// TestDerivedRatiosMatchPaper checks every §IV-D claim against the
+// derived value: the 25%/50% savings, 0.8x/1.6x/43x energy ratios and
+// 13x/20x/40x delay overheads must match; the "45x vs 11x" MAJ/16nm
+// discrepancy in the paper's §IV-D prose is recorded in EXPERIMENTS.md.
+func TestDerivedRatiosMatchPaper(t *testing.T) {
+	for _, r := range Ratios() {
+		if r.PaperVal == 0 {
+			continue
+		}
+		tol := 0.06 * r.PaperVal // 6% slack for the paper's rounding
+		if math.Abs(r.Value-r.PaperVal) > tol {
+			t.Errorf("%s = %.2f%s, paper says %g%s", r.Name, r.Value, r.Unit, r.PaperVal, r.Unit)
+		}
+	}
+}
+
+func TestRatioHighlights(t *testing.T) {
+	byName := map[string]Ratio{}
+	for _, r := range Ratios() {
+		byName[r.Name] = r
+	}
+	if r := byName["MAJ energy saving vs ladder SW [22]"]; math.Abs(r.Value-24.8) > 1 {
+		t.Errorf("MAJ saving = %.1f%%, want ≈25%%", r.Value)
+	}
+	if r := byName["XOR energy saving vs ladder SW [22,23]"]; math.Abs(r.Value-49.6) > 1 {
+		t.Errorf("XOR saving = %.1f%%, want ≈50%%", r.Value)
+	}
+	if r := byName["XOR delay overhead vs 7nm CMOS"]; math.Abs(r.Value-40) > 1 {
+		t.Errorf("XOR delay overhead = %.1fx, want 40x", r.Value)
+	}
+}

@@ -1,0 +1,135 @@
+// Package excite models spin-wave transducers as localized time-dependent
+// magnetic field sources (microstrip antennas / magnetoelectric cells in
+// field-equivalent form, paper §II-B stage 1: "SW creation").
+//
+// An Antenna applies an in-plane RF field B(t) = B0·sin(2πft + φ)·env(t)
+// over a small set of cells. Logic values are encoded in the phase, as the
+// paper prescribes: phase 0 for logic 0 and phase π for logic 1.
+package excite
+
+import (
+	"fmt"
+	"math"
+
+	"spinwave/internal/vec"
+)
+
+// Envelope shapes the drive amplitude over time. It must return a factor
+// in [0, 1].
+type Envelope func(t float64) float64
+
+// ConstantEnvelope drives at full amplitude for all t ≥ 0.
+func ConstantEnvelope() Envelope {
+	return func(t float64) float64 {
+		if t < 0 {
+			return 0
+		}
+		return 1
+	}
+}
+
+// RampEnvelope rises smoothly (smoothstep) from 0 to 1 over rise seconds
+// and stays at 1 afterwards. A soft turn-on avoids exciting a broadband
+// transient that would pollute the lock-in readout.
+func RampEnvelope(rise float64) Envelope {
+	return func(t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		if t >= rise {
+			return 1
+		}
+		u := t / rise
+		return u * u * (3 - 2*u)
+	}
+}
+
+// PulseEnvelope rises over rise seconds, holds at 1 until width, then
+// falls symmetrically; zero after width+rise. It models the paper's
+// 100 ps excitation pulses (§IV-D assumption (vi)).
+func PulseEnvelope(rise, width float64) Envelope {
+	return func(t float64) float64 {
+		switch {
+		case t <= 0 || t >= width+rise:
+			return 0
+		case t < rise:
+			u := t / rise
+			return u * u * (3 - 2*u)
+		case t <= width:
+			return 1
+		default:
+			u := (width + rise - t) / rise
+			return u * u * (3 - 2*u)
+		}
+	}
+}
+
+// Antenna is a localized RF field source implementing mag.Source.
+type Antenna struct {
+	Name  string
+	Cells []int      // flat cell indices covered by the antenna
+	Dir   vec.Vector // unit field direction (in-plane for FVSW excitation)
+	B0    float64    // field amplitude, T
+	Freq  float64    // drive frequency, Hz
+	Phase float64    // drive phase, rad (0 = logic 0, π = logic 1)
+	Env   Envelope   // amplitude envelope; nil means constant
+}
+
+// NewAntenna validates and constructs an antenna.
+func NewAntenna(name string, cells []int, dir vec.Vector, b0, freq, phase float64) (*Antenna, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("excite: antenna %q covers no cells", name)
+	}
+	if dir.Norm() == 0 {
+		return nil, fmt.Errorf("excite: antenna %q has zero field direction", name)
+	}
+	if b0 < 0 {
+		return nil, fmt.Errorf("excite: antenna %q amplitude %g must be non-negative", name, b0)
+	}
+	if freq <= 0 {
+		return nil, fmt.Errorf("excite: antenna %q frequency %g must be positive", name, freq)
+	}
+	return &Antenna{
+		Name:  name,
+		Cells: cells,
+		Dir:   dir.Normalized(),
+		B0:    b0,
+		Freq:  freq,
+		Phase: phase,
+	}, nil
+}
+
+// AddTo implements mag.Source.
+func (a *Antenna) AddTo(t float64, B vec.Field) {
+	env := 1.0
+	if a.Env != nil {
+		env = a.Env(t)
+	}
+	if env == 0 || a.B0 == 0 {
+		return
+	}
+	amp := a.B0 * env * math.Sin(2*math.Pi*a.Freq*t+a.Phase)
+	for _, c := range a.Cells {
+		B[c] = B[c].MAdd(amp, a.Dir)
+	}
+}
+
+// SetLogic sets the antenna phase from a logic level: 0 ⇒ phase 0,
+// 1 ⇒ phase π (paper §III-A step (i)).
+func (a *Antenna) SetLogic(level bool) {
+	if level {
+		a.Phase = math.Pi
+	} else {
+		a.Phase = 0
+	}
+}
+
+// Logic returns the logic level encoded by the antenna phase, true when
+// the phase is closer to π than to 0 (mod 2π).
+func (a *Antenna) Logic() bool {
+	p := math.Mod(a.Phase, 2*math.Pi)
+	if p < 0 {
+		p += 2 * math.Pi
+	}
+	return p > math.Pi/2 && p < 3*math.Pi/2
+}

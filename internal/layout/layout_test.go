@@ -1,0 +1,317 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/units"
+)
+
+func TestPaperSpecDimensions(t *testing.T) {
+	s := PaperSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper §IV-A: d1=330 nm, d2=880 nm, d3=220 nm, d4=55 nm.
+	if got := units.ToNM(s.D1()); math.Abs(got-330) > 1e-9 {
+		t.Errorf("d1 = %g nm, want 330", got)
+	}
+	if got := units.ToNM(s.D2()); math.Abs(got-880) > 1e-9 {
+		t.Errorf("d2 = %g nm, want 880", got)
+	}
+	if got := units.ToNM(s.D3()); math.Abs(got-220) > 1e-9 {
+		t.Errorf("d3 = %g nm, want 220", got)
+	}
+	if got := units.ToNM(s.D4()); math.Abs(got-55) > 1e-9 {
+		t.Errorf("d4 = %g nm, want 55", got)
+	}
+	if got := units.ToNM(s.XORStub); math.Abs(got-40) > 1e-9 {
+		t.Errorf("XOR stub = %g nm, want 40", got)
+	}
+	if got := units.ToNM(s.Width); math.Abs(got-50) > 1e-9 {
+		t.Errorf("width = %g nm, want 50", got)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	mod := func(f func(*Spec)) Spec {
+		s := PaperSpec()
+		f(&s)
+		return s
+	}
+	bad := []Spec{
+		mod(func(s *Spec) { s.Lambda = 0 }),
+		mod(func(s *Spec) { s.Width = 0 }),
+		mod(func(s *Spec) { s.Width = s.Lambda * 1.5 }), // w > λ violates §III-A
+		mod(func(s *Spec) { s.D1N = 0 }),
+		mod(func(s *Spec) { s.D3N = 20 }), // 0.75·d3 > d1
+		mod(func(s *Spec) { s.XORStub = 0 }),
+		mod(func(s *Spec) { s.Tail = -1 }),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+	if err := ReducedSpec().Validate(); err != nil {
+		t.Errorf("ReducedSpec invalid: %v", err)
+	}
+}
+
+func TestMAJ3PathsAreIntegerWavelengths(t *testing.T) {
+	for _, spec := range []Spec{PaperSpec(), ReducedSpec()} {
+		l, err := BuildMAJ3(spec, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths := [][]string{
+			{"I1", "X", "X2", "Y1", "O1"},
+			{"I2", "X", "X2", "Y1", "O1"},
+			{"I1", "X", "X2", "Y2", "O2"},
+			{"I2", "X", "X2", "Y2", "O2"},
+			{"I3", "S", "Y1", "O1"},
+			{"I3", "S", "Y2", "O2"},
+		}
+		for _, p := range paths {
+			n, err := l.PathLengthInLambda(p...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(n-math.Round(n)) > 1e-9 {
+				t.Errorf("%v: path %v = %.6f λ, not integer", spec.D1N, p, n)
+			}
+		}
+		// FO2 symmetry: paths to O1 and O2 have identical lengths.
+		a, _ := l.PathLengthInLambda("I1", "X", "X2", "Y1", "O1")
+		b, _ := l.PathLengthInLambda("I1", "X", "X2", "Y2", "O2")
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("asymmetric output paths: %g vs %g λ", a, b)
+		}
+	}
+}
+
+func TestMAJ3PaperPathLengths(t *testing.T) {
+	l, err := BuildMAJ3(PaperSpec(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I1→O1 = d1+body+d1+d4 = 15λ; I3→O1 = d2+d3+d4 = 21λ.
+	if n, _ := l.PathLengthInLambda("I1", "X", "X2", "Y1", "O1"); math.Abs(n-15) > 1e-9 {
+		t.Errorf("I1→O1 = %gλ, want 15", n)
+	}
+	if n, _ := l.PathLengthInLambda("I3", "S", "Y1", "O1"); math.Abs(n-21) > 1e-9 {
+		t.Errorf("I3→O1 = %gλ, want 21", n)
+	}
+}
+
+func TestMAJ3Structure(t *testing.T) {
+	l, err := BuildMAJ3(PaperSpec(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.Inputs()); got != 3 {
+		t.Errorf("inputs = %d, want 3", got)
+	}
+	if got := len(l.Outputs()); got != 2 {
+		t.Errorf("outputs = %d, want 2", got)
+	}
+	if got := len(l.Terminations()); got != 2 {
+		t.Errorf("terminations = %d, want 2", got)
+	}
+	// Mirror symmetry about the horizontal axis through X.
+	xIdx, _ := l.NodeByName("X")
+	axis := l.Nodes[xIdx].Pos.Y
+	pairs := [][2]string{{"I1", "I2"}, {"Y1", "Y2"}, {"O1", "O2"}, {"T1", "T2"}}
+	for _, p := range pairs {
+		a, _ := l.NodeByName(p[0])
+		b, _ := l.NodeByName(p[1])
+		pa, pb := l.Nodes[a].Pos, l.Nodes[b].Pos
+		if math.Abs(pa.X-pb.X) > 1e-12 {
+			t.Errorf("%s/%s x mismatch: %v vs %v", p[0], p[1], pa, pb)
+		}
+		if math.Abs((pa.Y-axis)+(pb.Y-axis)) > 1e-12 {
+			t.Errorf("%s/%s not mirrored about axis", p[0], p[1])
+		}
+	}
+}
+
+func TestMAJ3SingleOutput(t *testing.T) {
+	l, err := BuildMAJ3(PaperSpec(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.Outputs()); got != 1 {
+		t.Errorf("single-output variant has %d outputs", got)
+	}
+	if _, err := l.NodeByName("Y2"); err == nil {
+		t.Error("single-output variant still has Y2")
+	}
+}
+
+func TestXORStructure(t *testing.T) {
+	l, err := BuildXOR(PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.Inputs()); got != 2 {
+		t.Errorf("inputs = %d, want 2", got)
+	}
+	if got := len(l.Outputs()); got != 2 {
+		t.Errorf("outputs = %d, want 2", got)
+	}
+	if _, err := l.NodeByName("I3"); err == nil {
+		t.Error("XOR still has I3 (paper removes the third input)")
+	}
+	// Equal-length interfering arms.
+	a, _ := l.PathLengthInLambda("I1", "X")
+	b, _ := l.PathLengthInLambda("I2", "X")
+	if math.Abs(a-b) > 1e-9 || math.Abs(a-float64(PaperSpec().D1N)) > 1e-9 {
+		t.Errorf("input arms %g/%g λ", a, b)
+	}
+}
+
+func TestBuildStraight(t *testing.T) {
+	s := PaperSpec()
+	l, err := BuildStraight(s, units.NM(550), units.NM(330))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := l.PathLengthInLambda("I1", "O1"); math.Abs(n-6) > 1e-9 {
+		t.Errorf("I1→O1 = %gλ, want 6", n)
+	}
+	if _, err := BuildStraight(s, units.NM(100), units.NM(200)); err == nil {
+		t.Error("detector beyond length accepted")
+	}
+	if _, err := BuildStraight(s, 0, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestBuildRejectsInvalidSpec(t *testing.T) {
+	s := PaperSpec()
+	s.Lambda = 0
+	if _, err := BuildMAJ3(s, false); err == nil {
+		t.Error("BuildMAJ3 accepted invalid spec")
+	}
+	if _, err := BuildXOR(s); err == nil {
+		t.Error("BuildXOR accepted invalid spec")
+	}
+}
+
+func TestLayoutPositiveAndMeshable(t *testing.T) {
+	for _, build := range []func() (*Layout, error){
+		func() (*Layout, error) { return BuildMAJ3(PaperSpec(), false) },
+		func() (*Layout, error) { return BuildMAJ3(ReducedSpec(), false) },
+		func() (*Layout, error) { return BuildXOR(ReducedSpec()) },
+	} {
+		l, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := l.Bounds()
+		if b.Min.X < 0 || b.Min.Y < 0 {
+			t.Errorf("%s: bounds extend negative: %+v", l.Name, b)
+		}
+		mesh, err := l.Mesh(5e-9, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mesh.SizeX() < b.Max.X || mesh.SizeY() < b.Max.Y {
+			t.Errorf("%s: mesh %v smaller than layout bounds %+v", l.Name, mesh, b)
+		}
+		reg := l.Rasterize(mesh)
+		if reg.Count() == 0 {
+			t.Errorf("%s: rasterized to zero cells", l.Name)
+		}
+		// Every node position must land on a material cell.
+		for _, n := range l.Nodes {
+			i, j, ok := mesh.CellAt(n.Pos.X, n.Pos.Y)
+			if !ok || !reg[mesh.Idx(i, j)] {
+				t.Errorf("%s: node %s at %v not on material", l.Name, n.Name, n.Pos)
+			}
+		}
+	}
+}
+
+func TestRasterizedRegionIsConnected(t *testing.T) {
+	// The whole gate must be one connected piece of material, otherwise
+	// waves cannot travel between inputs and outputs.
+	l, err := BuildMAJ3(ReducedSpec(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := l.Mesh(5e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := l.Rasterize(mesh)
+	// BFS from the first set cell.
+	start := -1
+	for i, b := range reg {
+		if b {
+			start = i
+			break
+		}
+	}
+	visited := make([]bool, len(reg))
+	queue := []int{start}
+	visited[start] = true
+	count := 1
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		i, j := mesh.Coord(c)
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			ni, nj := i+d[0], j+d[1]
+			if ni < 0 || ni >= mesh.Nx || nj < 0 || nj >= mesh.Ny {
+				continue
+			}
+			n := mesh.Idx(ni, nj)
+			if reg[n] && !visited[n] {
+				visited[n] = true
+				count++
+				queue = append(queue, n)
+			}
+		}
+	}
+	if count != reg.Count() {
+		t.Errorf("region disconnected: reached %d of %d cells", count, reg.Count())
+	}
+}
+
+func TestNodeByNameAndPathErrors(t *testing.T) {
+	l, _ := BuildXOR(PaperSpec())
+	if _, err := l.NodeByName("nope"); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, err := l.PathLengthInLambda("I1"); err == nil {
+		t.Error("single-node path accepted")
+	}
+	if _, err := l.PathLengthInLambda("I1", "O2"); err == nil {
+		t.Error("non-adjacent path accepted")
+	}
+	if _, err := l.PathLengthInLambda("I1", "missing"); err == nil {
+		t.Error("unknown node in path accepted")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	names := map[NodeKind]string{Input: "input", Output: "output", Junction: "junction", Termination: "termination"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s", k, k.String())
+		}
+	}
+	if NodeKind(42).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	l, _ := BuildMAJ3(PaperSpec(), false)
+	if s := l.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+	_ = grid.Mesh{}
+}

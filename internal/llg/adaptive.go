@@ -1,0 +1,118 @@
+package llg
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdaptiveConfig tunes the embedded Bogacki–Shampine (RK23) adaptive
+// stepper, the same error-controlled approach MuMax3 defaults to.
+type AdaptiveConfig struct {
+	// MaxErr is the per-step magnetization error tolerance (default
+	// 1e-5, MuMax3's default).
+	MaxErr float64
+	// MinDt and MaxDt bound the step size (defaults: Dt/100 and 10·Dt
+	// of the solver at Run time).
+	MinDt, MaxDt float64
+	// Headroom is the safety factor on the step-size update (default
+	// 0.8).
+	Headroom float64
+}
+
+func (c AdaptiveConfig) withDefaults(dt float64) AdaptiveConfig {
+	if c.MaxErr == 0 {
+		c.MaxErr = 1e-5
+	}
+	if c.MinDt == 0 {
+		c.MinDt = dt / 100
+	}
+	if c.MaxDt == 0 {
+		c.MaxDt = 10 * dt
+	}
+	if c.Headroom == 0 {
+		c.Headroom = 0.8
+	}
+	return c
+}
+
+// RunAdaptive advances the solver by duration using the embedded RK23
+// (Bogacki–Shampine) pair with per-step error control: the step is
+// accepted when the estimated error is below MaxErr and the step size is
+// rescaled by (MaxErr/err)^(1/3) either way. It returns the number of
+// accepted and rejected steps. The solver's Dt field is used as the
+// initial step and left at the final adapted value.
+func (s *Solver) RunAdaptive(duration float64, cfg AdaptiveConfig) (accepted, rejected int, err error) {
+	if duration <= 0 {
+		return 0, 0, fmt.Errorf("llg: adaptive duration %g must be positive", duration)
+	}
+	cfg = cfg.withDefaults(s.Dt)
+	if cfg.MinDt <= 0 || cfg.MaxDt < cfg.MinDt {
+		return 0, 0, fmt.Errorf("llg: invalid adaptive step bounds [%g, %g]", cfg.MinDt, cfg.MaxDt)
+	}
+	end := s.Time + duration
+	dt := math.Min(math.Max(s.Dt, cfg.MinDt), cfg.MaxDt)
+
+	n := len(s.M)
+	m2 := s.mtmp
+	e3 := s.k4 // reuse the RK4 buffer for the embedded error stage
+
+	for s.Time < end {
+		if s.Time+dt > end {
+			dt = end - s.Time
+		}
+		t := s.Time
+		// Bogacki–Shampine: k1 at t, k2 at t+dt/2, k3 at t+3dt/4,
+		// 3rd-order solution y3; embedded 2nd-order ŷ via k4 at t+dt.
+		s.rhs(t, s.M, s.k1)
+		m2.Copy(s.M)
+		m2.AddScaled(dt/2, s.k1)
+		s.rhs(t+dt/2, m2, s.k2)
+		m2.Copy(s.M)
+		m2.AddScaled(3*dt/4, s.k2)
+		s.rhs(t+3*dt/4, m2, s.k3)
+		// y3 = y + dt(2/9 k1 + 1/3 k2 + 4/9 k3)
+		m2.Copy(s.M)
+		m2.AddScaled(2*dt/9, s.k1)
+		m2.AddScaled(dt/3, s.k2)
+		m2.AddScaled(4*dt/9, s.k3)
+		s.rhs(t+dt, m2, e3) // k4 for the error estimate
+		// err = dt·‖(−5/72)k1 + (1/12)k2 + (1/9)k3 + (−1/8)k4‖∞
+		worst := 0.0
+		for i := 0; i < n; i++ {
+			if !s.Region[i] {
+				continue
+			}
+			ex := (-5.0/72)*s.k1[i].X + (1.0/12)*s.k2[i].X + (1.0/9)*s.k3[i].X - (1.0/8)*e3[i].X
+			ey := (-5.0/72)*s.k1[i].Y + (1.0/12)*s.k2[i].Y + (1.0/9)*s.k3[i].Y - (1.0/8)*e3[i].Y
+			ez := (-5.0/72)*s.k1[i].Z + (1.0/12)*s.k2[i].Z + (1.0/9)*s.k3[i].Z - (1.0/8)*e3[i].Z
+			e := math.Sqrt(ex*ex + ey*ey + ez*ez)
+			if e > worst {
+				worst = e
+			}
+		}
+		worst *= dt
+		if worst <= cfg.MaxErr || dt <= cfg.MinDt {
+			// Accept.
+			s.M.Copy(m2)
+			s.renormalize()
+			s.Time = t + dt
+			s.steps++
+			accepted++
+		} else {
+			rejected++
+		}
+		// Step-size controller (3rd-order: exponent 1/3).
+		if worst > 0 {
+			factor := cfg.Headroom * math.Cbrt(cfg.MaxErr/worst)
+			factor = math.Min(math.Max(factor, 0.2), 5)
+			dt = math.Min(math.Max(dt*factor, cfg.MinDt), cfg.MaxDt)
+		} else {
+			dt = math.Min(dt*2, cfg.MaxDt)
+		}
+		if accepted+rejected > 50_000_000 {
+			return accepted, rejected, fmt.Errorf("llg: adaptive run exceeded step budget")
+		}
+	}
+	s.Dt = dt
+	return accepted, rejected, nil
+}

@@ -1,0 +1,113 @@
+package llg
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/material"
+	"spinwave/internal/vec"
+)
+
+func TestRunAdaptiveValidation(t *testing.T) {
+	s := singleSpin(t, 0.3, 0.01, 1e-13)
+	if _, _, err := s.RunAdaptive(0, AdaptiveConfig{}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, _, err := s.RunAdaptive(1e-9, AdaptiveConfig{MinDt: 1, MaxDt: 0.5}); err == nil {
+		t.Error("inverted step bounds accepted")
+	}
+}
+
+func TestAdaptiveMatchesFixedStep(t *testing.T) {
+	// Same damped precession integrated by fixed RK4 and adaptive RK23
+	// must land on (nearly) the same magnetization.
+	fixed := singleSpin(t, 0.4, 0.02, 20e-15)
+	adaptive := singleSpin(t, 0.4, 0.02, 20e-15)
+	fixed.TiltM(0.4)
+	adaptive.TiltM(0.4)
+
+	fixed.Run(0.5e-9, nil)
+	acc, rej, err := adaptive.RunAdaptive(0.5e-9, AdaptiveConfig{MaxErr: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc == 0 {
+		t.Fatal("no accepted steps")
+	}
+	if d := fixed.M[0].Sub(adaptive.M[0]).Norm(); d > 5e-4 {
+		t.Errorf("adaptive deviates from fixed by %g (acc=%d rej=%d)", d, acc, rej)
+	}
+	if math.Abs(adaptive.Time-0.5e-9) > 1e-15 {
+		t.Errorf("adaptive time = %g, want 0.5 ns", adaptive.Time)
+	}
+	if math.Abs(adaptive.M[0].Norm()-1) > 1e-9 {
+		t.Error("adaptive lost normalization")
+	}
+}
+
+func TestAdaptiveTakesFewerStepsWhenSlow(t *testing.T) {
+	// Strongly damped spin nearly aligned with the field: dynamics decay
+	// quickly, so the controller should grow dt far beyond the initial
+	// conservative estimate.
+	s := singleSpin(t, 0.2, 0.5, 20e-15)
+	s.TiltM(0.05)
+	acc, _, err := s.RunAdaptive(2e-9, AdaptiveConfig{MaxErr: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedSteps := int(2e-9 / 20e-15)
+	if acc >= fixedSteps/4 {
+		t.Errorf("adaptive used %d steps, fixed would use %d — no speedup", acc, fixedSteps)
+	}
+	if s.Dt <= 20e-15 {
+		t.Errorf("final dt %g did not grow", s.Dt)
+	}
+	if s.M[0].Z < 0.999 {
+		t.Errorf("did not relax: mz=%g", s.M[0].Z)
+	}
+}
+
+func TestAdaptiveRejectsWhenToleranceTight(t *testing.T) {
+	s := singleSpin(t, 1.0, 0.01, 2e-12) // deliberately huge initial dt
+	s.TiltM(0.5)
+	acc, rej, err := s.RunAdaptive(0.1e-9, AdaptiveConfig{MaxErr: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej == 0 {
+		t.Errorf("expected rejected steps with oversized dt (acc=%d)", acc)
+	}
+	if err := s.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveOnFilmRelaxation(t *testing.T) {
+	// Multi-cell film with exchange: tilted state relaxes to +z; the
+	// adaptive run must preserve |m| = 1 everywhere and dissipate energy.
+	mesh := grid.MustMesh(8, 4, 5e-9, 5e-9, 1e-9)
+	mat := material.FeCoB()
+	mat.Alpha = 0.1
+	s, err := New(mesh, grid.FullRegion(mesh), mat, StableDt(mesh, mat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TiltM(0.6)
+	e0 := s.Eval.Energy(s.M)
+	if _, _, err := s.RunAdaptive(1e-9, AdaptiveConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if e1 := s.Eval.Energy(s.M); e1 > e0 {
+		t.Errorf("energy increased: %g -> %g", e0, e1)
+	}
+	for i := range s.M {
+		if math.Abs(s.M[i].Norm()-1) > 1e-9 {
+			t.Fatalf("cell %d lost normalization: %g", i, s.M[i].Norm())
+		}
+	}
+	avg := vec.Field(s.M).Average(nil)
+	if avg.Z < 0.99 {
+		t.Errorf("film did not relax: <mz> = %g", avg.Z)
+	}
+}

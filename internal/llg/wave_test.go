@@ -1,0 +1,170 @@
+package llg
+
+// Integration tests that validate the solver against spin-wave physics:
+// a driven waveguide strip must carry a propagating wave whose wavelength
+// matches the LocalDemag dispersion branch, and two coherent sources must
+// interfere constructively/destructively according to their relative
+// phase — the physical mechanism every gate in the paper relies on.
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/detect"
+	"spinwave/internal/dispersion"
+	"spinwave/internal/excite"
+	"spinwave/internal/grid"
+	"spinwave/internal/material"
+	"spinwave/internal/units"
+	"spinwave/internal/vec"
+)
+
+// strip builds an Nx-cell, 1-cell-wide FeCoB waveguide with absorbing ends.
+func strip(t *testing.T, nx int) (*Solver, grid.Mesh) {
+	t.Helper()
+	mesh := grid.MustMesh(nx, 1, 5e-9, 5e-9, 1e-9)
+	mat := material.FeCoB()
+	s, err := New(mesh, grid.FullRegion(mesh), mat, StableDt(mesh, mat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absorbers over ~120 nm at both ends.
+	s.AddAbsorberTowards(0, mesh.Dy/2, 120e-9, 0.5)
+	s.AddAbsorberTowards(mesh.SizeX(), mesh.Dy/2, 120e-9, 0.5)
+	return s, mesh
+}
+
+func driveFrequency(t *testing.T) float64 {
+	t.Helper()
+	model, err := dispersion.New(material.FeCoB(), units.NM(1), dispersion.LocalDemag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model.FrequencyForWavelength(units.NM(55))
+}
+
+func TestPropagatingWaveMatchesDispersion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micromagnetic integration test")
+	}
+	s, mesh := strip(t, 200) // 1 µm strip
+	f := driveFrequency(t)
+
+	ant, err := excite.NewAntenna("src", []int{mesh.Idx(28, 0), mesh.Idx(29, 0)},
+		vec.UnitX, 2e-3, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant.Env = excite.RampEnvelope(3 / f)
+	s.Eval.Sources = append(s.Eval.Sources, ant)
+
+	s.Run(0.9e-9, nil)
+	if err := s.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extract the spatial phase profile φ(x) = atan2(my, mx) in a window
+	// away from source and absorbers, unwrap it, and fit k = |dφ/dx|.
+	i0, i1 := 45, 140
+	var phases []float64
+	var amps []float64
+	for i := i0; i <= i1; i++ {
+		m := s.M[mesh.Idx(i, 0)]
+		phases = append(phases, math.Atan2(m.Y, m.X))
+		amps = append(amps, math.Hypot(m.X, m.Y))
+	}
+	// The wave must actually be there.
+	var maxAmp float64
+	for _, a := range amps {
+		if a > maxAmp {
+			maxAmp = a
+		}
+	}
+	if maxAmp < 1e-4 {
+		t.Fatalf("no propagating wave: max in-plane amplitude %g", maxAmp)
+	}
+	if maxAmp > 0.5 {
+		t.Fatalf("wave amplitude %g beyond linear regime", maxAmp)
+	}
+	// Unwrap and linear fit.
+	unwrapped := make([]float64, len(phases))
+	unwrapped[0] = phases[0]
+	for i := 1; i < len(phases); i++ {
+		d := phases[i] - phases[i-1]
+		for d > math.Pi {
+			d -= 2 * math.Pi
+		}
+		for d < -math.Pi {
+			d += 2 * math.Pi
+		}
+		unwrapped[i] = unwrapped[i-1] + d
+	}
+	n := float64(len(unwrapped))
+	var sx, sy, sxx, sxy float64
+	for i, p := range unwrapped {
+		x := float64(i) * mesh.Dx
+		sx += x
+		sy += p
+		sxx += x * x
+		sxy += x * p
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	lambda := 2 * math.Pi / math.Abs(slope)
+	if math.Abs(lambda-55e-9) > 7e-9 {
+		t.Errorf("measured λ = %.2f nm, want 55 ± 7", lambda*1e9)
+	}
+}
+
+func TestCoherentInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micromagnetic integration test")
+	}
+	f := driveFrequency(t)
+	// Two sources separated by exactly 2λ = 110 nm = 22 cells. A detector
+	// downstream sees their superposition: equal phases add, opposite
+	// phases cancel (paper Figure 2).
+	run := func(phase2 float64) float64 {
+		s, mesh := strip(t, 200)
+		a1, err := excite.NewAntenna("i1", []int{mesh.Idx(30, 0)}, vec.UnitX, 2e-3, f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := excite.NewAntenna("i2", []int{mesh.Idx(52, 0)}, vec.UnitX, 2e-3, f, phase2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1.Env = excite.RampEnvelope(3 / f)
+		a2.Env = excite.RampEnvelope(3 / f)
+		s.Eval.Sources = append(s.Eval.Sources, a1, a2)
+
+		probe, err := detect.NewProbe("o", []int{mesh.Idx(120, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampleEvery := 2
+		s.Run(0.9e-9, func(step int) bool {
+			if step%sampleEvery == 0 {
+				probe.Sample(s.Time, s.M)
+			}
+			return true
+		})
+		if err := s.CheckFinite(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := probe.LockIn(f, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Amplitude
+	}
+
+	constructive := run(0)
+	destructive := run(math.Pi)
+	if constructive < 1e-4 {
+		t.Fatalf("constructive amplitude too small: %g", constructive)
+	}
+	if destructive > 0.35*constructive {
+		t.Errorf("destructive/constructive = %g/%g = %.2f, want < 0.35",
+			destructive, constructive, destructive/constructive)
+	}
+}

@@ -1,0 +1,278 @@
+// Package mag computes the effective magnetic field (in Tesla) entering
+// the Landau–Lifshitz–Gilbert equation for a 2-D thin-film mesh:
+//
+//	B_eff = B_exchange + B_anisotropy + B_demag + B_bias + Σ B_sources(t)
+//
+// Terms:
+//   - Exchange: B_ex = (2·Aex/Ms)·∇²m with a 5-point Laplacian and free
+//     (Neumann) boundary conditions at geometry edges — missing neighbors
+//     simply do not contribute, the same convention MuMax3 uses.
+//   - Uniaxial anisotropy: B_anis = (2·Ku1/Ms)·(m·u)·u.
+//   - Demagnetization: the film is 1 nm thick, far thinner than any lateral
+//     feature, so the demag tensor is ≈ diag(0, 0, 1) and the field reduces
+//     to the local term B_demag = −µ0·Ms·mz·ẑ. This is the documented
+//     substitution for MuMax3's FFT-based convolution (see DESIGN.md §2);
+//     it preserves forward-volume spin-wave propagation, which is the only
+//     physics the gates rely on.
+//   - Bias: a uniform static field.
+//   - Sources: time-dependent contributions (antennas, thermal field)
+//     via the Source interface.
+package mag
+
+import (
+	"fmt"
+	"sync"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/material"
+	"spinwave/internal/units"
+	"spinwave/internal/vec"
+)
+
+// Coeffs are the per-material field coefficients in Tesla-compatible form.
+type Coeffs struct {
+	ExFactor float64    // 2·Aex/Ms, T·m²
+	BAnis    float64    // 2·Ku1/Ms, T
+	AnisAxis vec.Vector // unit easy axis
+	BDemag   float64    // µ0·Ms, T
+	BBias    vec.Vector // uniform external field, T
+	Ms       float64    // saturation magnetization, A/m (for energies)
+}
+
+// CoeffsFor derives the field coefficients from material parameters.
+func CoeffsFor(mat material.Params) Coeffs {
+	return Coeffs{
+		ExFactor: 2 * mat.Aex / mat.Ms,
+		BAnis:    2 * mat.Ku1 / mat.Ms,
+		AnisAxis: mat.AnisU.Normalized(),
+		BDemag:   units.Mu0 * mat.Ms,
+		Ms:       mat.Ms,
+	}
+}
+
+// Source is a time-dependent field contribution (antenna, thermal field).
+type Source interface {
+	// AddTo adds the source's field at time t (seconds) into B (Tesla).
+	AddTo(t float64, B vec.Field)
+}
+
+// DemagConvolver is the interface satisfied by demag.Kernel: an exact
+// magnetostatic interaction evaluated from the current magnetization.
+// When installed on an Evaluator it replaces the local thin-film term.
+type DemagConvolver interface {
+	AddInto(m, B vec.Field) error
+}
+
+// Evaluator assembles the effective field for a fixed mesh/geometry.
+type Evaluator struct {
+	Mesh    grid.Mesh
+	Region  grid.Region
+	Coeffs  Coeffs
+	Sources []Source
+
+	// Workers > 1 evaluates the local field terms in parallel over row
+	// bands. The result is bit-identical to the serial evaluation
+	// because cells are partitioned disjointly and the exchange stencil
+	// only reads the magnetization.
+	Workers int
+
+	// FullDemag, when non-nil, replaces the local thin-film demag term
+	// with the exact Newell-tensor convolution (see internal/demag).
+	FullDemag DemagConvolver
+
+	// DisableExchange, DisableAnisotropy and DisableDemag switch off
+	// individual terms; used by ablation benchmarks and tests.
+	DisableExchange   bool
+	DisableAnisotropy bool
+	DisableDemag      bool
+}
+
+// NewEvaluator constructs an evaluator after validating shapes.
+func NewEvaluator(mesh grid.Mesh, region grid.Region, mat material.Params) (*Evaluator, error) {
+	if len(region) != mesh.NCells() {
+		return nil, fmt.Errorf("mag: region has %d cells, mesh has %d", len(region), mesh.NCells())
+	}
+	if err := mat.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{Mesh: mesh, Region: region, Coeffs: CoeffsFor(mat)}, nil
+}
+
+// Field evaluates B_eff at time t for magnetization m, writing into B.
+// Cells outside the region are left zero.
+func (e *Evaluator) Field(t float64, m, B vec.Field) {
+	if e.Workers > 1 && e.Mesh.Ny >= e.Workers {
+		e.fieldParallel(m, B)
+	} else {
+		B.Zero()
+		e.localTerms(m, B, 0, e.Mesh.Ny)
+	}
+	if !e.DisableDemag && e.FullDemag != nil {
+		// The exact convolution is global; it runs after the banded
+		// local terms. Errors can only come from shape mismatches, which
+		// the constructor rules out.
+		if err := e.FullDemag.AddInto(m, B); err != nil {
+			panic(err)
+		}
+	}
+	if e.Coeffs.BBias != vec.Zero {
+		AddUniform(e.Region, B, e.Coeffs.BBias)
+	}
+	for _, s := range e.Sources {
+		s.AddTo(t, B)
+	}
+}
+
+// localTerms adds exchange, anisotropy and demag for rows [j0, j1).
+func (e *Evaluator) localTerms(m, B vec.Field, j0, j1 int) {
+	if !e.DisableExchange {
+		addExchangeRows(e.Mesh, e.Region, m, B, e.Coeffs.ExFactor, j0, j1)
+	}
+	lo, hi := j0*e.Mesh.Nx, j1*e.Mesh.Nx
+	if !e.DisableAnisotropy && e.Coeffs.BAnis != 0 {
+		AddUniaxial(e.Region[lo:hi], m[lo:hi], B[lo:hi], e.Coeffs.BAnis, e.Coeffs.AnisAxis)
+	}
+	if !e.DisableDemag && e.FullDemag == nil {
+		AddThinFilmDemag(e.Region[lo:hi], m[lo:hi], B[lo:hi], e.Coeffs.BDemag)
+	}
+}
+
+// fieldParallel splits the local terms across row bands.
+func (e *Evaluator) fieldParallel(m, B vec.Field) {
+	ny := e.Mesh.Ny
+	workers := e.Workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		j0 := ny * w / workers
+		j1 := ny * (w + 1) / workers
+		if j0 == j1 {
+			continue
+		}
+		wg.Add(1)
+		go func(j0, j1 int) {
+			defer wg.Done()
+			lo, hi := j0*e.Mesh.Nx, j1*e.Mesh.Nx
+			B[lo:hi].Zero()
+			e.localTerms(m, B, j0, j1)
+		}(j0, j1)
+	}
+	wg.Wait()
+}
+
+// AddExchange adds the exchange field B_ex = factor·∇²m, with factor in
+// T·m². Neighbors outside the region or the mesh contribute nothing
+// (free boundary condition).
+func AddExchange(mesh grid.Mesh, region grid.Region, m, B vec.Field, factor float64) {
+	addExchangeRows(mesh, region, m, B, factor, 0, mesh.Ny)
+}
+
+// addExchangeRows adds the exchange field for rows [j0, j1). The stencil
+// reads neighbor rows but writes only its own band, so disjoint bands
+// can run concurrently.
+func addExchangeRows(mesh grid.Mesh, region grid.Region, m, B vec.Field, factor float64, j0, j1 int) {
+	nx, ny := mesh.Nx, mesh.Ny
+	wx := factor / (mesh.Dx * mesh.Dx)
+	wy := factor / (mesh.Dy * mesh.Dy)
+	for j := j0; j < j1; j++ {
+		row := j * nx
+		for i := 0; i < nx; i++ {
+			c := row + i
+			if !region[c] {
+				continue
+			}
+			mc := m[c]
+			var acc vec.Vector
+			if i > 0 && region[c-1] {
+				acc = acc.MAdd(wx, m[c-1].Sub(mc))
+			}
+			if i < nx-1 && region[c+1] {
+				acc = acc.MAdd(wx, m[c+1].Sub(mc))
+			}
+			if j > 0 && region[c-nx] {
+				acc = acc.MAdd(wy, m[c-nx].Sub(mc))
+			}
+			if j < ny-1 && region[c+nx] {
+				acc = acc.MAdd(wy, m[c+nx].Sub(mc))
+			}
+			B[c] = B[c].Add(acc)
+		}
+	}
+}
+
+// AddUniaxial adds the uniaxial anisotropy field bAnis·(m·u)·u.
+func AddUniaxial(region grid.Region, m, B vec.Field, bAnis float64, axis vec.Vector) {
+	for c := range m {
+		if !region[c] {
+			continue
+		}
+		proj := m[c].Dot(axis)
+		B[c] = B[c].MAdd(bAnis*proj, axis)
+	}
+}
+
+// AddThinFilmDemag adds the local thin-film demagnetization field
+// −bDemag·mz·ẑ with bDemag = µ0·Ms.
+func AddThinFilmDemag(region grid.Region, m, B vec.Field, bDemag float64) {
+	for c := range m {
+		if !region[c] {
+			continue
+		}
+		B[c].Z -= bDemag * m[c].Z
+	}
+}
+
+// AddUniform adds a spatially uniform field over the region.
+func AddUniform(region grid.Region, B vec.Field, b vec.Vector) {
+	for c := range B {
+		if region[c] {
+			B[c] = B[c].Add(b)
+		}
+	}
+}
+
+// Energy returns the total magnetic energy (J) of configuration m,
+// composed of exchange, anisotropy, demag and Zeeman contributions. It is
+// used for diagnostics and for the damping/energy-dissipation tests.
+func (e *Evaluator) Energy(m vec.Field) float64 {
+	mesh, reg, c := e.Mesh, e.Region, e.Coeffs
+	vol := mesh.CellVolume()
+	nx := mesh.Nx
+	var etot float64
+	for j := 0; j < mesh.Ny; j++ {
+		row := j * nx
+		for i := 0; i < nx; i++ {
+			idx := row + i
+			if !reg[idx] {
+				continue
+			}
+			mc := m[idx]
+			// Exchange: A·|∇m|², one-sided differences counted once per bond.
+			if !e.DisableExchange {
+				aex := c.ExFactor * c.Ms / 2 // back to Aex
+				if i < nx-1 && reg[idx+1] {
+					d := m[idx+1].Sub(mc)
+					etot += aex * d.Norm2() / (mesh.Dx * mesh.Dx) * vol
+				}
+				if j < mesh.Ny-1 && reg[idx+nx] {
+					d := m[idx+nx].Sub(mc)
+					etot += aex * d.Norm2() / (mesh.Dy * mesh.Dy) * vol
+				}
+			}
+			// Anisotropy: Ku1·(1 − (m·u)²).
+			if !e.DisableAnisotropy && c.BAnis != 0 {
+				ku := c.BAnis * c.Ms / 2
+				p := mc.Dot(c.AnisAxis)
+				etot += ku * (1 - p*p) * vol
+			}
+			// Thin-film demag: ½·µ0·Ms²·mz².
+			if !e.DisableDemag {
+				etot += 0.5 * c.BDemag * c.Ms * mc.Z * mc.Z * vol
+			}
+			// Zeeman: −Ms·(m·B_bias).
+			if c.BBias != vec.Zero {
+				etot -= c.Ms * mc.Dot(c.BBias) * vol
+			}
+		}
+	}
+	return etot
+}

@@ -1,0 +1,224 @@
+package mag
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/material"
+	"spinwave/internal/units"
+	"spinwave/internal/vec"
+)
+
+func TestCoeffsFor(t *testing.T) {
+	c := CoeffsFor(material.FeCoB())
+	// 2·Aex/Ms = 2·18.5e-12/1.1e6 ≈ 3.36e-17 T·m².
+	if math.Abs(c.ExFactor-3.3636e-17) > 1e-20 {
+		t.Errorf("ExFactor = %g", c.ExFactor)
+	}
+	// 2·Ku/Ms = 2·0.832e6/1.1e6 ≈ 1.5127 T.
+	if math.Abs(c.BAnis-1.51273) > 1e-4 {
+		t.Errorf("BAnis = %g", c.BAnis)
+	}
+	// µ0·Ms ≈ 1.3823 T.
+	if math.Abs(c.BDemag-1.38230) > 1e-4 {
+		t.Errorf("BDemag = %g", c.BDemag)
+	}
+	if c.AnisAxis != vec.UnitZ {
+		t.Errorf("AnisAxis = %v", c.AnisAxis)
+	}
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	mesh := grid.MustMesh(4, 4, 1e-9, 1e-9, 1e-9)
+	if _, err := NewEvaluator(mesh, make(grid.Region, 3), material.FeCoB()); err == nil {
+		t.Error("mismatched region accepted")
+	}
+	if _, err := NewEvaluator(mesh, grid.FullRegion(mesh), material.Params{}); err == nil {
+		t.Error("invalid material accepted")
+	}
+}
+
+func TestExchangeUniformIsZero(t *testing.T) {
+	mesh := grid.MustMesh(8, 8, 2e-9, 2e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	m := vec.NewField(mesh.NCells())
+	m.Fill(vec.UnitZ)
+	B := vec.NewField(mesh.NCells())
+	AddExchange(mesh, reg, m, B, 3e-17)
+	for i := range B {
+		if B[i].Norm() > 1e-18 {
+			t.Fatalf("uniform magnetization produced exchange field %v at %d", B[i], i)
+		}
+	}
+}
+
+func TestExchangePullsTowardNeighbors(t *testing.T) {
+	mesh := grid.MustMesh(2, 1, 1e-9, 1e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	m := vec.Field{vec.UnitZ, vec.UnitX}
+	B := vec.NewField(2)
+	AddExchange(mesh, reg, m, B, 1e-18)
+	// Cell 0 (m=z) must feel a field with +x component (toward neighbor).
+	if B[0].X <= 0 {
+		t.Errorf("B[0] = %v, want +x pull", B[0])
+	}
+	if B[1].Z <= 0 {
+		t.Errorf("B[1] = %v, want +z pull", B[1])
+	}
+	// Free boundary: field magnitudes for the two cells are symmetric.
+	if math.Abs(B[0].X-B[1].Z) > 1e-24 {
+		t.Errorf("asymmetric exchange: %v vs %v", B[0], B[1])
+	}
+}
+
+func TestExchangeRespectsRegion(t *testing.T) {
+	mesh := grid.MustMesh(3, 1, 1e-9, 1e-9, 1e-9)
+	reg := grid.Region{true, false, true} // middle cell is vacuum
+	m := vec.Field{vec.UnitZ, vec.UnitX, vec.UnitX}
+	B := vec.NewField(3)
+	AddExchange(mesh, reg, m, B, 1e-18)
+	if B[0].Norm() != 0 {
+		t.Errorf("cell 0 coupled across vacuum: %v", B[0])
+	}
+	if B[1].Norm() != 0 {
+		t.Errorf("vacuum cell got a field: %v", B[1])
+	}
+}
+
+func TestUniaxialField(t *testing.T) {
+	reg := grid.Region{true}
+	m := vec.Field{vec.V(0, 0.6, 0.8)}
+	B := vec.NewField(1)
+	AddUniaxial(reg, m, B, 2.0, vec.UnitZ)
+	if math.Abs(B[0].Z-1.6) > 1e-12 || B[0].X != 0 || B[0].Y != 0 {
+		t.Errorf("anisotropy field = %v, want (0,0,1.6)", B[0])
+	}
+}
+
+func TestThinFilmDemag(t *testing.T) {
+	reg := grid.Region{true, false}
+	m := vec.Field{vec.V(0, 0, 0.5), vec.V(0, 0, 1)}
+	B := vec.NewField(2)
+	AddThinFilmDemag(reg, m, B, 1.4)
+	if math.Abs(B[0].Z+0.7) > 1e-12 {
+		t.Errorf("demag = %v, want -0.7 z", B[0])
+	}
+	if B[1] != vec.Zero {
+		t.Errorf("vacuum cell got demag %v", B[1])
+	}
+}
+
+func TestAddUniform(t *testing.T) {
+	reg := grid.Region{true, false}
+	B := vec.NewField(2)
+	AddUniform(reg, B, vec.V(0, 0, 0.1))
+	if B[0].Z != 0.1 || B[1] != vec.Zero {
+		t.Errorf("AddUniform = %v, %v", B[0], B[1])
+	}
+}
+
+type constSource struct{ b vec.Vector }
+
+func (s constSource) AddTo(t float64, B vec.Field) {
+	for i := range B {
+		B[i] = B[i].Add(s.b)
+	}
+}
+
+func TestEvaluatorComposesTerms(t *testing.T) {
+	mesh := grid.MustMesh(4, 1, 2e-9, 2e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	ev, err := NewEvaluator(mesh, reg, material.FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Sources = append(ev.Sources, constSource{vec.V(1e-3, 0, 0)})
+	m := vec.NewField(4)
+	m.Fill(vec.UnitZ)
+	B := vec.NewField(4)
+	ev.Field(0, m, B)
+	// Uniform m along z: no exchange; anisotropy − demag gives the small
+	// net PMA field; plus the source's 1 mT along x.
+	c := ev.Coeffs
+	wantZ := c.BAnis - c.BDemag
+	for i := range B {
+		if math.Abs(B[i].Z-wantZ) > 1e-9 {
+			t.Fatalf("B[%d].Z = %g, want %g", i, B[i].Z, wantZ)
+		}
+		if math.Abs(B[i].X-1e-3) > 1e-12 {
+			t.Fatalf("B[%d].X = %g, want 1e-3", i, B[i].X)
+		}
+	}
+	// The net PMA field must be positive and ≈ µ0·(Hk−Ms) ≈ 0.13 T for
+	// the paper's FeCoB (out-of-plane stable state).
+	if wantZ <= 0 || math.Abs(wantZ-units.Mu0*material.FeCoB().EffectivePMAField()) > 1e-9 {
+		t.Errorf("net PMA field = %g T", wantZ)
+	}
+}
+
+func TestEvaluatorDisableFlags(t *testing.T) {
+	mesh := grid.MustMesh(2, 1, 2e-9, 2e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	ev, _ := NewEvaluator(mesh, reg, material.FeCoB())
+	ev.DisableExchange = true
+	ev.DisableAnisotropy = true
+	ev.DisableDemag = true
+	m := vec.Field{vec.UnitZ, vec.UnitX}
+	B := vec.NewField(2)
+	ev.Field(0, m, B)
+	for i := range B {
+		if B[i] != vec.Zero {
+			t.Fatalf("disabled evaluator produced field %v", B[i])
+		}
+	}
+}
+
+func TestEnergyGroundStateIsMinimum(t *testing.T) {
+	mesh := grid.MustMesh(6, 2, 2e-9, 2e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	ev, _ := NewEvaluator(mesh, reg, material.FeCoB())
+
+	ground := vec.NewField(mesh.NCells())
+	ground.Fill(vec.UnitZ)
+	eGround := ev.Energy(ground)
+
+	tilted := vec.NewField(mesh.NCells())
+	tilted.Fill(vec.V(0.3, 0, 0.9539392014169456).Normalized())
+	eTilted := ev.Energy(tilted)
+
+	inplane := vec.NewField(mesh.NCells())
+	inplane.Fill(vec.UnitX)
+	eInplane := ev.Energy(inplane)
+
+	if !(eGround < eTilted && eTilted < eInplane) {
+		t.Errorf("energy ordering wrong: ground %g, tilted %g, in-plane %g", eGround, eTilted, eInplane)
+	}
+}
+
+func TestEnergyExchangePenalty(t *testing.T) {
+	mesh := grid.MustMesh(2, 1, 2e-9, 2e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	ev, _ := NewEvaluator(mesh, reg, material.FeCoB())
+	uniform := vec.Field{vec.UnitZ, vec.UnitZ}
+	twisted := vec.Field{vec.UnitZ, vec.V(0.1, 0, 1).Normalized()}
+	if ev.Energy(twisted) <= ev.Energy(uniform) {
+		t.Error("twisted configuration not higher in energy")
+	}
+}
+
+func BenchmarkFieldEvaluation(b *testing.B) {
+	mesh := grid.MustMesh(64, 64, 5e-9, 5e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	ev, err := NewEvaluator(mesh, reg, material.FeCoB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vec.NewField(mesh.NCells())
+	m.Fill(vec.UnitZ)
+	B := vec.NewField(mesh.NCells())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Field(0, m, B)
+	}
+}

@@ -1,0 +1,125 @@
+package mag
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/material"
+	"spinwave/internal/vec"
+)
+
+// randomish fills a field with a deterministic pseudo-random unit-vector
+// pattern over region cells.
+func randomish(region grid.Region) vec.Field {
+	m := vec.NewField(len(region))
+	x := uint64(12345)
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%2000)/1000 - 1
+	}
+	for i := range m {
+		if region[i] {
+			m[i] = vec.V(next(), next(), next()+1.5).Normalized()
+		}
+	}
+	return m
+}
+
+func TestParallelFieldMatchesSerial(t *testing.T) {
+	mesh := grid.MustMesh(32, 29, 5e-9, 5e-9, 1e-9) // odd ny: uneven bands
+	region := grid.FullRegion(mesh)
+	// Punch some vacuum holes so the boundary handling is exercised.
+	for _, idx := range []int{17, 100, 333, 500, 640} {
+		region[idx] = false
+	}
+	m := randomish(region)
+
+	serial, err := NewEvaluator(mesh, region, material.FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := vec.NewField(mesh.NCells())
+	serial.Field(0, m, bs)
+
+	for _, workers := range []int{2, 3, 7} {
+		par, err := NewEvaluator(mesh, region, material.FeCoB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.Workers = workers
+		bp := vec.NewField(mesh.NCells())
+		// Pre-poison the parallel buffer to catch missed zeroing.
+		bp.Fill(vec.V(9, 9, 9))
+		par.Field(0, m, bp)
+		for i := range bs {
+			if bs[i].Sub(bp[i]).Norm() > 1e-15 {
+				t.Fatalf("workers=%d: cell %d differs: %v vs %v", workers, i, bp[i], bs[i])
+			}
+		}
+	}
+}
+
+func TestParallelFieldWithBiasAndSources(t *testing.T) {
+	mesh := grid.MustMesh(16, 16, 5e-9, 5e-9, 1e-9)
+	region := grid.FullRegion(mesh)
+	m := randomish(region)
+	build := func(workers int) vec.Field {
+		ev, err := NewEvaluator(mesh, region, material.FeCoB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.Workers = workers
+		ev.Coeffs.BBias = vec.V(0, 1e-3, 0)
+		ev.Sources = append(ev.Sources, constSource{vec.V(2e-3, 0, 0)})
+		b := vec.NewField(mesh.NCells())
+		ev.Field(0, m, b)
+		return b
+	}
+	a, b := build(1), build(4)
+	for i := range a {
+		if a[i].Sub(b[i]).Norm() > 1e-15 {
+			t.Fatalf("cell %d differs with sources: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParallelFallsBackOnTinyMeshes(t *testing.T) {
+	mesh := grid.MustMesh(8, 2, 5e-9, 5e-9, 1e-9)
+	region := grid.FullRegion(mesh)
+	ev, err := NewEvaluator(mesh, region, material.FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Workers = 16 // more workers than rows: serial fallback
+	m := randomish(region)
+	b := vec.NewField(mesh.NCells())
+	ev.Field(0, m, b)
+	for i, on := range region {
+		if on && !b[i].IsFinite() {
+			t.Fatalf("non-finite field at %d", i)
+		}
+	}
+	if math.IsNaN(b[0].X) {
+		t.Fatal("NaN field")
+	}
+}
+
+func BenchmarkFieldParallel4_128x128(b *testing.B) {
+	mesh := grid.MustMesh(128, 128, 5e-9, 5e-9, 1e-9)
+	region := grid.FullRegion(mesh)
+	ev, err := NewEvaluator(mesh, region, material.FeCoB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev.Workers = 4
+	m := randomish(region)
+	buf := vec.NewField(mesh.NCells())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Field(0, m, buf)
+	}
+}

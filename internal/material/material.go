@@ -1,0 +1,145 @@
+// Package material defines magnetic material parameter sets and derived
+// quantities (anisotropy field, exchange length, ...).
+//
+// The preset FeCoB matches the paper's simulation setup (§IV-A):
+// Ms = 1100 kA/m, Aex = 18.5 pJ/m, α = 0.004, Ku = 0.832 MJ/m³ with
+// perpendicular (out-of-plane) easy axis, on a 50 nm wide, 1 nm thick
+// waveguide.
+package material
+
+import (
+	"fmt"
+	"math"
+
+	"spinwave/internal/units"
+	"spinwave/internal/vec"
+)
+
+// Params holds the material constants of a ferromagnetic film.
+type Params struct {
+	Name  string  // human-readable material name
+	Ms    float64 // saturation magnetization, A/m
+	Aex   float64 // exchange stiffness, J/m
+	Alpha float64 // Gilbert damping constant, dimensionless
+	Ku1   float64 // first-order uniaxial anisotropy constant, J/m³
+	AnisU vec.Vector
+	// Gamma is the gyromagnetic ratio in rad/(s·T). Zero means use the
+	// default units.GammaLL.
+	Gamma float64
+}
+
+// Validate reports whether the parameter set is physically usable.
+func (p Params) Validate() error {
+	if p.Ms <= 0 {
+		return fmt.Errorf("material %q: Ms = %g must be positive", p.Name, p.Ms)
+	}
+	if p.Aex <= 0 {
+		return fmt.Errorf("material %q: Aex = %g must be positive", p.Name, p.Aex)
+	}
+	if p.Alpha < 0 {
+		return fmt.Errorf("material %q: damping α = %g must be non-negative", p.Name, p.Alpha)
+	}
+	if p.Ku1 != 0 && p.AnisU.Norm() == 0 {
+		return fmt.Errorf("material %q: Ku1 set but anisotropy axis is zero", p.Name)
+	}
+	return nil
+}
+
+// GammaOrDefault returns the gyromagnetic ratio, falling back to
+// units.GammaLL when unset.
+func (p Params) GammaOrDefault() float64 {
+	if p.Gamma != 0 {
+		return p.Gamma
+	}
+	return units.GammaLL
+}
+
+// AnisotropyField returns the uniaxial anisotropy field Hk = 2·Ku1/(µ0·Ms)
+// in A/m.
+func (p Params) AnisotropyField() float64 {
+	return 2 * p.Ku1 / (units.Mu0 * p.Ms)
+}
+
+// ExchangeLength returns λex = sqrt(2·Aex/(µ0·Ms²)) in meters; cell sizes
+// larger than this under-resolve exchange-dominated spin waves.
+func (p Params) ExchangeLength() float64 {
+	return math.Sqrt(2 * p.Aex / (units.Mu0 * p.Ms * p.Ms))
+}
+
+// EffectivePMAField returns Hk − Ms, the net perpendicular stiffness field
+// of a thin film with perpendicular anisotropy after subtracting the
+// thin-film demagnetization field, in A/m. The film is perpendicular-
+// magnetized (forward-volume configuration) if this is positive.
+func (p Params) EffectivePMAField() float64 {
+	return p.AnisotropyField() - p.Ms
+}
+
+// IsPerpendicular reports whether the easy-axis anisotropy overcomes the
+// thin-film demag field so the ground state is out of plane without an
+// external field.
+func (p Params) IsPerpendicular() bool { return p.EffectivePMAField() > 0 }
+
+// String summarizes the parameter set.
+func (p Params) String() string {
+	return fmt.Sprintf("%s: Ms=%.4g A/m, Aex=%.4g J/m, α=%.4g, Ku1=%.4g J/m³",
+		p.Name, p.Ms, p.Aex, p.Alpha, p.Ku1)
+}
+
+// FeCoB returns the Fe60Co20B20 parameter set used in the paper's MuMax3
+// validation (§IV-A, ref [39]).
+func FeCoB() Params {
+	return Params{
+		Name:  "Fe60Co20B20",
+		Ms:    1100e3,    // 1100 kA/m
+		Aex:   18.5e-12,  // 18.5 pJ/m
+		Alpha: 0.004,     //
+		Ku1:   0.832e6,   // 0.832 MJ/m³
+		AnisU: vec.UnitZ, // perpendicular easy axis
+		Gamma: units.GammaLL,
+	}
+}
+
+// YIG returns a standard yttrium-iron-garnet parameter set, useful for
+// low-damping comparison studies ([27], [43]).
+func YIG() Params {
+	return Params{
+		Name:  "YIG",
+		Ms:    140e3,
+		Aex:   3.5e-12,
+		Alpha: 2e-4,
+		AnisU: vec.UnitZ,
+		Gamma: units.GammaLL,
+	}
+}
+
+// Permalloy returns a Ni80Fe20 parameter set (in-plane soft magnet). It has
+// no PMA; using it for a forward-volume device requires an external bias
+// field.
+func Permalloy() Params {
+	return Params{
+		Name:  "Ni80Fe20",
+		Ms:    800e3,
+		Aex:   13e-12,
+		Alpha: 0.008,
+		AnisU: vec.UnitZ,
+		Gamma: units.GammaLL,
+	}
+}
+
+// Presets returns all built-in materials keyed by lower-case name.
+func Presets() map[string]Params {
+	return map[string]Params{
+		"fecob":     FeCoB(),
+		"yig":       YIG(),
+		"permalloy": Permalloy(),
+	}
+}
+
+// ByName looks up a preset by its Presets key.
+func ByName(name string) (Params, error) {
+	p, ok := Presets()[name]
+	if !ok {
+		return Params{}, fmt.Errorf("material: unknown preset %q", name)
+	}
+	return p, nil
+}

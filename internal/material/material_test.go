@@ -1,0 +1,102 @@
+package material
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/vec"
+)
+
+func TestFeCoBMatchesPaper(t *testing.T) {
+	p := FeCoB()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ms != 1100e3 {
+		t.Errorf("Ms = %g, want 1100 kA/m", p.Ms)
+	}
+	if p.Aex != 18.5e-12 {
+		t.Errorf("Aex = %g, want 18.5 pJ/m", p.Aex)
+	}
+	if p.Alpha != 0.004 {
+		t.Errorf("α = %g, want 0.004", p.Alpha)
+	}
+	if p.Ku1 != 0.832e6 {
+		t.Errorf("Ku1 = %g, want 0.832 MJ/m³", p.Ku1)
+	}
+	if p.AnisU != vec.UnitZ {
+		t.Errorf("easy axis = %v, want z", p.AnisU)
+	}
+}
+
+func TestFeCoBIsPerpendicular(t *testing.T) {
+	p := FeCoB()
+	// Hk = 2·0.832e6/(µ0·1.1e6) ≈ 1.204e6 A/m > Ms = 1.1e6 A/m: the film is
+	// out-of-plane magnetized with no external field, as the paper's
+	// forward-volume configuration requires.
+	hk := p.AnisotropyField()
+	if math.Abs(hk-1.2037e6) > 2e3 {
+		t.Errorf("Hk = %g A/m, want ≈1.204e6", hk)
+	}
+	if !p.IsPerpendicular() {
+		t.Error("FeCoB should be perpendicular (Hk > Ms)")
+	}
+	if got := p.EffectivePMAField(); got <= 0 || got > 0.2e6 {
+		t.Errorf("effective PMA field = %g A/m, want small positive", got)
+	}
+}
+
+func TestExchangeLength(t *testing.T) {
+	p := FeCoB()
+	// λex = sqrt(2·18.5e-12 / (µ0·(1.1e6)²)) ≈ 4.9 nm.
+	got := p.ExchangeLength()
+	if math.Abs(got-4.93e-9) > 0.1e-9 {
+		t.Errorf("exchange length = %g m, want ≈4.93 nm", got)
+	}
+}
+
+func TestPermalloyNotPerpendicular(t *testing.T) {
+	if Permalloy().IsPerpendicular() {
+		t.Error("permalloy has no PMA and must not be perpendicular")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Name: "noMs", Aex: 1e-12},
+		{Name: "noAex", Ms: 1e5},
+		{Name: "negAlpha", Ms: 1e5, Aex: 1e-12, Alpha: -1},
+		{Name: "kuNoAxis", Ms: 1e5, Aex: 1e-12, Ku1: 1e5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%s) accepted invalid params", p.Name)
+		}
+	}
+	for name, p := range Presets() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestGammaOrDefault(t *testing.T) {
+	var p Params
+	if got := p.GammaOrDefault(); got != 1.7595e11 {
+		t.Errorf("default gamma = %g", got)
+	}
+	p.Gamma = 1e11
+	if got := p.GammaOrDefault(); got != 1e11 {
+		t.Errorf("explicit gamma = %g", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("fecob")
+	if err != nil || p.Name != "Fe60Co20B20" {
+		t.Errorf("ByName(fecob) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("unobtainium"); err == nil {
+		t.Error("ByName with unknown material did not error")
+	}
+}

@@ -1,0 +1,273 @@
+// Package measure extracts physical quantities from micromagnetic
+// simulations: the numerically realized dispersion relation f(k) of a
+// driven waveguide, group velocity from wave-front arrival, and the
+// attenuation length from the spatial amplitude envelope.
+//
+// These measurements validate the solver substrate against the analytic
+// internal/dispersion model — the in-repo equivalent of the dispersion
+// characterization every experimental spin-wave paper (including this
+// one, §IV-A) performs before designing a gate.
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"spinwave/internal/dispersion"
+	"spinwave/internal/excite"
+	"spinwave/internal/grid"
+	"spinwave/internal/llg"
+	"spinwave/internal/material"
+	"spinwave/internal/units"
+	"spinwave/internal/vec"
+)
+
+// StripConfig describes the waveguide strip used for measurements.
+type StripConfig struct {
+	Mat      material.Params
+	CellSize float64 // m (default 5 nm)
+	Length   float64 // m (default 1 µm)
+	B0       float64 // drive amplitude, T (default 2 mT)
+	// Absorber is the absorbing-end ramp length (default 120 nm).
+	Absorber float64
+}
+
+func (c StripConfig) withDefaults() StripConfig {
+	if c.CellSize == 0 {
+		c.CellSize = 5e-9
+	}
+	if c.Length == 0 {
+		c.Length = 1e-6
+	}
+	if c.B0 == 0 {
+		c.B0 = 2e-3
+	}
+	if c.Absorber == 0 {
+		c.Absorber = 120e-9
+	}
+	return c
+}
+
+// DispersionPoint is one measured (f, k) sample.
+type DispersionPoint struct {
+	Freq       float64 // drive frequency, Hz
+	K          float64 // measured wave number, rad/m
+	Lambda     float64 // measured wavelength, m
+	AnalyticK  float64 // prediction of the LocalDemag branch
+	RelError   float64 // |K − AnalyticK| / AnalyticK
+	AttnLength float64 // measured 1/e amplitude decay length, m
+}
+
+// Dispersion drives a 1-D strip at each frequency and extracts the
+// realized wave number from the spatial phase gradient and the
+// attenuation length from the amplitude envelope.
+func Dispersion(cfg StripConfig, freqs []float64) ([]DispersionPoint, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Mat.Validate(); err != nil {
+		return nil, err
+	}
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("measure: no frequencies")
+	}
+	model, err := dispersion.New(cfg.Mat, 1e-9, dispersion.LocalDemag)
+	if err != nil {
+		return nil, err
+	}
+	var out []DispersionPoint
+	for _, f := range freqs {
+		if f <= model.Frequency(0) {
+			return nil, fmt.Errorf("measure: frequency %.3g GHz below the %.3g GHz band gap",
+				units.ToGHz(f), units.ToGHz(model.Frequency(0)))
+		}
+		k, att, err := measureOne(cfg, f)
+		if err != nil {
+			return nil, fmt.Errorf("measure: f=%.3g GHz: %w", units.ToGHz(f), err)
+		}
+		ka, err := model.SolveK(f, units.WaveNumber(2*cfg.CellSize)/2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DispersionPoint{
+			Freq:       f,
+			K:          k,
+			Lambda:     units.Wavelength(k),
+			AnalyticK:  ka,
+			RelError:   math.Abs(k-ka) / ka,
+			AttnLength: att,
+		})
+	}
+	return out, nil
+}
+
+// measureOne runs one strip simulation and extracts (k, attenuation).
+func measureOne(cfg StripConfig, f float64) (k, attLen float64, err error) {
+	nx := int(cfg.Length / cfg.CellSize)
+	if nx < 60 {
+		return 0, 0, fmt.Errorf("strip too short: %d cells", nx)
+	}
+	mesh, err := grid.NewMesh(nx, 1, cfg.CellSize, cfg.CellSize, 1e-9)
+	if err != nil {
+		return 0, 0, err
+	}
+	s, err := llg.New(mesh, grid.FullRegion(mesh), cfg.Mat, llg.StableDt(mesh, cfg.Mat))
+	if err != nil {
+		return 0, 0, err
+	}
+	s.AddAbsorberTowards(0, mesh.Dy/2, cfg.Absorber, 0.5)
+	s.AddAbsorberTowards(mesh.SizeX(), mesh.Dy/2, cfg.Absorber, 0.5)
+
+	srcCell := int(cfg.Absorber/cfg.CellSize) + 8
+	ant, err := excite.NewAntenna("src", []int{mesh.Idx(srcCell, 0), mesh.Idx(srcCell+1, 0)},
+		vec.UnitX, cfg.B0, f, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	ant.Env = excite.RampEnvelope(3 / f)
+	s.Eval.Sources = append(s.Eval.Sources, ant)
+
+	// Run long enough for the slowest plausible wave (vg ≥ ~200 m/s) to
+	// cross the analysis window, plus ramp and settling.
+	window0 := srcCell + 15
+	window1 := nx - int(cfg.Absorber/cfg.CellSize) - 10
+	travel := float64(window1-window0+20) * cfg.CellSize / 200.0
+	s.Run(3/f+1.3*travel, nil)
+	if err := s.CheckFinite(); err != nil {
+		return 0, 0, err
+	}
+
+	if window1-window0 < 30 {
+		return 0, 0, fmt.Errorf("analysis window too small")
+	}
+	phases := make([]float64, 0, window1-window0)
+	amps := make([]float64, 0, window1-window0)
+	for i := window0; i < window1; i++ {
+		m := s.M[mesh.Idx(i, 0)]
+		phases = append(phases, math.Atan2(m.Y, m.X))
+		amps = append(amps, math.Hypot(m.X, m.Y))
+	}
+	maxAmp := 0.0
+	for _, a := range amps {
+		if a > maxAmp {
+			maxAmp = a
+		}
+	}
+	if maxAmp < 1e-5 {
+		return 0, 0, fmt.Errorf("no wave detected (max amplitude %g)", maxAmp)
+	}
+	k = math.Abs(fitPhaseSlope(phases, cfg.CellSize))
+	attLen = fitDecayLength(amps, cfg.CellSize)
+	return k, attLen, nil
+}
+
+// fitPhaseSlope unwraps the phase profile and returns dφ/dx by least
+// squares.
+func fitPhaseSlope(phases []float64, dx float64) float64 {
+	un := make([]float64, len(phases))
+	un[0] = phases[0]
+	for i := 1; i < len(phases); i++ {
+		d := phases[i] - phases[i-1]
+		for d > math.Pi {
+			d -= 2 * math.Pi
+		}
+		for d < -math.Pi {
+			d += 2 * math.Pi
+		}
+		un[i] = un[i-1] + d
+	}
+	n := float64(len(un))
+	var sx, sy, sxx, sxy float64
+	for i, p := range un {
+		x := float64(i) * dx
+		sx += x
+		sy += p
+		sxx += x * x
+		sxy += x * p
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// fitDecayLength fits ln(amplitude) against x and returns −1/slope; a
+// non-decaying profile yields +Inf.
+func fitDecayLength(amps []float64, dx float64) float64 {
+	n := 0.0
+	var sx, sy, sxx, sxy float64
+	for i, a := range amps {
+		if a <= 0 {
+			continue
+		}
+		x := float64(i) * dx
+		y := math.Log(a)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 3 {
+		return math.Inf(1)
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	if slope >= 0 {
+		return math.Inf(1)
+	}
+	return -1 / slope
+}
+
+// GroupVelocity measures vg by timing the wave-front arrival between two
+// probe positions on a strip driven with a ramped CW tone: the front is
+// the first time the in-plane amplitude exceeds half its final value.
+func GroupVelocity(cfg StripConfig, f float64) (float64, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Mat.Validate(); err != nil {
+		return 0, err
+	}
+	nx := int(cfg.Length / cfg.CellSize)
+	mesh, err := grid.NewMesh(nx, 1, cfg.CellSize, cfg.CellSize, 1e-9)
+	if err != nil {
+		return 0, err
+	}
+	s, err := llg.New(mesh, grid.FullRegion(mesh), cfg.Mat, llg.StableDt(mesh, cfg.Mat))
+	if err != nil {
+		return 0, err
+	}
+	s.AddAbsorberTowards(mesh.SizeX(), mesh.Dy/2, cfg.Absorber, 0.5)
+	srcCell := 4
+	ant, err := excite.NewAntenna("src", []int{mesh.Idx(srcCell, 0)}, vec.UnitX, cfg.B0, f, 0)
+	if err != nil {
+		return 0, err
+	}
+	ant.Env = excite.RampEnvelope(2 / f)
+	s.Eval.Sources = append(s.Eval.Sources, ant)
+
+	pA := nx / 3
+	pB := 2 * nx / 3
+	sep := float64(pB-pA) * cfg.CellSize
+	var tA, tB float64
+	threshold := 0.0
+	// First pass: estimate the steady amplitude at pA with a fixed run.
+	probeAmp := func(cell int) float64 {
+		m := s.M[mesh.Idx(cell, 0)]
+		return math.Hypot(m.X, m.Y)
+	}
+	duration := 2 * cfg.Length / 300.0 // generous for vg ≥ 300 m/s
+	s.Run(duration, func(step int) bool {
+		if threshold == 0 {
+			// Bootstrap: after the wave clearly arrived at pA, set the
+			// threshold to half the current amplitude.
+			if probeAmp(pA) > 1e-4 && tA == 0 {
+				threshold = probeAmp(pA) / 2
+				tA = s.Time
+			}
+			return true
+		}
+		if tB == 0 && probeAmp(pB) > threshold {
+			tB = s.Time
+			return false
+		}
+		return true
+	})
+	if tA == 0 || tB == 0 || tB <= tA {
+		return 0, fmt.Errorf("measure: wave front never reached the second probe")
+	}
+	return sep / (tB - tA), nil
+}

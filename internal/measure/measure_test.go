@@ -1,0 +1,116 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/dispersion"
+	"spinwave/internal/material"
+	"spinwave/internal/units"
+)
+
+func TestDispersionValidation(t *testing.T) {
+	cfg := StripConfig{Mat: material.FeCoB()}
+	if _, err := Dispersion(cfg, nil); err == nil {
+		t.Error("empty frequency list accepted")
+	}
+	if _, err := Dispersion(StripConfig{}, []float64{10e9}); err == nil {
+		t.Error("zero material accepted")
+	}
+	// Below the band gap (~3.65 GHz) no propagating wave exists.
+	if _, err := Dispersion(cfg, []float64{1e9}); err == nil {
+		t.Error("sub-gap frequency accepted")
+	}
+}
+
+func TestFitPhaseSlope(t *testing.T) {
+	k := 1.1e8
+	dx := 5e-9
+	phases := make([]float64, 60)
+	for i := range phases {
+		raw := k * float64(i) * dx
+		phases[i] = math.Atan2(math.Sin(raw), math.Cos(raw)) // wrapped
+	}
+	got := fitPhaseSlope(phases, dx)
+	if math.Abs(got-k) > 1e-3*k {
+		t.Errorf("slope = %g, want %g", got, k)
+	}
+}
+
+func TestFitDecayLength(t *testing.T) {
+	dx := 5e-9
+	l := 800e-9
+	amps := make([]float64, 80)
+	for i := range amps {
+		amps[i] = 0.01 * math.Exp(-float64(i)*dx/l)
+	}
+	got := fitDecayLength(amps, dx)
+	if math.Abs(got-l) > 0.02*l {
+		t.Errorf("decay length = %g, want %g", got, l)
+	}
+	// Flat profile: infinite decay length.
+	flat := []float64{1, 1, 1, 1}
+	if !math.IsInf(fitDecayLength(flat, dx), 1) {
+		t.Error("flat profile not infinite")
+	}
+	// Too few valid points.
+	if !math.IsInf(fitDecayLength([]float64{0, 0, 1}, dx), 1) {
+		t.Error("insufficient points not infinite")
+	}
+}
+
+// TestMeasuredDispersionMatchesAnalytic is the headline solver
+// validation: the realized wave numbers across the band must match the
+// LocalDemag dispersion branch within a few percent.
+func TestMeasuredDispersionMatchesAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micromagnetic integration test")
+	}
+	cfg := StripConfig{Mat: material.FeCoB()}
+	model, err := dispersion.New(material.FeCoB(), 1e-9, dispersion.LocalDemag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequencies chosen to give λ between ~40 and ~90 nm.
+	freqs := []float64{
+		model.FrequencyForWavelength(units.NM(80)),
+		model.FrequencyForWavelength(units.NM(55)),
+		model.FrequencyForWavelength(units.NM(45)),
+	}
+	pts, err := Dispersion(cfg, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.RelError > 0.08 {
+			t.Errorf("f=%.2f GHz: measured k=%.3g vs analytic %.3g (err %.1f%%)",
+				units.ToGHz(p.Freq), p.K, p.AnalyticK, 100*p.RelError)
+		}
+		if p.AttnLength < units.NM(300) {
+			t.Errorf("f=%.2f GHz: attenuation length %.3g m implausibly short",
+				units.ToGHz(p.Freq), p.AttnLength)
+		}
+	}
+}
+
+// TestMeasuredGroupVelocity times the wave front between two probes and
+// compares with the analytic group velocity.
+func TestMeasuredGroupVelocity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micromagnetic integration test")
+	}
+	model, err := dispersion.New(material.FeCoB(), 1e-9, dispersion.LocalDemag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := model.FrequencyForWavelength(units.NM(55))
+	vg, err := GroupVelocity(StripConfig{Mat: material.FeCoB()}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.GroupVelocity(units.WaveNumber(units.NM(55)))
+	// Front-timing is a coarse estimator: accept ±35%.
+	if math.Abs(vg-want) > 0.35*want {
+		t.Errorf("vg = %.0f m/s, analytic %.0f", vg, want)
+	}
+}

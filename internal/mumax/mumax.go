@@ -1,0 +1,215 @@
+// Package mumax is the bridge to the real MuMax3 toolchain the paper
+// used: it generates ready-to-run .mx3 scripts for every gate experiment
+// (geometry, material, phase-encoded excitation, probes) and parses
+// MuMax3 table output, so anyone with a GPU can re-validate this repo's
+// in-Go solver against the paper's original simulator.
+package mumax
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spinwave/internal/layout"
+	"spinwave/internal/material"
+)
+
+// ScriptConfig describes one MuMax3 run.
+type ScriptConfig struct {
+	Layout   *layout.Layout
+	Mat      material.Params
+	CellSize float64 // m
+	Freq     float64 // Hz
+	B0       float64 // T
+	Duration float64 // s
+	// Inputs maps input node names to logic levels (phase 0 or π).
+	Inputs map[string]bool
+	// TableAutosave is the table sampling interval, s.
+	TableAutosave float64
+}
+
+// Validate checks the configuration.
+func (c ScriptConfig) Validate() error {
+	if c.Layout == nil {
+		return fmt.Errorf("mumax: nil layout")
+	}
+	if err := c.Mat.Validate(); err != nil {
+		return err
+	}
+	if c.CellSize <= 0 || c.Freq <= 0 || c.B0 <= 0 || c.Duration <= 0 {
+		return fmt.Errorf("mumax: cell size, frequency, field and duration must be positive")
+	}
+	for name := range c.Inputs {
+		idx, err := c.Layout.NodeByName(name)
+		if err != nil {
+			return err
+		}
+		if c.Layout.Nodes[idx].Kind != layout.Input {
+			return fmt.Errorf("mumax: node %q is not an input", name)
+		}
+	}
+	return nil
+}
+
+// Script renders the .mx3 program.
+func Script(c ScriptConfig) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	l := c.Layout
+	mesh, err := l.Mesh(c.CellSize, 1e-9)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Auto-generated MuMax3 script for %s\n", l.Name)
+	fmt.Fprintf(&b, "// Reproduction of \"Fan-out of 2 Triangle Shape Spin Wave Logic Gates\" (DATE 2021)\n\n")
+	fmt.Fprintf(&b, "SetGridSize(%d, %d, 1)\n", mesh.Nx, mesh.Ny)
+	fmt.Fprintf(&b, "SetCellSize(%.6g, %.6g, %.6g)\n\n", mesh.Dx, mesh.Dy, mesh.Dz)
+
+	fmt.Fprintf(&b, "// %s\n", c.Mat.Name)
+	fmt.Fprintf(&b, "Msat = %.6g\n", c.Mat.Ms)
+	fmt.Fprintf(&b, "Aex = %.6g\n", c.Mat.Aex)
+	fmt.Fprintf(&b, "alpha = %.6g\n", c.Mat.Alpha)
+	if c.Mat.Ku1 != 0 {
+		fmt.Fprintf(&b, "Ku1 = %.6g\n", c.Mat.Ku1)
+		fmt.Fprintf(&b, "AnisU = vector(%g, %g, %g)\n", c.Mat.AnisU.X, c.Mat.AnisU.Y, c.Mat.AnisU.Z)
+	}
+	b.WriteString("\n// Geometry: union of waveguide arms (cuboids) with rounded junctions\n")
+	// MuMax3 coordinates are centered on the grid; layout coordinates
+	// start at the mesh corner.
+	cx, cy := mesh.SizeX()/2, mesh.SizeY()/2
+	b.WriteString("wg := cylinder(0, 0) // empty seed replaced below\n")
+	first := true
+	for i, e := range l.Edges {
+		a, bb := l.Nodes[e.From].Pos, l.Nodes[e.To].Pos
+		mx, my := (a.X+bb.X)/2-cx, (a.Y+bb.Y)/2-cy
+		length := math.Hypot(bb.X-a.X, bb.Y-a.Y)
+		angle := math.Atan2(bb.Y-a.Y, bb.X-a.X)
+		expr := fmt.Sprintf("cuboid(%.6g, %.6g, %.6g).RotZ(%.8g).Transl(%.6g, %.6g, 0)",
+			length, l.Width, mesh.Dz, angle, mx, my)
+		if first {
+			fmt.Fprintf(&b, "wg = %s\n", expr)
+			first = false
+		} else {
+			fmt.Fprintf(&b, "wg = wg.Add(%s) // arm %d\n", expr, i)
+		}
+	}
+	for _, n := range l.Nodes {
+		if n.Kind == layout.Junction {
+			fmt.Fprintf(&b, "wg = wg.Add(cylinder(%.6g, %.6g).Transl(%.6g, %.6g, 0)) // junction %s\n",
+				l.Width, mesh.Dz, n.Pos.X-cx, n.Pos.Y-cy, n.Name)
+		}
+	}
+	b.WriteString("SetGeom(wg)\n\n")
+	b.WriteString("m = uniform(0, 0, 1) // perpendicular ground state\n")
+	b.WriteString("relax()\n\n")
+
+	b.WriteString("// Phase-encoded input antennas (logic 0 -> phase 0, logic 1 -> phase pi)\n")
+	region := 1
+	names := make([]string, 0, len(c.Inputs))
+	for name := range c.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		level := c.Inputs[name]
+		idx, _ := l.NodeByName(name)
+		n := l.Nodes[idx]
+		phase := 0.0
+		if level {
+			phase = math.Pi
+		}
+		fmt.Fprintf(&b, "DefRegion(%d, cylinder(%.6g, %.6g).Transl(%.6g, %.6g, 0)) // %s\n",
+			region, l.Width, mesh.Dz, n.Pos.X-cx, n.Pos.Y-cy, name)
+		fmt.Fprintf(&b, "B_ext.SetRegion(%d, vector(%.6g*sin(2*pi*%.6g*t+%.8g), 0, 0))\n",
+			region, c.B0, c.Freq, phase)
+		region++
+	}
+	b.WriteString("\n// Output probes: average magnetization of detector regions\n")
+	for _, oi := range l.Outputs() {
+		n := l.Nodes[oi]
+		fmt.Fprintf(&b, "DefRegion(%d, cylinder(%.6g, %.6g).Transl(%.6g, %.6g, 0)) // %s\n",
+			region, l.Width, mesh.Dz, n.Pos.X-cx, n.Pos.Y-cy, n.Name)
+		fmt.Fprintf(&b, "TableAdd(m.Region(%d))\n", region)
+		region++
+	}
+	autosave := c.TableAutosave
+	if autosave <= 0 {
+		autosave = 1 / (40 * c.Freq)
+	}
+	fmt.Fprintf(&b, "\nTableAutosave(%.6g)\n", autosave)
+	fmt.Fprintf(&b, "Run(%.6g)\n", c.Duration)
+	b.WriteString("SaveAs(m, \"final\")\n")
+	return b.String(), nil
+}
+
+// Table is parsed MuMax3 table.txt content.
+type Table struct {
+	Columns []string
+	Data    [][]float64 // Data[row][col]
+}
+
+// ParseTable reads a MuMax3 table.txt stream: a '#'-prefixed header line
+// with tab-separated column names followed by whitespace-separated
+// numeric rows.
+func ParseTable(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	t := &Table{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if t.Columns == nil {
+				for _, col := range strings.Split(strings.TrimPrefix(line, "#"), "\t") {
+					col = strings.TrimSpace(col)
+					if col != "" {
+						t.Columns = append(t.Columns, col)
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mumax: bad value %q: %w", f, err)
+			}
+			row[i] = v
+		}
+		if t.Columns != nil && len(row) != len(t.Columns) {
+			return nil, fmt.Errorf("mumax: row has %d values, header %d columns", len(row), len(t.Columns))
+		}
+		t.Data = append(t.Data, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mumax: %w", err)
+	}
+	if len(t.Data) == 0 {
+		return nil, fmt.Errorf("mumax: empty table")
+	}
+	return t, nil
+}
+
+// Column returns the values of the named column.
+func (t *Table) Column(name string) ([]float64, error) {
+	for i, c := range t.Columns {
+		if c == name || strings.HasPrefix(c, name) {
+			out := make([]float64, len(t.Data))
+			for r, row := range t.Data {
+				out[r] = row[i]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("mumax: no column %q (have %v)", name, t.Columns)
+}

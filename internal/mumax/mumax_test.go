@@ -1,0 +1,157 @@
+package mumax
+
+import (
+	"strings"
+	"testing"
+
+	"spinwave/internal/layout"
+	"spinwave/internal/material"
+	"spinwave/internal/units"
+)
+
+func testConfig(t *testing.T) ScriptConfig {
+	t.Helper()
+	l, err := layout.BuildMAJ3(layout.PaperSpec(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ScriptConfig{
+		Layout:   l,
+		Mat:      material.FeCoB(),
+		CellSize: units.NM(5),
+		Freq:     units.GHz(10),
+		B0:       2e-3,
+		Duration: units.NS(5),
+		Inputs:   map[string]bool{"I1": false, "I2": true, "I3": false},
+	}
+}
+
+func TestScriptContainsSetup(t *testing.T) {
+	s, err := Script(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"SetGridSize(",
+		"SetCellSize(",
+		"Msat = 1.1e+06",
+		"Aex = 1.85e-11",
+		"alpha = 0.004",
+		"Ku1 = 832000",
+		"AnisU = vector(0, 0, 1)",
+		"SetGeom(wg)",
+		"relax()",
+		"TableAutosave(",
+		"Run(5e-09)",
+		"SaveAs(m, \"final\")",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("script missing %q", want)
+		}
+	}
+}
+
+func TestScriptPhaseEncoding(t *testing.T) {
+	s, err := Script(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I2 = logic 1 → phase π ≈ 3.1415927 in its drive expression.
+	if !strings.Contains(s, "3.1415927") {
+		t.Error("logic-1 input phase π missing")
+	}
+	// Three input regions + two output probe regions.
+	if got := strings.Count(s, "DefRegion("); got != 5 {
+		t.Errorf("DefRegion count = %d, want 5", got)
+	}
+	if got := strings.Count(s, "TableAdd(m.Region("); got != 2 {
+		t.Errorf("probe TableAdd count = %d, want 2", got)
+	}
+	if got := strings.Count(s, "B_ext.SetRegion("); got != 3 {
+		t.Errorf("antenna count = %d, want 3", got)
+	}
+}
+
+func TestScriptGeometryArms(t *testing.T) {
+	c := testConfig(t)
+	s, err := Script(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One cuboid per edge.
+	if got := strings.Count(s, "cuboid("); got != len(c.Layout.Edges) {
+		t.Errorf("cuboid count = %d, want %d", got, len(c.Layout.Edges))
+	}
+}
+
+func TestScriptValidation(t *testing.T) {
+	c := testConfig(t)
+	c.Layout = nil
+	if _, err := Script(c); err == nil {
+		t.Error("nil layout accepted")
+	}
+	c = testConfig(t)
+	c.B0 = 0
+	if _, err := Script(c); err == nil {
+		t.Error("zero field accepted")
+	}
+	c = testConfig(t)
+	c.Inputs = map[string]bool{"O1": true}
+	if _, err := Script(c); err == nil {
+		t.Error("driving an output accepted")
+	}
+	c = testConfig(t)
+	c.Inputs = map[string]bool{"nope": true}
+	if _, err := Script(c); err == nil {
+		t.Error("unknown input accepted")
+	}
+}
+
+const sampleTable = `# t (s)	mx ()	my ()	mz ()	m.region1x ()	m.region1y ()	m.region1z ()
+0 0.001 0 0.99 0.002 0 0.98
+1e-11 0.002 0.001 0.99 0.003 0.001 0.98
+2e-11 0.003 0.002 0.99 0.004 0.002 0.98
+`
+
+func TestParseTable(t *testing.T) {
+	tab, err := ParseTable(strings.NewReader(sampleTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 7 {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	if len(tab.Data) != 3 {
+		t.Fatalf("rows = %d", len(tab.Data))
+	}
+	ts, err := tab.Column("t (s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[2] != 2e-11 {
+		t.Errorf("t[2] = %g", ts[2])
+	}
+	// Prefix match works for region columns.
+	mx, err := tab.Column("m.region1x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx[0] != 0.002 {
+		t.Errorf("region mx[0] = %g", mx[0])
+	}
+	if _, err := tab.Column("nonexistent"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestParseTableErrors(t *testing.T) {
+	if _, err := ParseTable(strings.NewReader("")); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := ParseTable(strings.NewReader("# a\tb\n1 x\n")); err == nil {
+		t.Error("bad value accepted")
+	}
+	if _, err := ParseTable(strings.NewReader("# a\tb\n1 2 3\n")); err == nil {
+		t.Error("column count mismatch accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Package ovf reads and writes magnetization snapshots in the OVF 2.0
+// text format used by OOMMF and MuMax3, so that fields produced by this
+// repo's solver can be inspected with the standard micromagnetics
+// toolchain (and MuMax3 outputs can be compared against ours).
+package ovf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/vec"
+)
+
+// Write emits field m on mesh as an OVF 2.0 text file with the given
+// title. Cells outside any region are written as stored (typically zero).
+func Write(w io.Writer, mesh grid.Mesh, m vec.Field, title string) error {
+	if len(m) != mesh.NCells() {
+		return fmt.Errorf("ovf: field has %d cells, mesh %d", len(m), mesh.NCells())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# OOMMF OVF 2.0\n")
+	fmt.Fprintf(bw, "# Segment count: 1\n")
+	fmt.Fprintf(bw, "# Begin: Segment\n")
+	fmt.Fprintf(bw, "# Begin: Header\n")
+	fmt.Fprintf(bw, "# Title: %s\n", title)
+	fmt.Fprintf(bw, "# meshtype: rectangular\n")
+	fmt.Fprintf(bw, "# meshunit: m\n")
+	fmt.Fprintf(bw, "# xmin: 0\n# ymin: 0\n# zmin: 0\n")
+	fmt.Fprintf(bw, "# xmax: %g\n# ymax: %g\n# zmax: %g\n", mesh.SizeX(), mesh.SizeY(), mesh.Dz)
+	fmt.Fprintf(bw, "# valuedim: 3\n")
+	fmt.Fprintf(bw, "# valuelabels: m_x m_y m_z\n")
+	fmt.Fprintf(bw, "# valueunits: 1 1 1\n")
+	fmt.Fprintf(bw, "# xbase: %g\n# ybase: %g\n# zbase: %g\n", mesh.Dx/2, mesh.Dy/2, mesh.Dz/2)
+	fmt.Fprintf(bw, "# xnodes: %d\n# ynodes: %d\n# znodes: 1\n", mesh.Nx, mesh.Ny)
+	fmt.Fprintf(bw, "# xstepsize: %g\n# ystepsize: %g\n# zstepsize: %g\n", mesh.Dx, mesh.Dy, mesh.Dz)
+	fmt.Fprintf(bw, "# End: Header\n")
+	fmt.Fprintf(bw, "# Begin: Data Text\n")
+	for j := 0; j < mesh.Ny; j++ {
+		for i := 0; i < mesh.Nx; i++ {
+			v := m[mesh.Idx(i, j)]
+			fmt.Fprintf(bw, "%.9g %.9g %.9g\n", v.X, v.Y, v.Z)
+		}
+	}
+	fmt.Fprintf(bw, "# End: Data Text\n")
+	fmt.Fprintf(bw, "# End: Segment\n")
+	return bw.Flush()
+}
+
+// File is a parsed OVF 2.0 segment.
+type File struct {
+	Title string
+	Mesh  grid.Mesh
+	M     vec.Field
+}
+
+// Read parses an OVF 2.0 text file written by Write (or by MuMax3 with
+// text output). Only single-segment, z-node-count 1, valuedim-3 text
+// files are supported.
+func Read(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	f := &File{}
+	var nx, ny, nz int
+	var dx, dy, dz float64
+	inData := false
+	var data []vec.Vector
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			meta := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			switch {
+			case strings.HasPrefix(meta, "Title:"):
+				f.Title = strings.TrimSpace(strings.TrimPrefix(meta, "Title:"))
+			case strings.HasPrefix(meta, "xnodes:"):
+				nx = parseInt(meta)
+			case strings.HasPrefix(meta, "ynodes:"):
+				ny = parseInt(meta)
+			case strings.HasPrefix(meta, "znodes:"):
+				nz = parseInt(meta)
+			case strings.HasPrefix(meta, "xstepsize:"):
+				dx = parseFloat(meta)
+			case strings.HasPrefix(meta, "ystepsize:"):
+				dy = parseFloat(meta)
+			case strings.HasPrefix(meta, "zstepsize:"):
+				dz = parseFloat(meta)
+			case strings.HasPrefix(meta, "Begin: Data Text"):
+				inData = true
+			case strings.HasPrefix(meta, "End: Data"):
+				inData = false
+			case strings.HasPrefix(meta, "valuedim:"):
+				if parseInt(meta) != 3 {
+					return nil, fmt.Errorf("ovf: only valuedim 3 supported")
+				}
+			}
+			continue
+		}
+		if !inData {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("ovf: bad data line %q", line)
+		}
+		var v vec.Vector
+		var err error
+		if v.X, err = strconv.ParseFloat(fields[0], 64); err != nil {
+			return nil, fmt.Errorf("ovf: %w", err)
+		}
+		if v.Y, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("ovf: %w", err)
+		}
+		if v.Z, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("ovf: %w", err)
+		}
+		data = append(data, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ovf: %w", err)
+	}
+	if nz != 1 {
+		return nil, fmt.Errorf("ovf: only single-layer files supported (znodes=%d)", nz)
+	}
+	mesh, err := grid.NewMesh(nx, ny, dx, dy, dz)
+	if err != nil {
+		return nil, fmt.Errorf("ovf: bad mesh header: %w", err)
+	}
+	if len(data) != mesh.NCells() {
+		return nil, fmt.Errorf("ovf: %d data points for %d cells", len(data), mesh.NCells())
+	}
+	f.Mesh = mesh
+	f.M = data
+	return f, nil
+}
+
+func parseInt(meta string) int {
+	parts := strings.SplitN(meta, ":", 2)
+	if len(parts) != 2 {
+		return 0
+	}
+	v, _ := strconv.Atoi(strings.TrimSpace(parts[1]))
+	return v
+}
+
+func parseFloat(meta string) float64 {
+	parts := strings.SplitN(meta, ":", 2)
+	if len(parts) != 2 {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	return v
+}

@@ -1,0 +1,92 @@
+package ovf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/vec"
+)
+
+func testField(mesh grid.Mesh) vec.Field {
+	m := vec.NewField(mesh.NCells())
+	for i := range m {
+		m[i] = vec.V(math.Sin(float64(i)*0.3), math.Cos(float64(i)*0.7), 0.5)
+	}
+	return m
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	mesh := grid.MustMesh(6, 4, 5e-9, 5e-9, 1e-9)
+	m := testField(mesh)
+	var buf bytes.Buffer
+	if err := Write(&buf, mesh, m, "round trip"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Title != "round trip" {
+		t.Errorf("title = %q", f.Title)
+	}
+	if f.Mesh.Nx != mesh.Nx || f.Mesh.Ny != mesh.Ny {
+		t.Errorf("mesh = %+v", f.Mesh)
+	}
+	if math.Abs(f.Mesh.Dx-mesh.Dx) > 1e-18 || math.Abs(f.Mesh.Dz-mesh.Dz) > 1e-18 {
+		t.Errorf("cell sizes = %g, %g", f.Mesh.Dx, f.Mesh.Dz)
+	}
+	for i := range m {
+		if f.M[i].Sub(m[i]).Norm() > 1e-7 {
+			t.Fatalf("cell %d: %v != %v", i, f.M[i], m[i])
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	mesh := grid.MustMesh(2, 2, 1e-9, 1e-9, 1e-9)
+	var buf bytes.Buffer
+	if err := Write(&buf, mesh, vec.NewField(3), "bad"); err == nil {
+		t.Error("mismatched field accepted")
+	}
+}
+
+func TestWriteHeaderFormat(t *testing.T) {
+	mesh := grid.MustMesh(3, 2, 5e-9, 4e-9, 1e-9)
+	var buf bytes.Buffer
+	if err := Write(&buf, mesh, vec.NewField(6), "hdr"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# OOMMF OVF 2.0",
+		"# xnodes: 3",
+		"# ynodes: 2",
+		"# znodes: 1",
+		"# valuedim: 3",
+		"# Begin: Data Text",
+		"# End: Segment",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"multi-layer": "# xnodes: 1\n# ynodes: 1\n# znodes: 2\n# xstepsize: 1e-9\n# ystepsize: 1e-9\n# zstepsize: 1e-9\n",
+		"bad data":    "# xnodes: 1\n# ynodes: 1\n# znodes: 1\n# xstepsize: 1e-9\n# ystepsize: 1e-9\n# zstepsize: 1e-9\n# Begin: Data Text\n1 2\n",
+		"bad number":  "# xnodes: 1\n# ynodes: 1\n# znodes: 1\n# xstepsize: 1e-9\n# ystepsize: 1e-9\n# zstepsize: 1e-9\n# Begin: Data Text\nx y z\n",
+		"wrong count": "# xnodes: 2\n# ynodes: 1\n# znodes: 1\n# xstepsize: 1e-9\n# ystepsize: 1e-9\n# zstepsize: 1e-9\n# Begin: Data Text\n1 2 3\n",
+		"valuedim":    "# valuedim: 1\n",
+		"no mesh":     "# Begin: Data Text\n1 2 3\n",
+	}
+	for name, body := range cases {
+		if _, err := Read(strings.NewReader(body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

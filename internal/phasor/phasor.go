@@ -1,0 +1,205 @@
+// Package phasor implements the fast behavioral backend: spin waves are
+// complex amplitudes (phasors) that propagate along the layout graph,
+// accumulating phase k·L and exponential attenuation along each arm,
+// summing coherently at junctions, and splitting with energy conservation
+// into multiple outgoing arms.
+//
+// The model deliberately ignores reflections and junction near-field
+// detail — those are the micromagnetic backend's job — but it reproduces
+// the paper's logic behaviour exactly: with all interfering paths an
+// integer number of wavelengths, phase-encoded inputs superpose as ideal
+// phasors, giving majority voting by phase and XOR by amplitude.
+//
+// Repeater nodes (paper §III-A's fan-out extension via directional
+// couplers [36] and repeaters [37]) regenerate the wave to unit amplitude
+// while preserving phase.
+package phasor
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"spinwave/internal/layout"
+)
+
+// Network evaluates phasor propagation over one layout.
+type Network struct {
+	L *layout.Layout
+
+	// K is the wave number 2π/λ in rad/m.
+	K float64
+	// AttLength is the 1/e amplitude attenuation length in meters.
+	// Zero or +Inf disables attenuation.
+	AttLength float64
+	// JunctionLoss is the amplitude transmission factor applied when a
+	// wave passes through a Junction node (scattering loss), in (0, 1].
+	JunctionLoss float64
+	// Repeaters lists node names that regenerate amplitude to 1
+	// (phase preserved), modeling the repeater cells of ref [37].
+	Repeaters map[string]bool
+
+	outdeg   []int
+	incoming [][]int // edge indices arriving at each node
+}
+
+// New builds a network for the layout with wave number k and attenuation
+// length attLen (≤ 0 disables attenuation). Junction loss defaults to 1
+// (lossless); set JunctionLoss afterwards to model scattering.
+func New(l *layout.Layout, k, attLen float64) (*Network, error) {
+	if l == nil {
+		return nil, fmt.Errorf("phasor: nil layout")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("phasor: wave number %g must be positive", k)
+	}
+	n := &Network{
+		L:            l,
+		K:            k,
+		AttLength:    attLen,
+		JunctionLoss: 1,
+		Repeaters:    map[string]bool{},
+		outdeg:       make([]int, len(l.Nodes)),
+		incoming:     make([][]int, len(l.Nodes)),
+	}
+	for ei, e := range l.Edges {
+		if e.From < 0 || e.From >= len(l.Nodes) || e.To < 0 || e.To >= len(l.Nodes) {
+			return nil, fmt.Errorf("phasor: edge %d references missing node", ei)
+		}
+		if e.Length < 0 {
+			return nil, fmt.Errorf("phasor: edge %d has negative length", ei)
+		}
+		n.outdeg[e.From]++
+		n.incoming[e.To] = append(n.incoming[e.To], ei)
+	}
+	return n, nil
+}
+
+// propagation factor along an edge of length L.
+func (n *Network) edgeFactor(length float64) complex128 {
+	att := 1.0
+	if n.AttLength > 0 && !math.IsInf(n.AttLength, 1) {
+		att = math.Exp(-length / n.AttLength)
+	}
+	return cmplx.Rect(att, n.K*length)
+}
+
+// emission factor applied when a wave leaves a node into one of its
+// outgoing edges.
+func (n *Network) spread(node int) complex128 {
+	f := 1.0
+	if n.outdeg[node] > 1 {
+		f /= math.Sqrt(float64(n.outdeg[node]))
+	}
+	if n.L.Nodes[node].Kind == layout.Junction {
+		f *= n.JunctionLoss
+	}
+	return complex(f, 0)
+}
+
+// Evaluate propagates the given input drives (keyed by input node name,
+// e.g. "I1" → 1·e^(iπ)) through the network and returns the arriving
+// phasor at every Output node, keyed by name. Missing inputs default to
+// zero drive (switched-off transducer); unknown keys are an error.
+func (n *Network) Evaluate(drives map[string]complex128) (map[string]complex128, error) {
+	l := n.L
+	for name := range drives {
+		idx, err := l.NodeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if l.Nodes[idx].Kind != layout.Input {
+			return nil, fmt.Errorf("phasor: node %q is not an input", name)
+		}
+	}
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]int, len(l.Nodes))
+	emit := make([]complex128, len(l.Nodes))
+
+	var eval func(node int) (complex128, error)
+	eval = func(node int) (complex128, error) {
+		switch state[node] {
+		case done:
+			return emit[node], nil
+		case visiting:
+			return 0, fmt.Errorf("phasor: cycle through node %q", l.Nodes[node].Name)
+		}
+		state[node] = visiting
+		var sum complex128
+		if l.Nodes[node].Kind == layout.Input {
+			sum = drives[l.Nodes[node].Name]
+		} else {
+			for _, ei := range n.incoming[node] {
+				e := l.Edges[ei]
+				up, err := eval(e.From)
+				if err != nil {
+					return 0, err
+				}
+				sum += up * n.spread(e.From) * n.edgeFactor(e.Length)
+			}
+		}
+		if n.Repeaters[l.Nodes[node].Name] && cmplx.Abs(sum) > 0 {
+			sum /= complex(cmplx.Abs(sum), 0)
+		}
+		emit[node] = sum
+		state[node] = done
+		return sum, nil
+	}
+
+	out := make(map[string]complex128)
+	for _, oi := range l.Outputs() {
+		v, err := eval(oi)
+		if err != nil {
+			return nil, err
+		}
+		out[l.Nodes[oi].Name] = v
+	}
+	return out, nil
+}
+
+// Drive returns the unit phasor encoding a logic level: 1·e^(i0) for
+// logic 0 and 1·e^(iπ) for logic 1 (paper §III-A step (i)).
+func Drive(level bool) complex128 {
+	if level {
+		return complex(-1, 0)
+	}
+	return complex(1, 0)
+}
+
+// LogicFromPhase decodes a phasor by phase detection relative to a
+// reference phasor (paper's Majority readout): within π/2 of the
+// reference phase is logic 0.
+func LogicFromPhase(v, ref complex128) bool {
+	if cmplx.Abs(v) == 0 || cmplx.Abs(ref) == 0 {
+		return false
+	}
+	d := cmplx.Phase(v) - cmplx.Phase(ref)
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return math.Abs(d) > math.Pi/2
+}
+
+// LogicFromThreshold decodes a phasor by threshold detection (paper's XOR
+// readout): normalized magnitude above the threshold is logic 0, below is
+// logic 1; inverted flips the convention (XNOR).
+func LogicFromThreshold(v, ref complex128, threshold float64, inverted bool) bool {
+	refAbs := cmplx.Abs(ref)
+	norm := 0.0
+	if refAbs > 0 {
+		norm = cmplx.Abs(v) / refAbs
+	}
+	above := norm > threshold
+	if inverted {
+		return above
+	}
+	return !above
+}

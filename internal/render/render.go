@@ -1,0 +1,213 @@
+// Package render draws magnetization fields as images: the Figure 5
+// panels of the paper are blue/red maps of the spin-wave pattern over the
+// gate, with vacuum in white. A diverging blue–white–red colormap maps
+// the selected magnetization component; an ASCII renderer provides
+// terminal-friendly previews.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"strings"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/vec"
+)
+
+// Component selects which field component to render.
+type Component int
+
+const (
+	// MX renders the in-plane x component (the propagating-wave pattern).
+	MX Component = iota
+	// MY renders the in-plane y component.
+	MY
+	// MZ renders the out-of-plane component.
+	MZ
+	// InPlane renders sqrt(mx²+my²), the precession amplitude.
+	InPlane
+)
+
+// String names the component.
+func (c Component) String() string {
+	switch c {
+	case MX:
+		return "mx"
+	case MY:
+		return "my"
+	case MZ:
+		return "mz"
+	case InPlane:
+		return "in-plane"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// value extracts the component from a vector.
+func (c Component) value(v vec.Vector) float64 {
+	switch c {
+	case MX:
+		return v.X
+	case MY:
+		return v.Y
+	case MZ:
+		return v.Z
+	default:
+		return math.Hypot(v.X, v.Y)
+	}
+}
+
+// Diverging maps t ∈ [−1, 1] to a blue–white–red color (blue negative,
+// red positive), the convention of the paper's Figure 5.
+func Diverging(t float64) color.RGBA {
+	if math.IsNaN(t) {
+		return color.RGBA{R: 0, G: 0, B: 0, A: 255}
+	}
+	t = math.Max(-1, math.Min(1, t))
+	blend := func(a, b uint8, u float64) uint8 {
+		return uint8(math.Round(float64(a) + (float64(b)-float64(a))*u))
+	}
+	white := color.RGBA{255, 255, 255, 255}
+	if t < 0 {
+		blue := color.RGBA{33, 60, 181, 255}
+		u := -t
+		return color.RGBA{
+			R: blend(white.R, blue.R, u),
+			G: blend(white.G, blue.G, u),
+			B: blend(white.B, blue.B, u),
+			A: 255,
+		}
+	}
+	red := color.RGBA{196, 30, 30, 255}
+	return color.RGBA{
+		R: blend(white.R, red.R, t),
+		G: blend(white.G, red.G, t),
+		B: blend(white.B, red.B, t),
+		A: 255,
+	}
+}
+
+// Options tune the rendering.
+type Options struct {
+	// Scale normalizes the component values; 0 means auto (max |value|
+	// over region cells).
+	Scale float64
+	// Vacuum is the color for cells outside the region.
+	Vacuum color.RGBA
+	// PixelSize scales each cell to an n×n pixel block (min 1).
+	PixelSize int
+}
+
+// Field renders the selected component over the region as an image with
+// y pointing up (row 0 of the image is the top of the mesh).
+func Field(mesh grid.Mesh, region grid.Region, m vec.Field, comp Component, opt Options) (*image.RGBA, error) {
+	if len(m) != mesh.NCells() || len(region) != mesh.NCells() {
+		return nil, fmt.Errorf("render: field/region size mismatch with mesh")
+	}
+	if opt.PixelSize < 1 {
+		opt.PixelSize = 1
+	}
+	if opt.Vacuum == (color.RGBA{}) {
+		opt.Vacuum = color.RGBA{245, 245, 245, 255}
+	}
+	scale := opt.Scale
+	if scale == 0 {
+		for i, on := range region {
+			if !on {
+				continue
+			}
+			if a := math.Abs(comp.value(m[i])); a > scale {
+				scale = a
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+	}
+	px := opt.PixelSize
+	img := image.NewRGBA(image.Rect(0, 0, mesh.Nx*px, mesh.Ny*px))
+	for j := 0; j < mesh.Ny; j++ {
+		for i := 0; i < mesh.Nx; i++ {
+			idx := mesh.Idx(i, j)
+			var c color.RGBA
+			if region[idx] {
+				c = Diverging(comp.value(m[idx]) / scale)
+			} else {
+				c = opt.Vacuum
+			}
+			y0 := (mesh.Ny - 1 - j) * px
+			for dy := 0; dy < px; dy++ {
+				for dx := 0; dx < px; dx++ {
+					img.SetRGBA(i*px+dx, y0+dy, c)
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+// WritePNG renders the field and encodes it as PNG.
+func WritePNG(w io.Writer, mesh grid.Mesh, region grid.Region, m vec.Field, comp Component, opt Options) error {
+	img, err := Field(mesh, region, m, comp, opt)
+	if err != nil {
+		return err
+	}
+	return png.Encode(w, img)
+}
+
+// ASCII renders a terminal preview: one character per cell column block,
+// '-'/'=' shades for negative, '+'/'#' for positive, '.' near zero,
+// space for vacuum. maxWidth limits the output width by subsampling.
+func ASCII(mesh grid.Mesh, region grid.Region, m vec.Field, comp Component, maxWidth int) (string, error) {
+	if len(m) != mesh.NCells() || len(region) != mesh.NCells() {
+		return "", fmt.Errorf("render: field/region size mismatch with mesh")
+	}
+	if maxWidth < 8 {
+		maxWidth = 8
+	}
+	step := 1
+	for mesh.Nx/step > maxWidth {
+		step++
+	}
+	var scale float64
+	for i, on := range region {
+		if on {
+			if a := math.Abs(comp.value(m[i])); a > scale {
+				scale = a
+			}
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	var b strings.Builder
+	for j := mesh.Ny - step; j >= 0; j -= step {
+		for i := 0; i+step <= mesh.Nx; i += step {
+			idx := mesh.Idx(i, j)
+			if !region[idx] {
+				b.WriteByte(' ')
+				continue
+			}
+			t := comp.value(m[idx]) / scale
+			switch {
+			case t < -0.5:
+				b.WriteByte('=')
+			case t < -0.1:
+				b.WriteByte('-')
+			case t <= 0.1:
+				b.WriteByte('.')
+			case t <= 0.5:
+				b.WriteByte('+')
+			default:
+				b.WriteByte('#')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,161 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/vec"
+)
+
+func stripes(mesh grid.Mesh) vec.Field {
+	m := vec.NewField(mesh.NCells())
+	for j := 0; j < mesh.Ny; j++ {
+		for i := 0; i < mesh.Nx; i++ {
+			v := 1.0
+			if i%2 == 0 {
+				v = -1.0
+			}
+			m[mesh.Idx(i, j)] = vec.V(v, 0, 0.1)
+		}
+	}
+	return m
+}
+
+func TestDivergingEndpoints(t *testing.T) {
+	neg := Diverging(-1)
+	pos := Diverging(1)
+	mid := Diverging(0)
+	if !(neg.B > neg.R) {
+		t.Errorf("negative not blue: %+v", neg)
+	}
+	if !(pos.R > pos.B) {
+		t.Errorf("positive not red: %+v", pos)
+	}
+	if mid.R != 255 || mid.G != 255 || mid.B != 255 {
+		t.Errorf("zero not white: %+v", mid)
+	}
+	// Clamp out of range.
+	if Diverging(-5) != Diverging(-1) || Diverging(7) != Diverging(1) {
+		t.Error("no clamping")
+	}
+}
+
+func TestFieldImage(t *testing.T) {
+	mesh := grid.MustMesh(8, 4, 5e-9, 5e-9, 1e-9)
+	region := grid.FullRegion(mesh)
+	region[mesh.Idx(0, 0)] = false // vacuum corner
+	m := stripes(mesh)
+	img, err := Field(mesh, region, m, MX, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 8 || b.Dy() != 4 {
+		t.Fatalf("image size %v", b)
+	}
+	// Vacuum corner: light gray default. Cell (0,0) is bottom-left of the
+	// mesh, so image row Ny-1.
+	c := img.RGBAAt(0, 3)
+	if c.R != 245 {
+		t.Errorf("vacuum pixel = %+v", c)
+	}
+	// Stripe colors: even i negative → blue-ish, odd positive → red-ish.
+	even := img.RGBAAt(2, 0)
+	odd := img.RGBAAt(3, 0)
+	if !(even.B > even.R) || !(odd.R > odd.B) {
+		t.Errorf("stripe colors wrong: %+v %+v", even, odd)
+	}
+}
+
+func TestFieldPixelSizeAndScale(t *testing.T) {
+	mesh := grid.MustMesh(2, 2, 1e-9, 1e-9, 1e-9)
+	m := stripes(mesh)
+	img, err := Field(mesh, grid.FullRegion(mesh), m, MX, Options{PixelSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 6 || img.Bounds().Dy() != 6 {
+		t.Fatalf("pixel-scaled size %v", img.Bounds())
+	}
+	// Zero field with explicit scale doesn't divide by zero.
+	zero := vec.NewField(mesh.NCells())
+	if _, err := Field(mesh, grid.FullRegion(mesh), zero, MZ, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldValidation(t *testing.T) {
+	mesh := grid.MustMesh(2, 2, 1e-9, 1e-9, 1e-9)
+	if _, err := Field(mesh, grid.FullRegion(mesh), vec.NewField(3), MX, Options{}); err == nil {
+		t.Error("mismatched field accepted")
+	}
+	if _, err := ASCII(mesh, grid.FullRegion(mesh), vec.NewField(3), MX, 80); err == nil {
+		t.Error("mismatched ASCII field accepted")
+	}
+}
+
+func TestWritePNG(t *testing.T) {
+	mesh := grid.MustMesh(4, 4, 1e-9, 1e-9, 1e-9)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, mesh, grid.FullRegion(mesh), stripes(mesh), MX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 4 {
+		t.Errorf("decoded size %v", img.Bounds())
+	}
+}
+
+func TestASCII(t *testing.T) {
+	mesh := grid.MustMesh(10, 3, 1e-9, 1e-9, 1e-9)
+	region := grid.FullRegion(mesh)
+	region[mesh.Idx(0, 1)] = false
+	out, err := ASCII(mesh, region, stripes(mesh), MX, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Errorf("missing extreme shades:\n%s", out)
+	}
+	if !strings.Contains(out, " ") {
+		t.Error("vacuum not blank")
+	}
+	// Subsampling respects maxWidth.
+	wide, err := ASCII(grid.MustMesh(200, 3, 1e-9, 1e-9, 1e-9), grid.FullRegion(grid.MustMesh(200, 3, 1e-9, 1e-9, 1e-9)), stripes(grid.MustMesh(200, 3, 1e-9, 1e-9, 1e-9)), MX, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range strings.Split(strings.TrimRight(wide, "\n"), "\n") {
+		if len(l) > 40 {
+			t.Errorf("line longer than maxWidth: %d", len(l))
+		}
+	}
+}
+
+func TestComponentValueAndString(t *testing.T) {
+	v := vec.V(3, 4, 5)
+	if MX.value(v) != 3 || MY.value(v) != 4 || MZ.value(v) != 5 {
+		t.Error("component values wrong")
+	}
+	if InPlane.value(v) != 5 { // hypot(3,4)
+		t.Errorf("in-plane = %g", InPlane.value(v))
+	}
+	for c, name := range map[Component]string{MX: "mx", MY: "my", MZ: "mz", InPlane: "in-plane"} {
+		if c.String() != name {
+			t.Errorf("%d name = %s", c, c.String())
+		}
+	}
+	if Component(9).String() == "" {
+		t.Error("unknown component empty")
+	}
+}

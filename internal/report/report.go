@@ -1,0 +1,130 @@
+// Package report formats experiment results as aligned text tables and
+// records paper-vs-measured comparisons for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// Comparison is one paper-vs-measured record.
+type Comparison struct {
+	Experiment string // e.g. "Table I, case {0,1,1}, O1"
+	Metric     string
+	Paper      string
+	Measured   string
+	Note       string
+}
+
+// ComparisonSet collects paper-vs-measured records for one experiment.
+type ComparisonSet struct {
+	Name  string
+	Items []Comparison
+}
+
+// Add appends a record.
+func (c *ComparisonSet) Add(experiment, metric, paper, measured, note string) {
+	c.Items = append(c.Items, Comparison{
+		Experiment: experiment, Metric: metric, Paper: paper, Measured: measured, Note: note,
+	})
+}
+
+// Render writes the set as a text table.
+func (c *ComparisonSet) Render(w io.Writer) error {
+	t := NewTable(c.Name, "experiment", "metric", "paper", "measured", "note")
+	for _, it := range c.Items {
+		t.AddRow(it.Experiment, it.Metric, it.Paper, it.Measured, it.Note)
+	}
+	return t.Render(w)
+}
+
+// Bool01 renders a logic level the way the paper's tables do.
+func Bool01(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// Bits renders an input combination like "{0,1,1}" in I3 I2 I1 display
+// order (most significant input first), matching the paper's Table I.
+func Bits(inputs []bool) string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i := len(inputs) - 1; i >= 0; i-- {
+		b.WriteString(Bool01(inputs[i]))
+		if i > 0 {
+			b.WriteString(",")
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}

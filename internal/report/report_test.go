@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Title", "a", "longheader", "c")
+	tab.AddRow("1", "2", "3")
+	tab.AddRow("wide-cell", "x") // short row padded
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Header and separator aligned to the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header/separator misaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "1") || !strings.Contains(lines[4], "wide-cell") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "x")
+	tab.AddRow("v")
+	out := tab.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("leading blank line for empty title")
+	}
+	if !strings.Contains(out, "v") {
+		t.Error("row missing")
+	}
+}
+
+func TestComparisonSet(t *testing.T) {
+	var c ComparisonSet
+	c.Name = "Table I"
+	c.Add("case {0,0,0}", "O1 normalized", "1", "1.000", "")
+	c.Add("case {0,1,1}", "O1 normalized", "0.164", "0.129", "reduced device")
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table I", "0.164", "0.129", "reduced device"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBool01AndBits(t *testing.T) {
+	if Bool01(true) != "1" || Bool01(false) != "0" {
+		t.Error("Bool01 wrong")
+	}
+	// Inputs are [I1, I2, I3]; display order is {I3,I2,I1}.
+	if got := Bits([]bool{true, false, false}); got != "{0,0,1}" {
+		t.Errorf("Bits = %s, want {0,0,1}", got)
+	}
+	if got := Bits([]bool{false, true, true}); got != "{1,1,0}" {
+		t.Errorf("Bits = %s, want {1,1,0}", got)
+	}
+	if got := Bits([]bool{true, false}); got != "{0,1}" {
+		t.Errorf("Bits = %s, want {0,1}", got)
+	}
+}

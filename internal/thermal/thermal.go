@@ -1,0 +1,100 @@
+// Package thermal implements the stochastic thermal field of finite-
+// temperature micromagnetics (Brown 1963), in the form MuMax3 uses:
+//
+//	B_therm = η(step) · sqrt( 2·µ0·α·kB·T / (Bsat·γLL·V·Δt) )
+//
+// with η a unit-variance Gaussian random vector per cell, Bsat = µ0·Ms,
+// V the cell volume and Δt the noise correlation time (one solver step).
+//
+// The noise is generated deterministically from (seed, cell, time bin) by
+// counter-based hashing, so a simulation is exactly reproducible for a
+// given seed regardless of evaluator call order — important because RK4
+// evaluates the field several times per step.
+//
+// The paper defers thermal analysis to refs [36,43] and argues the gates
+// keep functioning at finite temperature; the X-4 experiment in
+// EXPERIMENTS.md uses this source to test that claim in-repo.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/material"
+	"spinwave/internal/units"
+	"spinwave/internal/vec"
+)
+
+// Source is a mag.Source adding thermal fluctuation fields.
+type Source struct {
+	Region grid.Region
+	Sigma  float64 // per-component standard deviation, T
+	Dt     float64 // noise correlation time (solver step), s
+	Seed   uint64
+}
+
+// New builds a thermal source for temperature T (kelvin) on the given
+// mesh/region with solver step dt. A zero or negative temperature yields
+// a no-op source with Sigma = 0.
+func New(mesh grid.Mesh, region grid.Region, mat material.Params, temperature, dt float64, seed int64) (*Source, error) {
+	if err := mat.Validate(); err != nil {
+		return nil, err
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("thermal: dt %g must be positive", dt)
+	}
+	if len(region) != mesh.NCells() {
+		return nil, fmt.Errorf("thermal: region size %d != mesh cells %d", len(region), mesh.NCells())
+	}
+	s := &Source{Region: region, Dt: dt, Seed: uint64(seed)}
+	if temperature > 0 {
+		bsat := units.Mu0 * mat.Ms
+		v := mesh.CellVolume()
+		s.Sigma = math.Sqrt(2 * units.Mu0 * mat.Alpha * units.KB * temperature /
+			(bsat * mat.GammaOrDefault() * v * dt))
+	}
+	return s, nil
+}
+
+// AddTo implements mag.Source: it adds an independent Gaussian field to
+// every region cell, resampled every Dt of simulation time.
+func (s *Source) AddTo(t float64, B vec.Field) {
+	if s.Sigma == 0 {
+		return
+	}
+	bin := uint64(t / s.Dt)
+	for c := range B {
+		if !s.Region[c] {
+			continue
+		}
+		g0, g1 := gaussPair(s.Seed, uint64(c), bin, 0)
+		g2, _ := gaussPair(s.Seed, uint64(c), bin, 1)
+		B[c] = B[c].Add(vec.V(g0*s.Sigma, g1*s.Sigma, g2*s.Sigma))
+	}
+}
+
+// gaussPair returns two independent standard Gaussians derived from the
+// counter tuple by splitmix64 hashing and the Box–Muller transform.
+func gaussPair(seed, cell, bin, lane uint64) (float64, float64) {
+	u1 := uniform(mix(seed ^ mix(cell) ^ mix(bin<<1) ^ mix(lane<<32|0xa5a5)))
+	u2 := uniform(mix(seed ^ mix(cell+0x9e37) ^ mix(bin<<1|1) ^ mix(lane<<32|0x5a5a)))
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	r := math.Sqrt(-2 * math.Log(u1))
+	return r * math.Cos(2*math.Pi*u2), r * math.Sin(2*math.Pi*u2)
+}
+
+// mix is the splitmix64 finalizer.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// uniform maps a 64-bit hash to (0, 1).
+func uniform(x uint64) float64 {
+	return (float64(x>>11) + 0.5) / float64(1<<53)
+}

@@ -1,0 +1,157 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/material"
+	"spinwave/internal/vec"
+)
+
+func testSource(t *testing.T, temp float64, seed int64) (*Source, grid.Mesh) {
+	t.Helper()
+	mesh := grid.MustMesh(16, 16, 5e-9, 5e-9, 1e-9)
+	s, err := New(mesh, grid.FullRegion(mesh), material.FeCoB(), temp, 1e-13, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, mesh
+}
+
+func TestValidation(t *testing.T) {
+	mesh := grid.MustMesh(4, 4, 5e-9, 5e-9, 1e-9)
+	if _, err := New(mesh, grid.FullRegion(mesh), material.Params{}, 300, 1e-13, 1); err == nil {
+		t.Error("invalid material accepted")
+	}
+	if _, err := New(mesh, grid.FullRegion(mesh), material.FeCoB(), 300, 0, 1); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := New(mesh, make(grid.Region, 3), material.FeCoB(), 300, 1e-13, 1); err == nil {
+		t.Error("bad region accepted")
+	}
+}
+
+func TestZeroTemperatureIsNoOp(t *testing.T) {
+	s, mesh := testSource(t, 0, 42)
+	if s.Sigma != 0 {
+		t.Errorf("Sigma = %g at T=0", s.Sigma)
+	}
+	B := vec.NewField(mesh.NCells())
+	s.AddTo(1e-12, B)
+	for i := range B {
+		if B[i] != vec.Zero {
+			t.Fatal("zero-temperature source added field")
+		}
+	}
+}
+
+func TestSigmaMagnitude(t *testing.T) {
+	s, _ := testSource(t, 300, 42)
+	// For FeCoB, 5 nm cells, 0.1 ps steps: σ should be in the mT range —
+	// sanity window 0.1 mT .. 1 T.
+	if s.Sigma < 1e-4 || s.Sigma > 1 {
+		t.Errorf("σ = %g T, outside plausible window", s.Sigma)
+	}
+	// σ scales like sqrt(T).
+	s2, _ := testSource(t, 1200, 42)
+	if math.Abs(s2.Sigma/s.Sigma-2) > 1e-9 {
+		t.Errorf("σ(4T)/σ(T) = %g, want 2", s2.Sigma/s.Sigma)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	s1, mesh := testSource(t, 300, 7)
+	s2, _ := testSource(t, 300, 7)
+	s3, _ := testSource(t, 300, 8)
+	b1 := vec.NewField(mesh.NCells())
+	b2 := vec.NewField(mesh.NCells())
+	b3 := vec.NewField(mesh.NCells())
+	s1.AddTo(5e-13, b1)
+	s2.AddTo(5e-13, b2)
+	s3.AddTo(5e-13, b3)
+	same, diff := true, false
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			same = false
+		}
+		if b1[i] != b3[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different noise")
+	}
+	if !diff {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestNoiseResamplesPerTimeBin(t *testing.T) {
+	s, mesh := testSource(t, 300, 7)
+	bA := vec.NewField(mesh.NCells())
+	bA2 := vec.NewField(mesh.NCells())
+	bB := vec.NewField(mesh.NCells())
+	s.AddTo(0.2e-13, bA)  // bin 0
+	s.AddTo(0.7e-13, bA2) // still bin 0
+	s.AddTo(1.2e-13, bB)  // bin 1
+	for i := range bA {
+		if bA[i] != bA2[i] {
+			t.Fatal("noise changed within one time bin")
+		}
+	}
+	diff := false
+	for i := range bA {
+		if bA[i] != bB[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("noise did not resample across time bins")
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	s, mesh := testSource(t, 300, 99)
+	n := mesh.NCells()
+	var sum, sum2 float64
+	samples := 0
+	B := vec.NewField(n)
+	for bin := 0; bin < 40; bin++ {
+		B.Zero()
+		s.AddTo(float64(bin)*1e-13+0.5e-13, B)
+		for i := 0; i < n; i++ {
+			for _, v := range []float64{B[i].X, B[i].Y, B[i].Z} {
+				sum += v
+				sum2 += v * v
+				samples++
+			}
+		}
+	}
+	mean := sum / float64(samples)
+	std := math.Sqrt(sum2/float64(samples) - mean*mean)
+	if math.Abs(mean) > 0.02*s.Sigma {
+		t.Errorf("noise mean %g not ≈ 0 (σ=%g)", mean, s.Sigma)
+	}
+	if math.Abs(std-s.Sigma) > 0.03*s.Sigma {
+		t.Errorf("noise std %g, want %g", std, s.Sigma)
+	}
+}
+
+func TestRespectsRegion(t *testing.T) {
+	mesh := grid.MustMesh(4, 1, 5e-9, 5e-9, 1e-9)
+	reg := grid.Region{true, false, true, false}
+	s, err := New(mesh, reg, material.FeCoB(), 300, 1e-13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	B := vec.NewField(4)
+	s.AddTo(0, B)
+	if B[1] != vec.Zero || B[3] != vec.Zero {
+		t.Error("thermal field leaked outside region")
+	}
+	if B[0] == vec.Zero || B[2] == vec.Zero {
+		t.Error("thermal field missing inside region")
+	}
+}

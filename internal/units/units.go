@@ -1,0 +1,106 @@
+// Package units provides physical constants and unit helpers used across
+// the spin-wave simulator. All internal computation is in SI units; the
+// helpers exist so that call sites can state values in the units the paper
+// uses (nm, GHz, aJ, ...) without sprinkling conversion factors around.
+package units
+
+import "math"
+
+// Physical constants (SI, CODATA-2018 where applicable).
+const (
+	// Mu0 is the vacuum permeability in T·m/A.
+	Mu0 = 4 * math.Pi * 1e-7
+	// KB is the Boltzmann constant in J/K.
+	KB = 1.380649e-23
+	// GammaLL is the Landau–Lifshitz gyromagnetic ratio |γ| in rad/(s·T)
+	// for a g-factor of 2.002, as used by MuMax3.
+	GammaLL = 1.7595e11
+	// MuB is the Bohr magneton in J/T.
+	MuB = 9.2740100783e-24
+	// Hbar is the reduced Planck constant in J·s.
+	Hbar = 1.054571817e-34
+)
+
+// Length units in meters.
+const (
+	Meter      = 1.0
+	Millimeter = 1e-3
+	Micrometer = 1e-6
+	Nanometer  = 1e-9
+	Picometer  = 1e-12
+)
+
+// Time units in seconds.
+const (
+	Second      = 1.0
+	Millisecond = 1e-3
+	Microsecond = 1e-6
+	Nanosecond  = 1e-9
+	Picosecond  = 1e-12
+	Femtosecond = 1e-15
+)
+
+// Frequency units in Hz.
+const (
+	Hertz     = 1.0
+	Kilohertz = 1e3
+	Megahertz = 1e6
+	Gigahertz = 1e9
+	Terahertz = 1e12
+)
+
+// Energy units in joules.
+const (
+	Joule      = 1.0
+	Femtojoule = 1e-15
+	Attojoule  = 1e-18
+	Zeptojoule = 1e-21
+)
+
+// Power units in watts.
+const (
+	Watt      = 1.0
+	Milliwatt = 1e-3
+	Microwatt = 1e-6
+	Nanowatt  = 1e-9
+	Picowatt  = 1e-12
+)
+
+// NM converts a value given in nanometers to meters.
+func NM(v float64) float64 { return v * Nanometer }
+
+// GHz converts a value given in gigahertz to hertz.
+func GHz(v float64) float64 { return v * Gigahertz }
+
+// PS converts a value given in picoseconds to seconds.
+func PS(v float64) float64 { return v * Picosecond }
+
+// NS converts a value given in nanoseconds to seconds.
+func NS(v float64) float64 { return v * Nanosecond }
+
+// AJ converts a value given in attojoules to joules.
+func AJ(v float64) float64 { return v * Attojoule }
+
+// NW converts a value given in nanowatts to watts.
+func NW(v float64) float64 { return v * Nanowatt }
+
+// ToNM converts meters to nanometers.
+func ToNM(v float64) float64 { return v / Nanometer }
+
+// ToGHz converts hertz to gigahertz.
+func ToGHz(v float64) float64 { return v / Gigahertz }
+
+// ToNS converts seconds to nanoseconds.
+func ToNS(v float64) float64 { return v / Nanosecond }
+
+// ToAJ converts joules to attojoules.
+func ToAJ(v float64) float64 { return v / Attojoule }
+
+// RadPerUM converts a wave number given in rad/µm to rad/m.
+func RadPerUM(v float64) float64 { return v / Micrometer }
+
+// WaveNumber returns k = 2π/λ for a wavelength in meters.
+func WaveNumber(lambda float64) float64 { return 2 * math.Pi / lambda }
+
+// Wavelength returns λ = 2π/k for a wave number in rad/m.
+func Wavelength(k float64) float64 { return 2 * math.Pi / k }

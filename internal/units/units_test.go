@@ -1,0 +1,67 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConversions(t *testing.T) {
+	if got := NM(55); got != 55e-9 {
+		t.Errorf("NM(55) = %g", got)
+	}
+	if got := GHz(10); got != 10e9 {
+		t.Errorf("GHz(10) = %g", got)
+	}
+	if got := PS(100); got != 100e-12 {
+		t.Errorf("PS(100) = %g", got)
+	}
+	if got := NS(0.42); math.Abs(got-0.42e-9) > 1e-24 {
+		t.Errorf("NS(0.42) = %g", got)
+	}
+	if got := AJ(34.4); math.Abs(got-34.4e-18) > 1e-30 {
+		t.Errorf("AJ(34.4) = %g", got)
+	}
+	if got := NW(34.4); math.Abs(got-34.4e-9) > 1e-21 {
+		t.Errorf("NW(34.4) = %g", got)
+	}
+}
+
+func TestRoundTrips(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+			return true
+		}
+		ok := func(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(b)) }
+		return ok(ToNM(NM(v)), v) && ok(ToGHz(GHz(v)), v) && ok(ToNS(NS(v)), v) && ok(ToAJ(AJ(v)), v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaveNumberWavelength(t *testing.T) {
+	lambda := NM(55)
+	k := WaveNumber(lambda)
+	// Paper: k = 2π/λ ≈ 114 rad/µm for λ = 55 nm.
+	if got := k * Micrometer; math.Abs(got-114.2) > 0.1 {
+		t.Errorf("k = %g rad/µm, want ≈114.2", got)
+	}
+	if got := Wavelength(k); math.Abs(got-lambda) > 1e-18 {
+		t.Errorf("Wavelength(WaveNumber(λ)) = %g", got)
+	}
+	// Paper uses k = 50 rad/µm in the dispersion discussion.
+	if got := RadPerUM(50); got != 50e6 {
+		t.Errorf("RadPerUM(50) = %g", got)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if math.Abs(Mu0-1.2566370614e-6) > 1e-15 {
+		t.Errorf("Mu0 = %g", Mu0)
+	}
+	// γ/2π should be about 28 GHz/T.
+	if got := GammaLL / (2 * math.Pi) / 1e9; math.Abs(got-28.0) > 0.1 {
+		t.Errorf("γ/2π = %g GHz/T", got)
+	}
+}

@@ -1,0 +1,182 @@
+// Package vec implements the small dense 3-vector type used for
+// magnetization and field values throughout the simulator, together with
+// helpers for whole-field (slice-of-vector) arithmetic.
+//
+// Vector is a value type; all methods return new values and never mutate
+// the receiver, which keeps LLG integrator code free of aliasing bugs. The
+// Field helpers operate in place for performance.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a 3-component vector in Cartesian coordinates.
+type Vector struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vector.
+func V(x, y, z float64) Vector { return Vector{x, y, z} }
+
+// UnitX, UnitY and UnitZ are the Cartesian basis vectors.
+var (
+	UnitX = Vector{1, 0, 0}
+	UnitY = Vector{0, 1, 0}
+	UnitZ = Vector{0, 0, 1}
+	Zero  = Vector{0, 0, 0}
+)
+
+// Add returns a + b.
+func (a Vector) Add(b Vector) Vector { return Vector{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vector) Sub(b Vector) Vector { return Vector{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s·a.
+func (a Vector) Scale(s float64) Vector { return Vector{s * a.X, s * a.Y, s * a.Z} }
+
+// MAdd returns a + s·b (multiply-add), the workhorse of RK stages.
+func (a Vector) MAdd(s float64, b Vector) Vector {
+	return Vector{a.X + s*b.X, a.Y + s*b.Y, a.Z + s*b.Z}
+}
+
+// Dot returns the scalar product a·b.
+func (a Vector) Dot(b Vector) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the vector product a×b.
+func (a Vector) Cross(b Vector) Vector {
+	return Vector{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns the Euclidean length |a|.
+func (a Vector) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Norm2 returns the squared length a·a.
+func (a Vector) Norm2() float64 { return a.Dot(a) }
+
+// Normalized returns a/|a|, or the zero vector if |a| == 0.
+func (a Vector) Normalized() Vector {
+	n := a.Norm()
+	if n == 0 {
+		return Zero
+	}
+	return a.Scale(1 / n)
+}
+
+// Neg returns -a.
+func (a Vector) Neg() Vector { return Vector{-a.X, -a.Y, -a.Z} }
+
+// Angle returns the angle between a and b in radians, in [0, π].
+func (a Vector) Angle(b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := a.Dot(b) / (na * nb)
+	c = math.Max(-1, math.Min(1, c))
+	return math.Acos(c)
+}
+
+// IsFinite reports whether all components are finite numbers.
+func (a Vector) IsFinite() bool {
+	return !math.IsNaN(a.X) && !math.IsInf(a.X, 0) &&
+		!math.IsNaN(a.Y) && !math.IsInf(a.Y, 0) &&
+		!math.IsNaN(a.Z) && !math.IsInf(a.Z, 0)
+}
+
+// String formats the vector as "(x, y, z)" with compact precision.
+func (a Vector) String() string {
+	return fmt.Sprintf("(%.6g, %.6g, %.6g)", a.X, a.Y, a.Z)
+}
+
+// RotZ returns a rotated about the z axis by angle θ (radians,
+// counterclockwise when viewed from +z).
+func (a Vector) RotZ(theta float64) Vector {
+	c, s := math.Cos(theta), math.Sin(theta)
+	return Vector{c*a.X - s*a.Y, s*a.X + c*a.Y, a.Z}
+}
+
+// Field is a contiguous array of vectors, one per mesh cell.
+type Field []Vector
+
+// NewField allocates a zeroed field of n cells.
+func NewField(n int) Field { return make(Field, n) }
+
+// Zero sets every vector in the field to zero.
+func (f Field) Zero() {
+	for i := range f {
+		f[i] = Vector{}
+	}
+}
+
+// Fill sets every vector in the field to v.
+func (f Field) Fill(v Vector) {
+	for i := range f {
+		f[i] = v
+	}
+}
+
+// Copy copies src into f. The fields must have equal length.
+func (f Field) Copy(src Field) {
+	if len(f) != len(src) {
+		panic(fmt.Sprintf("vec: Copy length mismatch %d != %d", len(f), len(src)))
+	}
+	copy(f, src)
+}
+
+// AddScaled adds s·src to f element-wise.
+func (f Field) AddScaled(s float64, src Field) {
+	if len(f) != len(src) {
+		panic(fmt.Sprintf("vec: AddScaled length mismatch %d != %d", len(f), len(src)))
+	}
+	for i := range f {
+		f[i] = f[i].MAdd(s, src[i])
+	}
+}
+
+// Normalize renormalizes every nonzero vector in f to unit length.
+func (f Field) Normalize() {
+	for i := range f {
+		f[i] = f[i].Normalized()
+	}
+}
+
+// MaxNorm returns the largest vector length present in f.
+func (f Field) MaxNorm() float64 {
+	max := 0.0
+	for i := range f {
+		if n := f[i].Norm2(); n > max {
+			max = n
+		}
+	}
+	return math.Sqrt(max)
+}
+
+// Average returns the mean vector over the cells listed in idx. If idx is
+// nil, the average is over the whole field. An empty selection returns the
+// zero vector.
+func (f Field) Average(idx []int) Vector {
+	var sum Vector
+	if idx == nil {
+		if len(f) == 0 {
+			return Zero
+		}
+		for i := range f {
+			sum = sum.Add(f[i])
+		}
+		return sum.Scale(1 / float64(len(f)))
+	}
+	if len(idx) == 0 {
+		return Zero
+	}
+	for _, i := range idx {
+		sum = sum.Add(f[i])
+	}
+	return sum.Scale(1 / float64(len(idx)))
+}

@@ -1,0 +1,211 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b)) }
+
+func vecApprox(a, b Vector) bool {
+	return approx(a.X, b.X) && approx(a.Y, b.Y) && approx(a.Z, b.Z)
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := V(1, 2, 3), V(-4, 5, 0.5)
+	if got := a.Add(b); !vecApprox(got, V(-3, 7, 3.5)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); !vecApprox(got, V(5, -3, 2.5)) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestScaleMAdd(t *testing.T) {
+	a := V(1, -2, 4)
+	if got := a.Scale(-0.5); !vecApprox(got, V(-0.5, 1, -2)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.MAdd(2, V(1, 1, 1)); !vecApprox(got, V(3, 0, 6)) {
+		t.Errorf("MAdd = %v", got)
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	if got := UnitX.Dot(UnitY); got != 0 {
+		t.Errorf("x·y = %v, want 0", got)
+	}
+	if got := UnitX.Cross(UnitY); !vecApprox(got, UnitZ) {
+		t.Errorf("x×y = %v, want z", got)
+	}
+	if got := UnitY.Cross(UnitZ); !vecApprox(got, UnitX) {
+		t.Errorf("y×z = %v, want x", got)
+	}
+	if got := UnitZ.Cross(UnitX); !vecApprox(got, UnitY) {
+		t.Errorf("z×x = %v, want y", got)
+	}
+}
+
+func TestNormNormalized(t *testing.T) {
+	a := V(3, 4, 0)
+	if got := a.Norm(); !approx(got, 5) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := a.Normalized().Norm(); !approx(got, 1) {
+		t.Errorf("|Normalized| = %v, want 1", got)
+	}
+	if got := Zero.Normalized(); got != Zero {
+		t.Errorf("Normalized zero = %v, want zero", got)
+	}
+}
+
+func TestAngle(t *testing.T) {
+	if got := UnitX.Angle(UnitY); !approx(got, math.Pi/2) {
+		t.Errorf("angle(x,y) = %v, want π/2", got)
+	}
+	if got := UnitX.Angle(UnitX.Neg()); !approx(got, math.Pi) {
+		t.Errorf("angle(x,-x) = %v, want π", got)
+	}
+	if got := Zero.Angle(UnitX); got != 0 {
+		t.Errorf("angle(0,x) = %v, want 0", got)
+	}
+}
+
+func TestRotZ(t *testing.T) {
+	got := UnitX.RotZ(math.Pi / 2)
+	if !vecApprox(got, UnitY) {
+		t.Errorf("RotZ(x, π/2) = %v, want y", got)
+	}
+	// Rotation preserves length and z.
+	a := V(1.5, -2.5, 7)
+	r := a.RotZ(0.7)
+	if !approx(a.Norm(), r.Norm()) {
+		t.Errorf("rotation changed norm: %v -> %v", a.Norm(), r.Norm())
+	}
+	if r.Z != a.Z {
+		t.Errorf("rotation changed z: %v", r.Z)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+// Property: cross product is orthogonal to both operands and anticommutes.
+func TestCrossProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() || a.Norm() > 1e100 || b.Norm() > 1e100 {
+			return true
+		}
+		c := a.Cross(b)
+		tol := 1e-9 * (1 + a.Norm()*b.Norm())
+		if math.Abs(c.Dot(a)) > tol*(1+a.Norm()) {
+			return false
+		}
+		if math.Abs(c.Dot(b)) > tol*(1+b.Norm()) {
+			return false
+		}
+		d := b.Cross(a)
+		return c.Add(d).Norm() <= tol
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |a×b|² + (a·b)² == |a|²|b|² (Lagrange identity).
+func TestLagrangeIdentity(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		// Limit magnitudes so the identity stays in well-conditioned range.
+		if a.Norm() > 1e6 || b.Norm() > 1e6 {
+			return true
+		}
+		lhs := a.Cross(b).Norm2() + a.Dot(b)*a.Dot(b)
+		rhs := a.Norm2() * b.Norm2()
+		return math.Abs(lhs-rhs) <= 1e-6*(1+rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldOps(t *testing.T) {
+	f := NewField(4)
+	f.Fill(V(1, 0, 0))
+	g := NewField(4)
+	g.Fill(V(0, 2, 0))
+	f.AddScaled(0.5, g)
+	for i := range f {
+		if !vecApprox(f[i], V(1, 1, 0)) {
+			t.Fatalf("AddScaled[%d] = %v", i, f[i])
+		}
+	}
+	f.Normalize()
+	for i := range f {
+		if !approx(f[i].Norm(), 1) {
+			t.Fatalf("Normalize[%d] -> |v| = %v", i, f[i].Norm())
+		}
+	}
+	f.Zero()
+	for i := range f {
+		if f[i] != Zero {
+			t.Fatalf("Zero[%d] = %v", i, f[i])
+		}
+	}
+}
+
+func TestFieldCopyMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Copy with mismatched lengths did not panic")
+		}
+	}()
+	NewField(2).Copy(NewField(3))
+}
+
+func TestFieldAverage(t *testing.T) {
+	f := Field{V(1, 0, 0), V(3, 0, 0), V(0, 0, 8)}
+	if got := f.Average(nil); !vecApprox(got, V(4.0/3, 0, 8.0/3)) {
+		t.Errorf("Average(nil) = %v", got)
+	}
+	if got := f.Average([]int{0, 1}); !vecApprox(got, V(2, 0, 0)) {
+		t.Errorf("Average([0,1]) = %v", got)
+	}
+	if got := f.Average([]int{}); got != Zero {
+		t.Errorf("Average(empty) = %v", got)
+	}
+	if got := (Field{}).Average(nil); got != Zero {
+		t.Errorf("Average of empty field = %v", got)
+	}
+}
+
+func TestFieldMaxNorm(t *testing.T) {
+	f := Field{V(1, 0, 0), V(0, -5, 0), V(3, 4, 0)}
+	if got := f.MaxNorm(); !approx(got, 5) {
+		t.Errorf("MaxNorm = %v, want 5", got)
+	}
+}
+
+func BenchmarkFieldAddScaled(b *testing.B) {
+	f := NewField(4096)
+	g := NewField(4096)
+	g.Fill(V(1, 2, 3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.AddScaled(1e-3, g)
+	}
+}

@@ -1,0 +1,209 @@
+package spinwave
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeBehavioralTruthTables(t *testing.T) {
+	b, err := NewBehavioral(XOR, PaperSpec(), FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := XORTruthTable(b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.AllCorrect() {
+		t.Error("facade XOR truth table incorrect")
+	}
+	out := FormatTruthTable(tt)
+	for _, want := range []string{"{I2,I1}", "O1 norm", "O2 logic", "{0,0}", "{1,1}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+	if FormatTruthTable(nil) != "" {
+		t.Error("nil table should format empty")
+	}
+}
+
+func TestFacadeMajorityAndDerived(t *testing.T) {
+	b, err := NewBehavioral(MAJ3, PaperSpec(), FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := MajorityTruthTable(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.AllCorrect() {
+		t.Error("facade majority incorrect")
+	}
+	if !strings.Contains(FormatTruthTable(tt), "{I3,I2,I1}") {
+		t.Error("majority header wrong")
+	}
+	for _, d := range []DerivedGate{AND, OR, NAND, NOR} {
+		dt, err := DerivedTruthTable(b, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dt.AllCorrect() {
+			t.Errorf("derived %v incorrect", d)
+		}
+	}
+}
+
+func TestFacadeLadderBackend(t *testing.T) {
+	b, err := NewLadderBehavioral(PaperSpec(), FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := MajorityTruthTable(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.AllCorrect() {
+		t.Error("ladder baseline incorrect")
+	}
+}
+
+func TestTableIIIRendering(t *testing.T) {
+	out := TableIII().String()
+	for _, want := range []string{"Table III", "triangle MAJ3 (this work)", "10.3", "6.9", "466", "0.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q:\n%s", want, out)
+		}
+	}
+	ratios := TableIIIRatios().String()
+	for _, want := range []string{"25%", "43x", "40x"} {
+		if !strings.Contains(ratios, want) {
+			t.Errorf("ratios missing %q:\n%s", want, ratios)
+		}
+	}
+}
+
+func TestDispersionFacade(t *testing.T) {
+	if _, err := DispersionModel(FeCoB(), 1e-9, "nonsense"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	full, err := DispersionModel(FeCoB(), 1e-9, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := DispersionModel(FeCoB(), 1e-9, "local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 1e8
+	if full.Frequency(k) < local.Frequency(k) {
+		t.Error("full branch below local branch")
+	}
+	f, err := DriveFrequency(FeCoB(), 1e-9, 55e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 8e9 || f > 25e9 {
+		t.Errorf("drive frequency %g implausible", f)
+	}
+}
+
+func TestMaterialByNameFacade(t *testing.T) {
+	m, err := MaterialByName("yig")
+	if err != nil || m.Name != "YIG" {
+		t.Errorf("MaterialByName(yig) = %v, %v", m.Name, err)
+	}
+	if _, err := MaterialByName("nope"); err == nil {
+		t.Error("unknown material accepted")
+	}
+}
+
+func TestWaveProfile(t *testing.T) {
+	xs, ys, err := WaveProfile(55e-9, 1, 0, 2, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 101 || len(ys) != 101 {
+		t.Fatal("lengths wrong")
+	}
+	// Two wavelengths: endpoints at sin(0) and sin(4π) ≈ 0.
+	if math.Abs(ys[0]) > 1e-9 || math.Abs(ys[100]) > 1e-9 {
+		t.Errorf("endpoints = %g, %g", ys[0], ys[100])
+	}
+	// φ = π flips the profile (Figure 1's phase illustration).
+	_, ysPi, err := WaveProfile(55e-9, 1, math.Pi, 2, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ys {
+		if math.Abs(ys[i]+ysPi[i]) > 1e-9 {
+			t.Fatalf("phase-π profile not inverted at %d", i)
+		}
+	}
+	if _, _, err := WaveProfile(0, 1, 0, 1, 10); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestInterfere(t *testing.T) {
+	// Figure 2: equal phases → amplitude 2, opposite phases → 0.
+	if a, _ := Interfere(1, 0, 1, 0); math.Abs(a-2) > 1e-12 {
+		t.Errorf("constructive = %g", a)
+	}
+	if a, _ := Interfere(1, 0, 1, math.Pi); a > 1e-12 {
+		t.Errorf("destructive = %g", a)
+	}
+	if a, _ := Interfere(1, 0, 0.5, math.Pi); math.Abs(a-0.5) > 1e-12 {
+		t.Errorf("partial = %g", a)
+	}
+}
+
+func TestMuMaxScriptFacade(t *testing.T) {
+	s, err := MuMaxScript(MAJ3, PaperSpec(), FeCoB(), []bool{false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SetGridSize", "Msat", "B_ext.SetRegion"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("script missing %q", want)
+		}
+	}
+	if _, err := MuMaxScript(MAJ3, PaperSpec(), FeCoB(), []bool{false}); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if _, err := MuMaxScript(XOR, PaperSpec(), FeCoB(), []bool{true, false}); err != nil {
+		t.Errorf("XOR script failed: %v", err)
+	}
+	if _, err := MuMaxScript(MAJ3Single, PaperSpec(), FeCoB(), []bool{true, false, true}); err != nil {
+		t.Errorf("single-output script failed: %v", err)
+	}
+}
+
+func TestRenderSnapshotFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micromagnetic integration test")
+	}
+	m, err := NewMicromagnetic(XOR, MicromagConfig{Spec: ReducedSpec(), Mat: FeCoB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderSnapshotPNG(&buf, m, []bool{false, false}, "mx", 2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty PNG")
+	}
+	art, err := RenderSnapshotASCII(m, []bool{false, false}, "mx", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art) == 0 {
+		t.Error("empty ASCII art")
+	}
+	if _, err := RenderSnapshotASCII(m, []bool{false, false}, "bogus", 100); err == nil {
+		t.Error("bad component accepted")
+	}
+}
