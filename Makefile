@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages: the evaluation
+# engine, the serving layer, the row-band-parallel field stencil, the
+# LLG solver and the frequency-parallel gates.
+test-race:
+	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/parallel/ ./cmd/swserve/
+
+# Quick benchmark set; the serial-vs-engine micromagnetic comparison is
+# BenchmarkXORTableMicromag_{Serial,Engine8,EngineWarm}.
+bench:
+	$(GO) test -run '^$$' -bench 'Behavioral|Figure1|Figure2|Interference' -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/engine/ ./internal/mag/
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,7 @@ package spinwave
 // dimensions.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -262,6 +263,75 @@ func BenchmarkParallelWordXOR_Micromagnetic(b *testing.B) {
 		}
 		if words["O1"].Uint() != 0b10 {
 			b.Fatalf("parallel XOR = %02b", words["O1"].Uint())
+		}
+	}
+}
+
+// BenchmarkXORTableMicromag_Serial is the baseline for the engine
+// comparison below: Table II on the reduced device, one case at a time
+// through the serial core path.
+func BenchmarkXORTableMicromag_Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := NewMicromagnetic(XOR, MicromagConfig{Spec: ReducedSpec(), Mat: FeCoB()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tt, err := core.XORTruthTable(m, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tt.AllCorrect() {
+			b.Fatal("serial micromagnetic table II incorrect")
+		}
+	}
+}
+
+// BenchmarkXORTableMicromag_Engine8 runs the same table through a fresh
+// 8-worker engine each iteration (cold cache), so the measured speedup
+// over the serial baseline is pure case-level parallelism. The four
+// cases are independent transients; on a multicore host this
+// approaches a 4x wall-clock reduction (one core per case), while on a
+// single-core host it matches the serial baseline.
+func BenchmarkXORTableMicromag_Engine8(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMicromagnetic(XOR, MicromagConfig{Spec: ReducedSpec(), Mat: FeCoB()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := NewEngine(WithEngineWorkers(8))
+		tt, err := eng.XORTable(ctx, m, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tt.AllCorrect() {
+			b.Fatal("engine micromagnetic table II incorrect")
+		}
+	}
+}
+
+// BenchmarkXORTableMicromag_EngineWarm reuses one engine across
+// iterations: after the first table every case is an LRU hit, so this
+// measures the serving-layer steady state for repeated identical
+// requests.
+func BenchmarkXORTableMicromag_EngineWarm(b *testing.B) {
+	ctx := context.Background()
+	m, err := NewMicromagnetic(XOR, MicromagConfig{Spec: ReducedSpec(), Mat: FeCoB()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(WithEngineWorkers(8))
+	if _, err := eng.XORTable(ctx, m, false); err != nil {
+		b.Fatal(err) // prime the cache outside the timed loop
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tt, err := eng.XORTable(ctx, m, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tt.AllCorrect() {
+			b.Fatal("warm engine table II incorrect")
 		}
 	}
 }

@@ -1,0 +1,368 @@
+// Command swserve serves the spin-wave gate simulator over HTTP.
+//
+//	swserve -addr :8080 -workers 8 -cache 4096
+//
+// Endpoints:
+//
+//	POST /v1/eval     evaluate one input case or a batch of cases
+//	POST /v1/table    evaluate a full truth table (paper Tables I/II)
+//	GET  /v1/healthz  liveness probe
+//	GET  /debug/vars  expvar metrics (engine + server counters)
+//
+// All evaluations run through one shared concurrent engine, so repeated
+// requests for the same (gate, spec, material, inputs) are served from
+// its LRU cache and identical in-flight requests are coalesced. Each
+// request gets a deadline (the smaller of -timeout and the request's
+// own timeout_ms); SIGINT/SIGTERM drains in-flight requests before
+// exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"spinwave"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = NumCPU)")
+	cacheSize := flag.Int("cache", 4096, "engine LRU capacity in cached case readouts (0 disables)")
+	timeout := flag.Duration("timeout", 120*time.Second, "server-side per-request deadline")
+	flag.Parse()
+
+	var opts []spinwave.EngineOption
+	if *workers > 0 {
+		opts = append(opts, spinwave.WithEngineWorkers(*workers))
+	}
+	opts = append(opts, spinwave.WithEngineCacheSize(*cacheSize))
+	srv := newServer(spinwave.NewEngine(opts...), *timeout)
+	srv.publishVars()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers)", *addr, srv.eng.Workers())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down, draining in-flight requests ...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+}
+
+// server holds the shared engine and request counters.
+type server struct {
+	eng            *spinwave.Engine
+	defaultTimeout time.Duration
+
+	requests  atomic.Int64
+	errors    atomic.Int64
+	evalCases atomic.Int64
+	tables    atomic.Int64
+}
+
+func newServer(eng *spinwave.Engine, defaultTimeout time.Duration) *server {
+	return &server{eng: eng, defaultTimeout: defaultTimeout}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/eval", s.handleEval)
+	mux.HandleFunc("/v1/table", s.handleTable)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// publishVars registers the engine and server counters with expvar. Safe
+// to call once per process; tests share the same registry, so the
+// publication is process-global.
+var publishOnce sync.Once
+
+func (s *server) publishVars() {
+	publishOnce.Do(func() {
+		expvar.Publish("spinwave_engine", expvar.Func(func() any { return s.eng.Stats() }))
+		expvar.Publish("spinwave_server", expvar.Func(func() any {
+			return map[string]int64{
+				"requests":   s.requests.Load(),
+				"errors":     s.errors.Load(),
+				"eval_cases": s.evalCases.Load(),
+				"tables":     s.tables.Load(),
+			}
+		}))
+	})
+}
+
+// backendRequest is the backend selection common to eval and table
+// requests. Omitted fields default to the paper's configuration.
+type backendRequest struct {
+	Gate     string `json:"gate"`     // maj3, maj3single, xor, maj5
+	Backend  string `json:"backend"`  // behavioral (default) or micromag
+	Spec     string `json:"spec"`     // paper (default), reduced, paper-micromag
+	Material string `json:"material"` // fecob (default), yig, permalloy
+	// TimeoutMS caps this request's evaluation time; the effective
+	// deadline is min(TimeoutMS, the server's -timeout flag).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type evalRequest struct {
+	backendRequest
+	Inputs []bool   `json:"inputs,omitempty"` // single case ...
+	Cases  [][]bool `json:"cases,omitempty"`  // ... or a batch
+}
+
+type caseResponse struct {
+	Inputs  []bool                      `json:"inputs"`
+	Outputs map[string]spinwave.Readout `json:"outputs"`
+}
+
+type evalResponse struct {
+	Gate    string         `json:"gate"`
+	Backend string         `json:"backend"`
+	Results []caseResponse `json:"results"`
+}
+
+type tableRequest struct {
+	backendRequest
+	Derived  string `json:"derived,omitempty"`  // and, or, nand, nor (MAJ3 backends)
+	Inverted bool   `json:"inverted,omitempty"` // XNOR decoding for XOR tables
+}
+
+func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req evalRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cases := req.Cases
+	if len(req.Inputs) > 0 {
+		cases = append([][]bool{req.Inputs}, cases...)
+	}
+	if len(cases) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("need inputs or cases"))
+		return
+	}
+	b, err := buildBackend(req.backendRequest)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	defer cancel()
+	resp := evalResponse{Gate: b.Kind().String(), Backend: b.Name(), Results: make([]caseResponse, len(cases))}
+	err = s.eng.Map(ctx, len(cases), func(ctx context.Context, i int) error {
+		out, err := s.eng.Eval(ctx, b, cases[i])
+		if err != nil {
+			return err
+		}
+		resp.Results[i] = caseResponse{Inputs: cases[i], Outputs: out}
+		return nil
+	})
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.evalCases.Add(int64(len(cases)))
+	s.reply(w, resp)
+}
+
+func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req tableRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	b, err := buildBackend(req.backendRequest)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	defer cancel()
+	var tt *spinwave.TruthTable
+	switch {
+	case req.Derived != "":
+		d, derr := parseDerived(req.Derived)
+		if derr != nil {
+			s.fail(w, http.StatusBadRequest, derr)
+			return
+		}
+		if b.Kind() == spinwave.XOR {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("derived gates need a MAJ3-family backend, not xor"))
+			return
+		}
+		tt, err = s.eng.DerivedTable(ctx, b, d)
+	case b.Kind() == spinwave.XOR:
+		tt, err = s.eng.XORTable(ctx, b, req.Inverted)
+	default:
+		tt, err = s.eng.MajorityTable(ctx, b)
+	}
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.tables.Add(1)
+	s.reply(w, tt)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, map[string]any{"status": "ok", "workers": s.eng.Workers()})
+}
+
+func (s *server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// deadline derives the request context: the server default, tightened by
+// the request's own timeout_ms when given.
+func (s *server) deadline(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.defaultTimeout
+	if timeoutMS > 0 {
+		if rd := time.Duration(timeoutMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+func (s *server) reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.errors.Add(1)
+	}
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}
+
+// statusFor maps evaluation errors to HTTP statuses via the package
+// sentinels.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, spinwave.ErrUnknownGate),
+		errors.Is(err, spinwave.ErrBadInputCount),
+		errors.Is(err, spinwave.ErrUnknownComponent):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func buildBackend(req backendRequest) (spinwave.Backend, error) {
+	kind, err := parseGate(req.Gate)
+	if err != nil {
+		return nil, err
+	}
+	mat := spinwave.FeCoB()
+	if req.Material != "" {
+		if mat, err = spinwave.MaterialByName(req.Material); err != nil {
+			return nil, fmt.Errorf("%w: material %q", spinwave.ErrUnknownComponent, req.Material)
+		}
+	}
+	switch strings.ToLower(req.Backend) {
+	case "", "behavioral":
+		spec, err := parseSpec(req.Spec, spinwave.PaperSpec())
+		if err != nil {
+			return nil, err
+		}
+		return spinwave.NewBehavioral(kind, spec, mat)
+	case "micromag", "micromagnetic":
+		spec, err := parseSpec(req.Spec, spinwave.ReducedSpec())
+		if err != nil {
+			return nil, err
+		}
+		return spinwave.NewMicromagnetic(kind, spinwave.WithSpec(spec), spinwave.WithMaterial(mat))
+	default:
+		return nil, fmt.Errorf("%w: backend %q (want behavioral or micromag)", spinwave.ErrUnknownComponent, req.Backend)
+	}
+}
+
+func parseGate(name string) (spinwave.GateKind, error) {
+	switch strings.ToLower(name) {
+	case "", "maj3", "majority":
+		return spinwave.MAJ3, nil
+	case "maj3single", "maj3-single":
+		return spinwave.MAJ3Single, nil
+	case "xor":
+		return spinwave.XOR, nil
+	case "maj5":
+		return spinwave.MAJ5, nil
+	default:
+		return 0, fmt.Errorf("%w: gate %q", spinwave.ErrUnknownGate, name)
+	}
+}
+
+func parseSpec(name string, fallback spinwave.Spec) (spinwave.Spec, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return fallback, nil
+	case "paper":
+		return spinwave.PaperSpec(), nil
+	case "paper-micromag":
+		return spinwave.PaperMicromagSpec(), nil
+	case "reduced":
+		return spinwave.ReducedSpec(), nil
+	default:
+		return spinwave.Spec{}, fmt.Errorf("%w: spec %q (want paper, paper-micromag or reduced)", spinwave.ErrUnknownComponent, name)
+	}
+}
+
+func parseDerived(name string) (spinwave.DerivedGate, error) {
+	switch strings.ToLower(name) {
+	case "and":
+		return spinwave.AND, nil
+	case "or":
+		return spinwave.OR, nil
+	case "nand":
+		return spinwave.NAND, nil
+	case "nor":
+		return spinwave.NOR, nil
+	default:
+		return 0, fmt.Errorf("%w: derived gate %q (want and, or, nand, nor)", spinwave.ErrUnknownGate, name)
+	}
+}

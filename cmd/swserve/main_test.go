@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spinwave"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(spinwave.NewEngine(spinwave.WithEngineWorkers(4)), 30*time.Second)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestEvalSingleAndBatch(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/eval", map[string]any{
+		"gate":   "xor",
+		"inputs": []bool{true, false},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval status %d: %s", resp.StatusCode, body)
+	}
+	var single evalResponse
+	if err := json.Unmarshal(body, &single); err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Results) != 1 || len(single.Results[0].Outputs) == 0 {
+		t.Fatalf("unexpected single-eval response: %s", body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/eval", map[string]any{
+		"gate":  "xor",
+		"cases": [][]bool{{false, false}, {false, true}, {true, false}, {true, true}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var batch evalResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 4 {
+		t.Fatalf("batch returned %d results, want 4", len(batch.Results))
+	}
+	for i, r := range batch.Results {
+		if len(r.Outputs) == 0 {
+			t.Fatalf("batch case %d has no outputs", i)
+		}
+	}
+}
+
+func TestTableMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/table", map[string]any{"gate": "xor"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table status %d: %s", resp.StatusCode, body)
+	}
+	var got spinwave.TruthTable
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	b, err := spinwave.NewBehavioral(spinwave.XOR, spinwave.PaperSpec(), spinwave.FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := spinwave.XORTruthTable(b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cases) != len(want.Cases) {
+		t.Fatalf("served table has %d cases, library %d", len(got.Cases), len(want.Cases))
+	}
+	for i := range got.Cases {
+		g, w := got.Cases[i], want.Cases[i]
+		if g.Correct != w.Correct || g.Expected != w.Expected {
+			t.Fatalf("case %d: served %+v, library %+v", i, g, w)
+		}
+		for j := range g.Outputs {
+			if diff := g.Outputs[j].Normalized - w.Outputs[j].Normalized; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("case %d output %d: served %.15f, library %.15f",
+					i, j, g.Outputs[j].Normalized, w.Outputs[j].Normalized)
+			}
+		}
+	}
+	if !got.AllCorrect() {
+		t.Fatal("served XOR table has incorrect cases")
+	}
+}
+
+func TestRepeatedRequestsHitCache(t *testing.T) {
+	srv, ts := newTestServer(t)
+	req := map[string]any{"gate": "maj3"}
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/table", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	stats := srv.eng.Stats()
+	if stats.CacheHits == 0 {
+		t.Fatalf("no cache hits after repeated identical tables: %+v", stats)
+	}
+	// Three identical MAJ3 tables = 24 case evals; only the first 8 miss.
+	if stats.Evals > 8 {
+		t.Fatalf("repeated tables re-ran evaluations: %d evals, want <= 8", stats.Evals)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		name string
+		req  map[string]any
+		code int
+	}{
+		{"unknown gate", map[string]any{"gate": "nonsense"}, http.StatusBadRequest},
+		{"bad input count", map[string]any{"gate": "xor", "inputs": []bool{true}}, http.StatusBadRequest},
+		{"unknown backend", map[string]any{"gate": "xor", "backend": "quantum"}, http.StatusBadRequest},
+		{"unknown field", map[string]any{"gate": "xor", "bogus": 1}, http.StatusBadRequest},
+	} {
+		url := ts.URL + "/v1/table"
+		if _, hasInputs := tc.req["inputs"]; hasInputs {
+			url = ts.URL + "/v1/eval"
+		}
+		resp, body := postJSON(t, url, tc.req)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, body)
+		}
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv := newServer(spinwave.NewEngine(), 30*time.Second)
+	httpSrv := httptest.NewServer(srv.routes())
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(httpSrv.URL+"/v1/table", "application/json",
+			bytes.NewReader([]byte(`{"gate":"maj3"}`)))
+		if err != nil {
+			done <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			done <- fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		done <- nil
+	}()
+	// Let the request start, then close the listener; the in-flight
+	// request must still complete successfully.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Config.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", err)
+	}
+}

@@ -116,7 +116,7 @@ func parseGate(name string) (spinwave.GateKind, error) {
 	case "maj3single":
 		return spinwave.MAJ3Single, nil
 	default:
-		return 0, fmt.Errorf("unknown gate %q", name)
+		return 0, fmt.Errorf("%w: %q", spinwave.ErrUnknownGate, name)
 	}
 }
 

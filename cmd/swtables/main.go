@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,13 +22,26 @@ import (
 	"spinwave"
 )
 
+// eng fans the truth-table cases of every printed table over a worker
+// pool; sized by -workers.
+var eng *spinwave.Engine
+
+var ctx = context.Background()
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("swtables: ")
 	table := flag.String("table", "all", "which table: 1, 2, 3, derived, ratios, all")
 	backend := flag.String("backend", "behavioral", "backend for tables 1/2: behavioral or micromag")
 	full := flag.Bool("full", false, "use the paper's full dimensions for micromagnetic runs (slow)")
+	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = NumCPU)")
 	flag.Parse()
+
+	var opts []spinwave.EngineOption
+	if *workers > 0 {
+		opts = append(opts, spinwave.WithEngineWorkers(*workers))
+	}
+	eng = spinwave.NewEngine(opts...)
 
 	switch *table {
 	case "1":
@@ -91,7 +105,7 @@ func newBackend(kind spinwave.GateKind, backend string, full bool) spinwave.Back
 
 func printTableI(backend string, full bool) {
 	b := newBackend(spinwave.MAJ3, backend, full)
-	tt, err := spinwave.MajorityTruthTable(b)
+	tt, err := eng.MajorityTable(ctx, b)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,7 +116,7 @@ func printTableI(backend string, full bool) {
 
 func printTableII(backend string, full bool) {
 	b := newBackend(spinwave.XOR, backend, full)
-	tt, err := spinwave.XORTruthTable(b, false)
+	tt, err := eng.XORTable(ctx, b, false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +124,7 @@ func printTableII(backend string, full bool) {
 	fmt.Print(spinwave.FormatTruthTable(tt))
 	fmt.Printf("fan-out mismatch |O1-O2|: %.4f, all cases correct: %v\n", tt.FanOutMatched(), tt.AllCorrect())
 
-	xnor, err := spinwave.XORTruthTable(b, true)
+	xnor, err := eng.XORTable(ctx, b, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -128,7 +142,7 @@ func printRatios() {
 
 func printMAJ5(backend string, full bool) {
 	b := newBackend(spinwave.MAJ5, backend, full)
-	tt, err := spinwave.MajorityTruthTable(b)
+	tt, err := eng.MajorityTable(ctx, b)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -143,7 +157,7 @@ func printDerived() {
 		log.Fatal(err)
 	}
 	for _, d := range []spinwave.DerivedGate{spinwave.AND, spinwave.OR, spinwave.NAND, spinwave.NOR} {
-		tt, err := spinwave.DerivedTruthTable(b, d)
+		tt, err := eng.DerivedTable(ctx, b, d)
 		if err != nil {
 			log.Fatal(err)
 		}

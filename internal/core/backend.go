@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 
@@ -10,6 +13,17 @@ import (
 	"spinwave/internal/material"
 	"spinwave/internal/phasor"
 	"spinwave/internal/units"
+)
+
+// Sentinel errors, re-exported from layout (the bottom of the dependency
+// graph) so every layer wraps the same values.
+var (
+	// ErrUnknownGate reports an unrecognized gate kind.
+	ErrUnknownGate = layout.ErrUnknownGate
+	// ErrBadInputCount reports an input slice of the wrong length.
+	ErrBadInputCount = layout.ErrBadInputCount
+	// ErrUnknownComponent reports a lookup of something that doesn't exist.
+	ErrUnknownComponent = layout.ErrUnknownComponent
 )
 
 // buildLayout constructs the layout for a gate kind.
@@ -24,8 +38,58 @@ func buildLayout(kind GateKind, spec layout.Spec) (*layout.Layout, error) {
 	case MAJ5:
 		return layout.BuildMAJ5(spec)
 	default:
-		return nil, fmt.Errorf("core: unknown gate kind %d", int(kind))
+		return nil, fmt.Errorf("core: %w: gate kind %d", ErrUnknownGate, int(kind))
 	}
+}
+
+// checkInputs validates the input count for a gate kind.
+func checkInputs(kind GateKind, inputs []bool) error {
+	if want := kind.NumInputs(); len(inputs) != want {
+		return fmt.Errorf("core: %w: %s needs %d inputs, got %d", ErrBadInputCount, kind, want, len(inputs))
+	}
+	return nil
+}
+
+// ContextBackend is implemented by backends with native context support:
+// RunContext behaves like Run but honors cancellation and deadlines
+// while the evaluation is in progress.
+type ContextBackend interface {
+	Backend
+	RunContext(ctx context.Context, inputs []bool) (map[string]detect.Readout, error)
+}
+
+// RunContext evaluates one case on any Backend with context support: a
+// ContextBackend runs natively (the micromagnetic backend aborts within
+// one integrator step of cancellation); for plain backends this is the
+// default adapter — the context is checked once up front and the
+// evaluation then runs to completion.
+func RunContext(ctx context.Context, b Backend, inputs []bool) (map[string]detect.Readout, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cb, ok := b.(ContextBackend); ok {
+		return cb.RunContext(ctx, inputs)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Run(inputs)
+}
+
+// Fingerprinter is implemented by backends whose evaluation is a pure
+// function of an enumerable configuration. Fingerprint returns a
+// canonical identity string covering everything the readout depends on
+// (gate kind, geometry, material, solver settings); ok is false when the
+// backend cannot be canonically described (e.g. a region-mutator hook is
+// installed) and results must not be cached.
+type Fingerprinter interface {
+	Fingerprint() (key string, ok bool)
+}
+
+// hashKey reduces a canonical description to a stable hex digest.
+func hashKey(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:16])
 }
 
 // Behavioral is the fast phasor-network backend.
@@ -33,28 +97,44 @@ type Behavioral struct {
 	kind GateKind
 	L    *layout.Layout
 	Net  *phasor.Network
+
+	spec layout.Spec
+	mat  material.Params
 }
 
 // NewBehavioral builds a behavioral backend for the gate. The wave number
 // comes from the spec wavelength, the attenuation length from the
 // material's LocalDemag dispersion at that wavelength; junction
 // scattering loss defaults to 0.9 amplitude transmission per junction.
-func NewBehavioral(kind GateKind, spec layout.Spec, mat material.Params) (*Behavioral, error) {
+// Options (WithJunctionLoss, WithAttenuationLength) override the
+// defaults.
+func NewBehavioral(kind GateKind, spec layout.Spec, mat material.Params, opts ...BehavioralOption) (*Behavioral, error) {
+	cfg := behavioralConfig{junctionLoss: 0.9}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.junctionLoss <= 0 || cfg.junctionLoss > 1 {
+		return nil, fmt.Errorf("core: junction loss %g outside (0, 1]", cfg.junctionLoss)
+	}
 	l, err := buildLayout(kind, spec)
 	if err != nil {
 		return nil, err
 	}
-	model, err := dispersion.New(mat, units.NM(1), dispersion.LocalDemag)
-	if err != nil {
-		return nil, err
+	attLen := cfg.attLength
+	if attLen == 0 {
+		model, err := dispersion.New(mat, units.NM(1), dispersion.LocalDemag)
+		if err != nil {
+			return nil, err
+		}
+		attLen = model.AttenuationLength(units.WaveNumber(spec.Lambda))
 	}
 	k := units.WaveNumber(spec.Lambda)
-	net, err := phasor.New(l, k, model.AttenuationLength(k))
+	net, err := phasor.New(l, k, attLen)
 	if err != nil {
 		return nil, err
 	}
-	net.JunctionLoss = 0.9
-	return &Behavioral{kind: kind, L: l, Net: net}, nil
+	net.JunctionLoss = cfg.junctionLoss
+	return &Behavioral{kind: kind, L: l, Net: net, spec: spec, mat: mat}, nil
 }
 
 // Name implements Backend.
@@ -65,9 +145,18 @@ func (b *Behavioral) Kind() GateKind { return b.kind }
 
 // Run implements Backend.
 func (b *Behavioral) Run(inputs []bool) (map[string]detect.Readout, error) {
+	return b.RunContext(context.Background(), inputs)
+}
+
+// RunContext implements ContextBackend. The phasor evaluation is
+// microseconds long, so the context is only checked up front.
+func (b *Behavioral) RunContext(ctx context.Context, inputs []bool) (map[string]detect.Readout, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	names := b.kind.InputNames()
-	if len(inputs) != len(names) {
-		return nil, fmt.Errorf("core: %s needs %d inputs, got %d", b.kind, len(names), len(inputs))
+	if err := checkInputs(b.kind, inputs); err != nil {
+		return nil, err
 	}
 	drives := make(map[string]complex128, len(names))
 	for i, n := range names {
@@ -86,6 +175,13 @@ func (b *Behavioral) Run(inputs []bool) (map[string]detect.Readout, error) {
 		}
 	}
 	return res, nil
+}
+
+// Fingerprint implements Fingerprinter: a canonical hash of the gate
+// kind, geometry, material, and phasor-network tuning.
+func (b *Behavioral) Fingerprint() (string, bool) {
+	return hashKey(fmt.Sprintf("behavioral/v1|%d|%+v|%+v|loss=%g|att=%g",
+		int(b.kind), b.spec, b.mat, b.Net.JunctionLoss, b.Net.AttLength)), true
 }
 
 func cabs(v complex128) float64 { return math.Hypot(real(v), imag(v)) }

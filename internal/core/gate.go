@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -171,39 +172,54 @@ func EnumerateInputs(n int) [][]bool {
 	return out
 }
 
-// referenceCase runs the all-zeros case and returns its readouts, used
-// for amplitude normalization and as the logic-0 phase reference.
-func referenceCase(b Backend) (map[string]detect.Readout, error) {
-	zeros := make([]bool, b.Kind().NumInputs())
-	ref, err := b.Run(zeros)
-	if err != nil {
-		return nil, fmt.Errorf("core: reference case failed: %w", err)
+// checkReference validates an all-zeros reference readout, used for
+// amplitude normalization and as the logic-0 phase reference.
+func checkReference(ref map[string]detect.Readout) error {
+	if len(ref) == 0 {
+		return fmt.Errorf("core: reference case has no outputs")
 	}
 	for name, r := range ref {
 		if r.Amplitude <= 0 {
-			return nil, fmt.Errorf("core: reference case has zero amplitude at %s", name)
+			return fmt.Errorf("core: reference case has zero amplitude at %s", name)
 		}
 	}
-	return ref, nil
+	return nil
 }
 
-// MajorityTruthTable reproduces Table I: it runs all 8 input cases of a
-// MAJ3 backend, normalizes output amplitudes to the {0,0,0} case, and
-// decodes each output by phase detection against the {0,0,0} phase.
-func MajorityTruthTable(b Backend) (*TruthTable, error) {
-	if b.Kind() == XOR {
-		return nil, fmt.Errorf("core: majority truth table needs a MAJ3 backend, got %s", b.Kind())
-	}
-	ref, err := referenceCase(b)
-	if err != nil {
-		return nil, err
-	}
-	tt := &TruthTable{Gate: b.Kind().String(), Backend: b.Name(), Detection: "phase"}
-	for _, in := range EnumerateInputs(b.Kind().NumInputs()) {
-		res, err := b.Run(in)
+// runCases evaluates every input combination of the gate serially and
+// returns the raw readouts in EnumerateInputs order. The concurrent
+// equivalent lives in internal/engine.
+func runCases(ctx context.Context, b Backend, inputs [][]bool) ([]map[string]detect.Readout, error) {
+	outs := make([]map[string]detect.Readout, len(inputs))
+	for i, in := range inputs {
+		res, err := RunContext(ctx, b, in)
 		if err != nil {
 			return nil, fmt.Errorf("core: case %v: %w", in, err)
 		}
+		outs[i] = res
+	}
+	return outs, nil
+}
+
+// AssembleMajorityTable decodes a Table-I truth table from raw readouts:
+// ref is the all-zeros reference (amplitude normalization and logic-0
+// phase), cases holds one readout per EnumerateInputs(kind.NumInputs())
+// combination, in order. The readouts may have been produced serially or
+// concurrently — assembly is deterministic either way.
+func AssembleMajorityTable(kind GateKind, backendName string, ref map[string]detect.Readout, cases []map[string]detect.Readout) (*TruthTable, error) {
+	if kind == XOR {
+		return nil, fmt.Errorf("core: majority truth table needs a MAJ3 backend, got %s", kind)
+	}
+	if err := checkReference(ref); err != nil {
+		return nil, err
+	}
+	ins := EnumerateInputs(kind.NumInputs())
+	if len(cases) != len(ins) {
+		return nil, fmt.Errorf("core: majority table needs %d case readouts, got %d", len(ins), len(cases))
+	}
+	tt := &TruthTable{Gate: kind.String(), Backend: backendName, Detection: "phase"}
+	for ci, in := range ins {
+		res := cases[ci]
 		cr := CaseResult{Inputs: in, Expected: MajorityExpected(in), Correct: true}
 		for _, name := range sortedOutputs(res) {
 			r := res[name]
@@ -225,28 +241,48 @@ func MajorityTruthTable(b Backend) (*TruthTable, error) {
 	return tt, nil
 }
 
-// XORTruthTable reproduces Table II: all 4 input cases of the XOR
-// backend, normalized to the {0,0} case and decoded by threshold
-// detection with the paper's threshold of 0.5. Setting inverted yields
-// the XNOR gate (§III-B).
-func XORTruthTable(b Backend, inverted bool) (*TruthTable, error) {
-	if b.Kind() != XOR {
-		return nil, fmt.Errorf("core: XOR truth table needs an XOR backend, got %s", b.Kind())
+// MajorityTruthTable reproduces Table I: it runs all 8 input cases of a
+// MAJ3 backend, normalizes output amplitudes to the {0,0,0} case, and
+// decodes each output by phase detection against the {0,0,0} phase.
+func MajorityTruthTable(b Backend) (*TruthTable, error) {
+	return MajorityTruthTableContext(context.Background(), b)
+}
+
+// MajorityTruthTableContext is MajorityTruthTable with cancellation: a
+// cancelled or expired context aborts the table mid-evaluation (within
+// one integrator step on the micromagnetic backend).
+func MajorityTruthTableContext(ctx context.Context, b Backend) (*TruthTable, error) {
+	if b.Kind() == XOR {
+		return nil, fmt.Errorf("core: majority truth table needs a MAJ3 backend, got %s", b.Kind())
 	}
-	ref, err := referenceCase(b)
+	outs, err := runCases(ctx, b, EnumerateInputs(b.Kind().NumInputs()))
 	if err != nil {
 		return nil, err
+	}
+	// The all-zeros case is row 0 of the enumeration; it doubles as the
+	// normalization/phase reference.
+	return AssembleMajorityTable(b.Kind(), b.Name(), outs[0], outs)
+}
+
+// AssembleXORTable decodes a Table-II truth table from raw readouts: ref
+// is the all-zeros reference amplitude, cases holds one readout per
+// EnumerateInputs(2) combination, in order. Setting inverted decodes the
+// XNOR gate (§III-B).
+func AssembleXORTable(backendName string, inverted bool, ref map[string]detect.Readout, cases []map[string]detect.Readout) (*TruthTable, error) {
+	if err := checkReference(ref); err != nil {
+		return nil, err
+	}
+	ins := EnumerateInputs(2)
+	if len(cases) != len(ins) {
+		return nil, fmt.Errorf("core: XOR table needs %d case readouts, got %d", len(ins), len(cases))
 	}
 	gate := "xor-fo2"
 	if inverted {
 		gate = "xnor-fo2"
 	}
-	tt := &TruthTable{Gate: gate, Backend: b.Name(), Detection: "threshold"}
-	for _, in := range EnumerateInputs(2) {
-		res, err := b.Run(in)
-		if err != nil {
-			return nil, fmt.Errorf("core: case %v: %w", in, err)
-		}
+	tt := &TruthTable{Gate: gate, Backend: backendName, Detection: "threshold"}
+	for ci, in := range ins {
+		res := cases[ci]
 		want := XORExpected(in)
 		if inverted {
 			want = !want
@@ -270,6 +306,26 @@ func XORTruthTable(b Backend, inverted bool) (*TruthTable, error) {
 		tt.Cases = append(tt.Cases, cr)
 	}
 	return tt, nil
+}
+
+// XORTruthTable reproduces Table II: all 4 input cases of the XOR
+// backend, normalized to the {0,0} case and decoded by threshold
+// detection with the paper's threshold of 0.5. Setting inverted yields
+// the XNOR gate (§III-B).
+func XORTruthTable(b Backend, inverted bool) (*TruthTable, error) {
+	return XORTruthTableContext(context.Background(), b, inverted)
+}
+
+// XORTruthTableContext is XORTruthTable with cancellation.
+func XORTruthTableContext(ctx context.Context, b Backend, inverted bool) (*TruthTable, error) {
+	if b.Kind() != XOR {
+		return nil, fmt.Errorf("core: XOR truth table needs an XOR backend, got %s", b.Kind())
+	}
+	outs, err := runCases(ctx, b, EnumerateInputs(2))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleXORTable(b.Name(), inverted, outs[0], outs)
 }
 
 // DerivedGate selects a 2-input gate implemented on the MAJ3 structure by
@@ -334,26 +390,40 @@ func (d DerivedGate) Expected(a, b bool) bool {
 	}
 }
 
-// DerivedTruthTable evaluates a 2-input derived gate on a MAJ3 backend:
-// I1 and I2 carry data, I3 is the control input (§III-A).
-func DerivedTruthTable(b Backend, d DerivedGate) (*TruthTable, error) {
-	if b.Kind() == XOR {
-		return nil, fmt.Errorf("core: derived gates need a MAJ3 backend")
-	}
-	i3, inverted, err := d.control()
+// DerivedCaseInputs returns the 3-input drive pattern for each 2-input
+// case of the derived gate, in EnumerateInputs(2) order: I1 and I2 carry
+// data, I3 is pinned to the gate's control level (§III-A).
+func (d DerivedGate) DerivedCaseInputs() ([][]bool, error) {
+	i3, _, err := d.control()
 	if err != nil {
 		return nil, err
 	}
-	ref, err := referenceCase(b)
+	ins := EnumerateInputs(2)
+	out := make([][]bool, len(ins))
+	for i, in := range ins {
+		out[i] = []bool{in[0], in[1], i3}
+	}
+	return out, nil
+}
+
+// AssembleDerivedTable decodes a §III-A derived-gate truth table from raw
+// readouts: ref is the all-zeros reference of the underlying MAJ3
+// structure, cases holds one readout per DerivedCaseInputs row, in order.
+func AssembleDerivedTable(backendName string, d DerivedGate, ref map[string]detect.Readout, cases []map[string]detect.Readout) (*TruthTable, error) {
+	_, inverted, err := d.control()
 	if err != nil {
 		return nil, err
 	}
-	tt := &TruthTable{Gate: d.String() + "-on-maj3", Backend: b.Name(), Detection: "phase"}
-	for _, in := range EnumerateInputs(2) {
-		res, err := b.Run([]bool{in[0], in[1], i3})
-		if err != nil {
-			return nil, fmt.Errorf("core: case %v: %w", in, err)
-		}
+	if err := checkReference(ref); err != nil {
+		return nil, err
+	}
+	ins := EnumerateInputs(2)
+	if len(cases) != len(ins) {
+		return nil, fmt.Errorf("core: derived table needs %d case readouts, got %d", len(ins), len(cases))
+	}
+	tt := &TruthTable{Gate: d.String() + "-on-maj3", Backend: backendName, Detection: "phase"}
+	for ci, in := range ins {
+		res := cases[ci]
 		want := d.Expected(in[0], in[1])
 		cr := CaseResult{Inputs: in, Expected: want, Correct: true}
 		for _, name := range sortedOutputs(res) {
@@ -378,6 +448,33 @@ func DerivedTruthTable(b Backend, d DerivedGate) (*TruthTable, error) {
 		tt.Cases = append(tt.Cases, cr)
 	}
 	return tt, nil
+}
+
+// DerivedTruthTable evaluates a 2-input derived gate on a MAJ3 backend:
+// I1 and I2 carry data, I3 is the control input (§III-A).
+func DerivedTruthTable(b Backend, d DerivedGate) (*TruthTable, error) {
+	return DerivedTruthTableContext(context.Background(), b, d)
+}
+
+// DerivedTruthTableContext is DerivedTruthTable with cancellation.
+func DerivedTruthTableContext(ctx context.Context, b Backend, d DerivedGate) (*TruthTable, error) {
+	if b.Kind() == XOR {
+		return nil, fmt.Errorf("core: derived gates need a MAJ3 backend")
+	}
+	drives, err := d.DerivedCaseInputs()
+	if err != nil {
+		return nil, err
+	}
+	zeros := make([]bool, b.Kind().NumInputs())
+	ref, err := RunContext(ctx, b, zeros)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference case failed: %w", err)
+	}
+	outs, err := runCases(ctx, b, drives)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleDerivedTable(b.Name(), d, ref, outs)
 }
 
 // sortedOutputs returns the output names in O1, O2, ... order.

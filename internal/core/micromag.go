@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -113,7 +114,20 @@ type Micromagnetic struct {
 
 // NewMicromagnetic prepares the backend (mesh, region, timing). It does
 // not run anything yet.
-func NewMicromagnetic(kind GateKind, cfg MicromagConfig) (*Micromagnetic, error) {
+//
+// The options are applied in order onto a default config (ReducedSpec
+// geometry, FeCoB material): either a bare MicromagConfig (the legacy
+// form, which replaces the whole config) or functional options such as
+// WithSpec, WithScheme, and WithWorkers. With no options at all the
+// backend simulates the reduced-scale device in Fe60Co20B20.
+func NewMicromagnetic(kind GateKind, opts ...MicromagOption) (*Micromagnetic, error) {
+	// Defaults are seeded before the options run, so a legacy bare
+	// MicromagConfig replaces them wholesale — an explicitly zero spec or
+	// material still fails validation exactly as it always did.
+	cfg := MicromagConfig{Spec: layout.ReducedSpec(), Mat: material.FeCoB()}
+	for _, o := range opts {
+		o.applyMicromag(&cfg)
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
@@ -206,8 +220,8 @@ func (m *Micromagnetic) nodeCells(n layout.Node, radius float64) []int {
 // mute are left out entirely (used by calibration runs).
 func (m *Micromagnetic) newSolver(inputs []bool, mute map[string]bool) (*llg.Solver, map[string]*detect.Probe, error) {
 	names := m.kind.InputNames()
-	if len(inputs) != len(names) {
-		return nil, nil, fmt.Errorf("core: %s needs %d inputs, got %d", m.kind, len(names), len(inputs))
+	if err := checkInputs(m.kind, inputs); err != nil {
+		return nil, nil, err
 	}
 	s, err := llg.New(m.Mesh, m.Region, m.cfg.Mat, m.dt)
 	if err != nil {
@@ -280,7 +294,30 @@ func (m *Micromagnetic) newSolver(inputs []bool, mute map[string]bool) (*llg.Sol
 
 // Run implements Backend: a full transient simulation per case.
 func (m *Micromagnetic) Run(inputs []bool) (map[string]detect.Readout, error) {
-	return m.run(inputs, nil)
+	return m.run(context.Background(), inputs, nil)
+}
+
+// RunContext implements ContextBackend: the context is polled before
+// every integrator step, so cancellation aborts a multi-nanosecond
+// transient within one step instead of after the full run.
+func (m *Micromagnetic) RunContext(ctx context.Context, inputs []bool) (map[string]detect.Readout, error) {
+	return m.run(ctx, inputs, nil)
+}
+
+// Fingerprint implements Fingerprinter: a canonical hash of the gate
+// kind and the full micromagnetic config. A backend with a RegionMutator
+// hook has no canonical identity and reports ok = false (uncacheable).
+// The stencil worker count is excluded — results are identical for any
+// value.
+func (m *Micromagnetic) Fingerprint() (string, bool) {
+	if m.cfg.RegionMutator != nil {
+		return "", false
+	}
+	c := m.cfg
+	return hashKey(fmt.Sprintf("micromag/v1|%d|%+v|%+v|cell=%g|drive=%g|ramp=%g|meas=%d|settle=%g|sample=%d|alpha=%g|scheme=%d|T=%g|seed=%d|trim=%g",
+		int(m.kind), c.Spec, c.Mat, c.CellSize, c.DriveField, c.RampPeriods,
+		c.MeasurePeriods, c.SettleFactor, c.SampleEvery, c.MaxAlpha,
+		int(c.Scheme), c.Temperature, c.Seed, c.I3PhaseTrim)), true
 }
 
 // RunSingle excites only the named input at logic 0 and measures the
@@ -298,9 +335,9 @@ func (m *Micromagnetic) RunSingle(name string) (map[string]detect.Readout, error
 		}
 	}
 	if !found {
-		return nil, fmt.Errorf("core: %s has no input %q", m.kind, name)
+		return nil, fmt.Errorf("core: %w: %s has no input %q", ErrUnknownComponent, m.kind, name)
 	}
-	return m.run(make([]bool, len(names)), mute)
+	return m.run(context.Background(), make([]bool, len(names)), mute)
 }
 
 // RunBackground simulates with every antenna muted — only the thermal
@@ -314,7 +351,7 @@ func (m *Micromagnetic) RunBackground() (map[string]detect.Readout, error) {
 	for _, n := range names {
 		mute[n] = true
 	}
-	return m.run(make([]bool, len(names)), mute)
+	return m.run(context.Background(), make([]bool, len(names)), mute)
 }
 
 // CalibrateI3 measures the phase offset between the I1 body path and the
@@ -343,20 +380,22 @@ func (m *Micromagnetic) CalibrateI3() (float64, error) {
 	return trim, nil
 }
 
-func (m *Micromagnetic) run(inputs []bool, mute map[string]bool) (map[string]detect.Readout, error) {
+func (m *Micromagnetic) run(ctx context.Context, inputs []bool, mute map[string]bool) (map[string]detect.Readout, error) {
 	s, probes, err := m.newSolver(inputs, mute)
 	if err != nil {
 		return nil, err
 	}
 	every := m.cfg.SampleEvery
-	s.Run(m.duration, func(step int) bool {
+	if err := s.RunContext(ctx, m.duration, func(step int) bool {
 		if step%every == 0 {
 			for _, p := range probes {
 				p.Sample(s.Time, s.M)
 			}
 		}
 		return true
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("core: %s evaluation aborted: %w", m.kind, err)
+	}
 	if err := s.CheckFinite(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"spinwave/internal/grid"
+	"spinwave/internal/layout"
+	"spinwave/internal/llg"
+	"spinwave/internal/material"
+)
+
+// BehavioralOption customizes NewBehavioral beyond the positional
+// gate/spec/material arguments.
+type BehavioralOption func(*behavioralConfig)
+
+type behavioralConfig struct {
+	junctionLoss float64
+	attLength    float64 // 0 = derive from the material dispersion
+}
+
+// WithJunctionLoss sets the amplitude transmission factor applied at each
+// junction node, in (0, 1]. The default 0.9 models the scattering loss of
+// an abrupt Y-junction.
+func WithJunctionLoss(f float64) BehavioralOption {
+	return func(c *behavioralConfig) { c.junctionLoss = f }
+}
+
+// WithAttenuationLength overrides the 1/e amplitude attenuation length
+// (meters) instead of deriving it from the material's dispersion. Zero or
+// +Inf disables attenuation.
+func WithAttenuationLength(l float64) BehavioralOption {
+	return func(c *behavioralConfig) { c.attLength = l }
+}
+
+// MicromagOption customizes NewMicromagnetic. Options are applied in
+// order onto a default config (ReducedSpec geometry, FeCoB material).
+//
+// MicromagConfig itself implements MicromagOption by replacing the whole
+// config, so the pre-options call sites
+//
+//	NewMicromagnetic(kind, MicromagConfig{Spec: ..., Mat: ...})
+//
+// keep compiling and behaving exactly as before. That form is the
+// deprecated path; new code should pass WithSpec/WithMaterial/... options.
+type MicromagOption interface {
+	applyMicromag(*MicromagConfig)
+}
+
+// applyMicromag implements MicromagOption: a bare config replaces the
+// accumulated one wholesale (legacy constructor semantics).
+func (c MicromagConfig) applyMicromag(dst *MicromagConfig) { *dst = c }
+
+// micromagOptionFunc adapts a mutation function to MicromagOption.
+type micromagOptionFunc func(*MicromagConfig)
+
+func (f micromagOptionFunc) applyMicromag(c *MicromagConfig) { f(c) }
+
+// WithSpec sets the gate geometry (default layout.ReducedSpec).
+func WithSpec(s layout.Spec) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.Spec = s })
+}
+
+// WithMaterial sets the film material (default material.FeCoB).
+func WithMaterial(m material.Params) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.Mat = m })
+}
+
+// WithScheme selects the LLG integrator (default RK4).
+func WithScheme(s llg.Scheme) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.Scheme = s })
+}
+
+// WithWorkers parallelizes the field-stencil evaluation over row bands
+// inside each transient run. Results are identical for any worker count.
+func WithWorkers(n int) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.Workers = n })
+}
+
+// WithCellSize sets the square cell edge in meters (default λ/11).
+func WithCellSize(d float64) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.CellSize = d })
+}
+
+// WithDriveField sets the antenna RF amplitude in Tesla (default 2 mT).
+func WithDriveField(b float64) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.DriveField = b })
+}
+
+// WithTemperature enables the stochastic thermal field at T kelvin with
+// the given noise seed.
+func WithTemperature(t float64, seed int64) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.Temperature = t; c.Seed = seed })
+}
+
+// WithRegionMutator post-processes the rasterized material region (edge
+// roughness, erosion, defects) before simulation — the §IV-D variability
+// hook. A backend with a mutator is not cacheable by the engine (the
+// function has no canonical identity).
+func WithRegionMutator(f func(grid.Mesh, grid.Region) grid.Region) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.RegionMutator = f })
+}
+
+// WithI3PhaseTrim sets the I3 drive-phase trim in radians (see
+// MicromagConfig.I3PhaseTrim and CalibrateI3).
+func WithI3PhaseTrim(rad float64) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.I3PhaseTrim = rad })
+}
+
+// WithMeasurePeriods sets the lock-in window length in drive periods.
+func WithMeasurePeriods(n int) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.MeasurePeriods = n })
+}

@@ -1,0 +1,346 @@
+// Package engine is the concurrent evaluation engine: it fans
+// truth-table cases, sweep points, and parallel-word channels out over a
+// bounded worker pool, plumbs context cancellation through to the LLG
+// step loop, memoizes readouts in an LRU cache keyed by a canonical
+// backend fingerprint, and de-duplicates identical in-flight requests
+// with singleflight.
+//
+// Two separate semaphores bound the work:
+//
+//   - eval slots gate individual case evaluations (Eval), the unit of
+//     real compute;
+//   - task slots gate coarse-grained jobs (Map — e.g. one sweep point
+//     each), which may themselves submit Evals.
+//
+// Keeping the pools separate means a coarse task that fans out inner
+// Evals can never deadlock waiting for a slot its own kind is holding,
+// while each pool still bounds its level at the configured worker count.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spinwave/internal/core"
+	"spinwave/internal/detect"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the number of concurrently running evaluations
+	// (default runtime.NumCPU()).
+	Workers int
+	// CacheSize is the maximum number of memoized case readouts
+	// (default 4096; 0 disables the cache).
+	CacheSize int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithWorkers sets the worker-pool size.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithCacheSize sets the LRU capacity in entries; 0 disables caching.
+func WithCacheSize(n int) Option { return func(o *Options) { o.CacheSize = n } }
+
+// Engine is a concurrent gate-evaluation engine. The zero value is not
+// usable; construct with New. An Engine is safe for concurrent use.
+type Engine struct {
+	workers   int
+	evalSlots chan struct{}
+	taskSlots chan struct{}
+	cache     *lruCache // nil when caching is disabled
+	flight    group
+
+	// Counters, exported via Stats for expvar publication.
+	requests  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	deduped   atomic.Int64
+	evals     atomic.Int64
+	evalErrs  atomic.Int64
+	inFlight  atomic.Int64
+	satWaits  atomic.Int64
+	latNanos  atomic.Int64
+	latCount  atomic.Int64
+	cancelled atomic.Int64
+}
+
+// New builds an engine with the given options.
+func New(opts ...Option) *Engine {
+	o := Options{Workers: runtime.NumCPU(), CacheSize: 4096}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	e := &Engine{
+		workers:   o.Workers,
+		evalSlots: make(chan struct{}, o.Workers),
+		taskSlots: make(chan struct{}, o.Workers),
+	}
+	if o.CacheSize > 0 {
+		e.cache = newLRUCache(o.CacheSize)
+	}
+	return e
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Workers         int   // configured pool size
+	Requests        int64 // Eval calls
+	CacheHits       int64
+	CacheMisses     int64
+	CacheEntries    int   // current number of cached readouts
+	Deduped         int64 // requests coalesced onto an identical in-flight eval
+	Evals           int64 // evaluations actually run to completion
+	EvalErrors      int64 // evaluations that returned an error
+	Cancelled       int64 // evaluations aborted by context
+	InFlight        int64 // evaluations holding a worker slot right now
+	SaturationWaits int64 // times a request had to queue for a free worker
+	EvalNanos       int64 // cumulative wall-clock spent in evaluations
+	EvalCount       int64 // evaluations timed (for mean latency)
+}
+
+// MeanLatency returns the average evaluation wall-clock time.
+func (s Stats) MeanLatency() time.Duration {
+	if s.EvalCount == 0 {
+		return 0
+	}
+	return time.Duration(s.EvalNanos / s.EvalCount)
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:         e.workers,
+		Requests:        e.requests.Load(),
+		CacheHits:       e.hits.Load(),
+		CacheMisses:     e.misses.Load(),
+		Deduped:         e.deduped.Load(),
+		Evals:           e.evals.Load(),
+		EvalErrors:      e.evalErrs.Load(),
+		Cancelled:       e.cancelled.Load(),
+		InFlight:        e.inFlight.Load(),
+		SaturationWaits: e.satWaits.Load(),
+		EvalNanos:       e.latNanos.Load(),
+		EvalCount:       e.latCount.Load(),
+	}
+	if e.cache != nil {
+		s.CacheEntries = e.cache.len()
+	}
+	return s
+}
+
+// evalKey derives the cache/singleflight key for one case: the backend's
+// canonical fingerprint plus the input bits. ok is false when the
+// backend is not fingerprintable (results must not be cached or
+// coalesced — two non-canonical backends could differ).
+func evalKey(b core.Backend, inputs []bool) (string, bool) {
+	fp, ok := b.(core.Fingerprinter)
+	if !ok {
+		return "", false
+	}
+	key, ok := fp.Fingerprint()
+	if !ok {
+		return "", false
+	}
+	bits := make([]byte, len(inputs))
+	for i, v := range inputs {
+		if v {
+			bits[i] = '1'
+		} else {
+			bits[i] = '0'
+		}
+	}
+	return key + "/" + string(bits), true
+}
+
+// Eval evaluates one input case of the backend through the worker pool.
+// Identical requests are served from the LRU cache when the backend is
+// fingerprintable; identical in-flight requests are coalesced onto one
+// evaluation. The returned map is the caller's to keep.
+func (e *Engine) Eval(ctx context.Context, b core.Backend, inputs []bool) (map[string]detect.Readout, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.requests.Add(1)
+	key, cacheable := evalKey(b, inputs)
+	if !cacheable {
+		return e.runEval(ctx, b, inputs)
+	}
+	if e.cache != nil {
+		if v, ok := e.cache.get(key); ok {
+			e.hits.Add(1)
+			return cloneReadouts(v), nil
+		}
+		e.misses.Add(1)
+	}
+	v, err, shared := e.flight.do(ctx, key, func() (map[string]detect.Readout, error) {
+		out, err := e.runEval(ctx, b, inputs)
+		if err == nil && e.cache != nil {
+			e.cache.put(key, out)
+		}
+		return out, err
+	})
+	if shared {
+		e.deduped.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cloneReadouts(v), nil
+}
+
+// runEval acquires an eval slot and runs the case with context support.
+func (e *Engine) runEval(ctx context.Context, b core.Backend, inputs []bool) (map[string]detect.Readout, error) {
+	if err := e.acquire(ctx, e.evalSlots); err != nil {
+		e.cancelled.Add(1)
+		return nil, err
+	}
+	defer func() { <-e.evalSlots }()
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	start := time.Now()
+	out, err := core.RunContext(ctx, b, inputs)
+	e.latNanos.Add(time.Since(start).Nanoseconds())
+	e.latCount.Add(1)
+	switch {
+	case err == nil:
+		e.evals.Add(1)
+	case ctx.Err() != nil:
+		e.cancelled.Add(1)
+	default:
+		e.evalErrs.Add(1)
+	}
+	return out, err
+}
+
+// acquire takes a slot from the semaphore, counting a saturation wait
+// when none is immediately free, and aborting on context cancellation.
+func (e *Engine) acquire(ctx context.Context, slots chan struct{}) error {
+	select {
+	case slots <- struct{}{}:
+		return nil
+	default:
+	}
+	e.satWaits.Add(1)
+	select {
+	case slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Map runs f(ctx, i) for every i in [0, n) through the coarse task pool:
+// at most Workers tasks run at once. The first error cancels the shared
+// context of the remaining tasks and is returned after all started tasks
+// finish. Use Map for jobs that are themselves units of work (sweep
+// points, word channels); truth-table cases go through Eval.
+func (e *Engine) Map(ctx context.Context, n int, f func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for i := 0; i < n; i++ {
+		if err := e.acquire(ctx, e.taskSlots); err != nil {
+			fail(err)
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-e.taskSlots }()
+			if ctx.Err() != nil {
+				return
+			}
+			if err := f(ctx, i); err != nil {
+				fail(fmt.Errorf("engine: task %d: %w", i, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Tasks skipped by an already-cancelled parent context never call
+	// fail; surface that cancellation instead of silent empty results.
+	return parent.Err()
+}
+
+// fanout runs f(ctx, i) for every i in [0, n) on its own goroutine —
+// concurrency here is bounded by what f itself acquires (Eval slots),
+// not by the task pool. The first error cancels the rest.
+func (e *Engine) fanout(ctx context.Context, n int, f func(ctx context.Context, i int) error) error {
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			if err := f(ctx, i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return parent.Err()
+}
+
+// cloneReadouts copies a readout map so cached values stay immutable.
+func cloneReadouts(m map[string]detect.Readout) map[string]detect.Readout {
+	out := make(map[string]detect.Readout, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

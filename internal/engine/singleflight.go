@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"spinwave/internal/detect"
+)
+
+// group coalesces concurrent calls with the same key onto one execution
+// — a minimal, context-aware singleflight (no external dependency).
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+type call struct {
+	done chan struct{}
+	val  map[string]detect.Readout
+	err  error
+}
+
+// do runs fn once per key among concurrent callers. Followers wait for
+// the leader's result; a follower whose own context expires returns its
+// ctx error immediately and leaves the leader running. The leader's
+// context governs the evaluation itself, so a cancelled leader can
+// propagate its cancellation error to followers — callers that need a
+// fresh attempt simply call again (the key is cleared before done is
+// signalled).
+func (g *group) do(ctx context.Context, key string, fn func() (map[string]detect.Readout, error)) (val map[string]detect.Readout, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"spinwave/internal/core"
+	"spinwave/internal/detect"
+)
+
+// evalCases fans the given input combinations out over the worker pool
+// and returns the readouts in input order.
+func (e *Engine) evalCases(ctx context.Context, b core.Backend, inputs [][]bool) ([]map[string]detect.Readout, error) {
+	outs := make([]map[string]detect.Readout, len(inputs))
+	err := e.fanout(ctx, len(inputs), func(ctx context.Context, i int) error {
+		out, err := e.Eval(ctx, b, inputs[i])
+		if err != nil {
+			return fmt.Errorf("case %v: %w", inputs[i], err)
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return outs, nil
+}
+
+// MajorityTable reproduces the paper's Table I through the engine: all
+// input cases of a MAJ3-family backend evaluated concurrently on the
+// worker pool, then decoded exactly as core.MajorityTruthTable would.
+func (e *Engine) MajorityTable(ctx context.Context, b core.Backend) (*core.TruthTable, error) {
+	if b.Kind() == core.XOR {
+		return nil, fmt.Errorf("engine: majority truth table needs a MAJ3 backend, got %s", b.Kind())
+	}
+	outs, err := e.evalCases(ctx, b, core.EnumerateInputs(b.Kind().NumInputs()))
+	if err != nil {
+		return nil, err
+	}
+	return core.AssembleMajorityTable(b.Kind(), b.Name(), outs[0], outs)
+}
+
+// XORTable reproduces Table II through the engine; inverted decodes the
+// XNOR gate.
+func (e *Engine) XORTable(ctx context.Context, b core.Backend, inverted bool) (*core.TruthTable, error) {
+	if b.Kind() != core.XOR {
+		return nil, fmt.Errorf("engine: XOR truth table needs an XOR backend, got %s", b.Kind())
+	}
+	outs, err := e.evalCases(ctx, b, core.EnumerateInputs(2))
+	if err != nil {
+		return nil, err
+	}
+	return core.AssembleXORTable(b.Name(), inverted, outs[0], outs)
+}
+
+// DerivedTable evaluates a §III-A derived (N)AND/(N)OR gate through the
+// engine: the all-zeros reference and the four pinned-I3 cases run
+// concurrently.
+func (e *Engine) DerivedTable(ctx context.Context, b core.Backend, d core.DerivedGate) (*core.TruthTable, error) {
+	if b.Kind() == core.XOR {
+		return nil, fmt.Errorf("engine: derived gates need a MAJ3 backend")
+	}
+	drives, err := d.DerivedCaseInputs()
+	if err != nil {
+		return nil, err
+	}
+	// The reference (all zeros of the full MAJ3 input space) rides along
+	// as one more fanned-out case.
+	all := make([][]bool, 0, len(drives)+1)
+	all = append(all, make([]bool, b.Kind().NumInputs()))
+	all = append(all, drives...)
+	outs, err := e.evalCases(ctx, b, all)
+	if err != nil {
+		return nil, err
+	}
+	return core.AssembleDerivedTable(b.Name(), d, outs[0], outs[1:])
+}
+
+// Table evaluates the natural truth table of the backend's gate kind:
+// Table II for XOR backends, Table I for the Majority family.
+func (e *Engine) Table(ctx context.Context, b core.Backend) (*core.TruthTable, error) {
+	if b.Kind() == core.XOR {
+		return e.XORTable(ctx, b, false)
+	}
+	return e.MajorityTable(ctx, b)
+}

@@ -1,0 +1,19 @@
+package layout
+
+import "errors"
+
+// Sentinel errors shared across the gate stack. They live in layout —
+// the bottom of the dependency graph — so core, the root package, and
+// the command front-ends can all wrap them with %w and callers can test
+// with errors.Is instead of matching message strings.
+var (
+	// ErrUnknownGate reports a gate kind or gate name that no builder
+	// recognizes.
+	ErrUnknownGate = errors.New("unknown gate")
+	// ErrBadInputCount reports an input slice whose length does not match
+	// the gate's transducer count.
+	ErrBadInputCount = errors.New("bad input count")
+	// ErrUnknownComponent reports a lookup of a node, field component, or
+	// circuit element that does not exist.
+	ErrUnknownComponent = errors.New("unknown component")
+)

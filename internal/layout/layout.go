@@ -463,7 +463,7 @@ func (l *Layout) NodeByName(name string) (int, error) {
 			return i, nil
 		}
 	}
-	return 0, fmt.Errorf("layout %s: no node %q", l.Name, name)
+	return 0, fmt.Errorf("layout %s: %w: no node %q", l.Name, ErrUnknownComponent, name)
 }
 
 // Inputs returns the input node indices in declaration order.

@@ -14,6 +14,7 @@
 package llg
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -236,13 +237,31 @@ func (s *Solver) Steps() int { return s.steps }
 // during this Run call (starting at 1). If each returns false the run
 // stops early.
 func (s *Solver) Run(duration float64, each func(step int) bool) {
+	_ = s.RunContext(context.Background(), duration, each)
+}
+
+// RunContext is Run with cancellation: the context is polled before every
+// integrator step, so a cancelled or expired context aborts the
+// integration within one step and returns ctx.Err(). The magnetization is
+// left in its mid-run state; callers that abort should discard it.
+func (s *Solver) RunContext(ctx context.Context, duration float64, each func(step int) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
 	n := int(duration / s.Dt)
 	for i := 1; i <= n; i++ {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
 		s.Step()
 		if each != nil && !each(i) {
-			return
+			return nil
 		}
 	}
+	return ctx.Err()
 }
 
 // CheckFinite returns an error naming the first cell whose magnetization

@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"spinwave/internal/core"
 	"spinwave/internal/detect"
@@ -37,7 +39,8 @@ type MicromagXOR struct {
 	basePeriods int // lock-in window in whole base periods
 	driveField  float64
 
-	refs map[string][]float64 // per-output, per-channel reference amplitude
+	refMu sync.Mutex           // guards refs for concurrent Run callers
+	refs  map[string][]float64 // per-output, per-channel reference amplitude
 }
 
 // NewMicromagXOR prepares the n-bit parallel XOR simulation. Channel
@@ -105,10 +108,11 @@ func NewMicromagXOR(spec layout.Spec, mat material.Params, nbits int) (*Micromag
 func (p *MicromagXOR) Duration() float64 { return p.duration }
 
 // runCase simulates one (wordA, wordB) case and returns the raw per-
-// channel lock-in amplitudes at each output.
-func (p *MicromagXOR) runCase(a, b Word) (map[string][]float64, error) {
+// channel lock-in amplitudes at each output. A cancelled context aborts
+// the transient within one integrator step.
+func (p *MicromagXOR) runCase(ctx context.Context, a, b Word) (map[string][]float64, error) {
 	if len(a) != len(p.Channels) || len(b) != len(p.Channels) {
-		return nil, fmt.Errorf("parallel: words need %d bits", len(p.Channels))
+		return nil, fmt.Errorf("parallel: %w: words need %d bits", layout.ErrBadInputCount, len(p.Channels))
 	}
 	s, err := llg.New(p.Mesh, p.Region, p.Mat, p.dt)
 	if err != nil {
@@ -154,14 +158,16 @@ func (p *MicromagXOR) runCase(a, b Word) (map[string][]float64, error) {
 		}
 		probes[n.Name] = pr
 	}
-	s.Run(p.duration, func(step int) bool {
+	if err := s.RunContext(ctx, p.duration, func(step int) bool {
 		if step%p.sampleEvery == 0 {
 			for _, pr := range probes {
 				pr.Sample(s.Time, s.M)
 			}
 		}
 		return true
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("parallel: case aborted: %w", err)
+	}
 	if err := s.CheckFinite(); err != nil {
 		return nil, err
 	}
@@ -200,13 +206,17 @@ func (p *MicromagXOR) nodeCells(n layout.Node, radius float64) []int {
 	return cells
 }
 
-// references lazily computes the all-zeros amplitudes per channel.
-func (p *MicromagXOR) references() (map[string][]float64, error) {
+// references lazily computes the all-zeros amplitudes per channel. The
+// mutex serializes concurrent first callers; later callers reuse the
+// memoized result.
+func (p *MicromagXOR) references(ctx context.Context) (map[string][]float64, error) {
+	p.refMu.Lock()
+	defer p.refMu.Unlock()
 	if p.refs != nil {
 		return p.refs, nil
 	}
 	zero := make(Word, len(p.Channels))
-	refs, err := p.runCase(zero, zero)
+	refs, err := p.runCase(ctx, zero, zero)
 	if err != nil {
 		return nil, err
 	}
@@ -224,11 +234,17 @@ func (p *MicromagXOR) references() (map[string][]float64, error) {
 // Run evaluates XOR(a, b) per channel and returns the decoded output
 // words plus the normalized per-channel amplitudes.
 func (p *MicromagXOR) Run(a, b Word) (map[string]Word, map[string][]float64, error) {
-	refs, err := p.references()
+	return p.RunContext(context.Background(), a, b)
+}
+
+// RunContext is Run with cancellation: a cancelled or expired context
+// aborts the multi-tone transient within one integrator step.
+func (p *MicromagXOR) RunContext(ctx context.Context, a, b Word) (map[string]Word, map[string][]float64, error) {
+	refs, err := p.references(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	raw, err := p.runCase(a, b)
+	raw, err := p.runCase(ctx, a, b)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -19,12 +19,14 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
 
 	"spinwave/internal/core"
 	"spinwave/internal/dispersion"
+	"spinwave/internal/engine"
 	"spinwave/internal/layout"
 	"spinwave/internal/material"
 	"spinwave/internal/phasor"
@@ -222,7 +224,7 @@ func NewGate(kind core.GateKind, spec layout.Spec, mat material.Params, nbits in
 		}
 		l, err = layout.BuildMAJ3(spec, false)
 	default:
-		return nil, fmt.Errorf("parallel: unsupported gate kind %s", kind)
+		return nil, fmt.Errorf("parallel: %w: unsupported gate kind %s", layout.ErrUnknownGate, kind)
 	}
 	if err != nil {
 		return nil, err
@@ -259,35 +261,72 @@ func (g *Gate) NBits() int { return len(g.Channels) }
 // I(i+1). It returns the decoded n-bit word at each output, keyed by
 // output name.
 func (g *Gate) Eval(words ...Word) (map[string]Word, error) {
+	return g.EvalContext(context.Background(), nil, words...)
+}
+
+// EvalContext is Eval with cancellation and, when eng is non-nil,
+// concurrent per-channel evaluation on the engine's task pool — each
+// frequency channel is an independent phasor network, so an n-bit word
+// fans out over n workers.
+func (g *Gate) EvalContext(ctx context.Context, eng *engine.Engine, words ...Word) (map[string]Word, error) {
 	names := g.Kind.InputNames()
 	if len(words) != len(names) {
-		return nil, fmt.Errorf("parallel: %s needs %d input words, got %d", g.Kind, len(names), len(words))
+		return nil, fmt.Errorf("parallel: %w: %s needs %d input words, got %d",
+			layout.ErrBadInputCount, g.Kind, len(names), len(words))
 	}
 	for i, w := range words {
 		if len(w) != g.NBits() {
-			return nil, fmt.Errorf("parallel: input %s word has %d bits, gate has %d channels", names[i], len(w), g.NBits())
+			return nil, fmt.Errorf("parallel: %w: input %s word has %d bits, gate has %d channels",
+				layout.ErrBadInputCount, names[i], len(w), g.NBits())
 		}
 	}
-	out := map[string]Word{}
-	for ci := range g.Channels {
+	// Evaluate each channel into its own slot, then assemble the words —
+	// per-channel work never touches shared state, so the fan-out is
+	// race-free by construction.
+	type channelOut struct {
+		logic map[string]bool
+	}
+	outs := make([]channelOut, len(g.Channels))
+	evalChannel := func(ctx context.Context, ci int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		drives := map[string]complex128{}
 		for ii, name := range names {
 			drives[name] = phasor.Drive(words[ii][ci])
 		}
 		res, err := g.nets[ci].Evaluate(drives)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		logic := make(map[string]bool, len(res))
 		for name, v := range res {
+			ref := g.refs[ci][name]
+			if g.Kind == core.XOR {
+				logic[name] = phasor.LogicFromThreshold(v, ref, 0.5, false)
+			} else {
+				logic[name] = phasor.LogicFromPhase(v, ref)
+			}
+		}
+		outs[ci] = channelOut{logic: logic}
+		return nil
+	}
+	if eng == nil {
+		for ci := range g.Channels {
+			if err := evalChannel(ctx, ci); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := eng.Map(ctx, len(g.Channels), evalChannel); err != nil {
+		return nil, err
+	}
+	out := map[string]Word{}
+	for ci := range g.Channels {
+		for name, logic := range outs[ci].logic {
 			if _, ok := out[name]; !ok {
 				out[name] = make(Word, g.NBits())
 			}
-			ref := g.refs[ci][name]
-			if g.Kind == core.XOR {
-				out[name][ci] = phasor.LogicFromThreshold(v, ref, 0.5, false)
-			} else {
-				out[name][ci] = phasor.LogicFromPhase(v, ref)
-			}
+			out[name][ci] = logic
 		}
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package spinwave
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -101,14 +102,56 @@ func FeCoB() Material { return material.FeCoB() }
 // "permalloy").
 func MaterialByName(name string) (Material, error) { return material.ByName(name) }
 
+// Functional options for the backend constructors. MicromagConfig
+// itself implements MicromagOption (it replaces the accumulated config
+// wholesale), so pre-options call sites keep compiling; passing a bare
+// config is the deprecated path.
+type (
+	// BehavioralOption customizes NewBehavioral.
+	BehavioralOption = core.BehavioralOption
+	// MicromagOption customizes NewMicromagnetic.
+	MicromagOption = core.MicromagOption
+)
+
+var (
+	// WithJunctionLoss sets the behavioral per-junction amplitude
+	// transmission factor (default 0.9).
+	WithJunctionLoss = core.WithJunctionLoss
+	// WithAttenuationLength overrides the behavioral 1/e attenuation
+	// length instead of deriving it from the dispersion.
+	WithAttenuationLength = core.WithAttenuationLength
+	// WithSpec sets the micromagnetic gate geometry (default ReducedSpec).
+	WithSpec = core.WithSpec
+	// WithMaterial sets the micromagnetic film material (default FeCoB).
+	WithMaterial = core.WithMaterial
+	// WithScheme selects the LLG integrator (SchemeRK4 or SchemeHeun).
+	WithScheme = core.WithScheme
+	// WithWorkers parallelizes the field stencil inside each transient.
+	WithWorkers = core.WithWorkers
+	// WithCellSize sets the square cell edge in meters (default λ/11).
+	WithCellSize = core.WithCellSize
+	// WithDriveField sets the antenna RF amplitude in Tesla.
+	WithDriveField = core.WithDriveField
+	// WithTemperature enables the stochastic thermal field.
+	WithTemperature = core.WithTemperature
+	// WithRegionMutator post-processes the rasterized region (§IV-D).
+	WithRegionMutator = core.WithRegionMutator
+	// WithI3PhaseTrim sets the I3 drive-phase trim in radians.
+	WithI3PhaseTrim = core.WithI3PhaseTrim
+	// WithMeasurePeriods sets the lock-in window in drive periods.
+	WithMeasurePeriods = core.WithMeasurePeriods
+)
+
 // NewBehavioral builds the fast phasor backend for a gate.
-func NewBehavioral(kind GateKind, spec Spec, mat Material) (*Behavioral, error) {
-	return core.NewBehavioral(kind, spec, mat)
+func NewBehavioral(kind GateKind, spec Spec, mat Material, opts ...BehavioralOption) (*Behavioral, error) {
+	return core.NewBehavioral(kind, spec, mat, opts...)
 }
 
-// NewMicromagnetic builds the full-simulation backend for a gate.
-func NewMicromagnetic(kind GateKind, cfg MicromagConfig) (*Micromagnetic, error) {
-	return core.NewMicromagnetic(kind, cfg)
+// NewMicromagnetic builds the full-simulation backend for a gate. Legacy
+// call sites passing a bare MicromagConfig keep working; new code should
+// pass WithSpec/WithMaterial/WithScheme/... options.
+func NewMicromagnetic(kind GateKind, opts ...MicromagOption) (*Micromagnetic, error) {
+	return core.NewMicromagnetic(kind, opts...)
 }
 
 // NewLadderBehavioral builds the ladder-shape baseline backend [22,23].
@@ -116,18 +159,24 @@ func NewLadderBehavioral(spec Spec, mat Material) (Backend, error) {
 	return ladder.NewBackend(spec, mat)
 }
 
-// MajorityTruthTable reproduces Table I on any MAJ3 backend.
-func MajorityTruthTable(b Backend) (*TruthTable, error) { return core.MajorityTruthTable(b) }
-
-// XORTruthTable reproduces Table II on an XOR backend; inverted gives
-// the XNOR gate.
-func XORTruthTable(b Backend, inverted bool) (*TruthTable, error) {
-	return core.XORTruthTable(b, inverted)
+// MajorityTruthTable reproduces Table I on any MAJ3 backend. The cases
+// run concurrently on the package default engine; use
+// MajorityTruthTableContext for cancellation or a dedicated engine's
+// MajorityTable for isolated tuning.
+func MajorityTruthTable(b Backend) (*TruthTable, error) {
+	return MajorityTruthTableContext(context.Background(), b)
 }
 
-// DerivedTruthTable evaluates (N)AND/(N)OR on a MAJ3 backend (§III-A).
+// XORTruthTable reproduces Table II on an XOR backend via the default
+// engine; inverted gives the XNOR gate.
+func XORTruthTable(b Backend, inverted bool) (*TruthTable, error) {
+	return XORTruthTableContext(context.Background(), b, inverted)
+}
+
+// DerivedTruthTable evaluates (N)AND/(N)OR on a MAJ3 backend (§III-A)
+// via the default engine.
 func DerivedTruthTable(b Backend, d DerivedGate) (*TruthTable, error) {
-	return core.DerivedTruthTable(b, d)
+	return DerivedTruthTableContext(context.Background(), b, d)
 }
 
 // FormatTruthTable renders a truth table in the paper's Table I/II style:
@@ -365,7 +414,7 @@ func parseComponent(component string) (render.Component, error) {
 	case "in-plane", "amplitude":
 		return render.InPlane, nil
 	default:
-		return 0, fmt.Errorf("spinwave: unknown component %q", component)
+		return 0, fmt.Errorf("spinwave: %w: render component %q", ErrUnknownComponent, component)
 	}
 }
 
@@ -384,14 +433,14 @@ func MuMaxScript(kind GateKind, spec Spec, mat Material, inputs []bool) (string,
 	case core.MAJ5:
 		l, err = layout.BuildMAJ5(spec)
 	default:
-		return "", fmt.Errorf("spinwave: unknown gate kind %v", kind)
+		return "", fmt.Errorf("spinwave: %w: kind %v", ErrUnknownGate, kind)
 	}
 	if err != nil {
 		return "", err
 	}
 	names := kind.InputNames()
 	if len(inputs) != len(names) {
-		return "", fmt.Errorf("spinwave: %s needs %d inputs, got %d", kind, len(names), len(inputs))
+		return "", fmt.Errorf("spinwave: %w: %s needs %d inputs, got %d", ErrBadInputCount, kind, len(names), len(inputs))
 	}
 	in := map[string]bool{}
 	for i, n := range names {

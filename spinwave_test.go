@@ -2,9 +2,12 @@ package spinwave
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFacadeBehavioralTruthTables(t *testing.T) {
@@ -205,5 +208,115 @@ func TestRenderSnapshotFacade(t *testing.T) {
 	}
 	if _, err := RenderSnapshotASCII(m, []bool{false, false}, "bogus", 100); err == nil {
 		t.Error("bad component accepted")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	if _, err := MuMaxScript(GateKind(99), PaperSpec(), FeCoB(), nil); !errors.Is(err, ErrUnknownGate) {
+		t.Errorf("MuMaxScript bad kind returned %v, want ErrUnknownGate", err)
+	}
+	if _, err := MuMaxScript(XOR, PaperSpec(), FeCoB(), []bool{true}); !errors.Is(err, ErrBadInputCount) {
+		t.Errorf("MuMaxScript short inputs returned %v, want ErrBadInputCount", err)
+	}
+	b, err := NewBehavioral(XOR, PaperSpec(), FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run([]bool{true}); !errors.Is(err, ErrBadInputCount) {
+		t.Errorf("behavioral short inputs returned %v, want ErrBadInputCount", err)
+	}
+	if _, err := NewBehavioral(GateKind(99), PaperSpec(), FeCoB()); !errors.Is(err, ErrUnknownGate) {
+		t.Errorf("NewBehavioral bad kind returned %v, want ErrUnknownGate", err)
+	}
+	if _, err := RenderSnapshotASCII(nil, nil, "bogus", 10); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("bad render component returned %v, want ErrUnknownComponent", err)
+	}
+}
+
+func TestFunctionalOptionsFacade(t *testing.T) {
+	// Lossless junctions must raise the normalized partial-constructive
+	// levels relative to the default 0.9 loss.
+	def, err := NewBehavioral(MAJ3, PaperSpec(), FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossless, err := NewBehavioral(MAJ3, PaperSpec(), FeCoB(),
+		WithJunctionLoss(1), WithAttenuationLength(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := MajorityTruthTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := MajorityTruthTable(lossless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dt.AllCorrect() || !lt.AllCorrect() {
+		t.Fatal("majority tables incorrect")
+	}
+	// Options must change the fingerprint so the shared engine cache
+	// cannot serve one backend's readouts for the other.
+	fd, ok1 := def.Fingerprint()
+	fl, ok2 := lossless.Fingerprint()
+	if !ok1 || !ok2 || fd == fl {
+		t.Fatalf("option change not reflected in fingerprints: %q vs %q", fd, fl)
+	}
+	// Micromagnetic options-form construction (no run).
+	if _, err := NewMicromagnetic(XOR, WithScheme(SchemeHeun), WithWorkers(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Legacy bare-config form still validates explicit zeros.
+	if _, err := NewMicromagnetic(XOR, MicromagConfig{}); err == nil {
+		t.Fatal("zero legacy config accepted")
+	}
+}
+
+func TestContextTruthTablesAndDefaultEngine(t *testing.T) {
+	b, err := NewBehavioral(XOR, PaperSpec(), FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := XORTruthTableContext(context.Background(), b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.AllCorrect() {
+		t.Error("context XOR truth table incorrect")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := XORTruthTableContext(ctx, b, false); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled table returned %v, want context.Canceled", err)
+	}
+	if _, err := RunContext(ctx, b, []bool{true, false}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunContext returned %v, want context.Canceled", err)
+	}
+	if DefaultEngine() != DefaultEngine() {
+		t.Error("DefaultEngine not a singleton")
+	}
+	if DefaultEngine().Workers() < 1 {
+		t.Error("default engine has no workers")
+	}
+}
+
+func TestMicromagRunContextAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micromagnetic run")
+	}
+	m, err := NewMicromagnetic(XOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = m.RunContext(ctx, []bool{false, true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-integration run returned %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("solver took %v to honor a 200ms deadline", elapsed)
 	}
 }
