@@ -7,7 +7,9 @@
 //	POST /v1/eval     evaluate one input case or a batch of cases
 //	POST /v1/table    evaluate a full truth table (paper Tables I/II)
 //	GET  /v1/healthz  liveness probe
+//	GET  /metrics     Prometheus text exposition (engine, solver, HTTP)
 //	GET  /debug/vars  expvar metrics (engine + server counters)
+//	GET  /debug/pprof/*  runtime profiles (only with -pprof)
 //
 // All evaluations run through one shared concurrent engine, so repeated
 // requests for the same (gate, spec, material, inputs) are served from
@@ -44,6 +46,8 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = NumCPU)")
 	cacheSize := flag.Int("cache", 4096, "engine LRU capacity in cached case readouts (0 disables)")
 	timeout := flag.Duration("timeout", 120*time.Second, "server-side per-request deadline")
+	maxBatch := flag.Int("max-batch", defaultMaxBatch, "maximum cases per /v1/eval request")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var opts []spinwave.EngineOption
@@ -52,6 +56,8 @@ func main() {
 	}
 	opts = append(opts, spinwave.WithEngineCacheSize(*cacheSize))
 	srv := newServer(spinwave.NewEngine(opts...), *timeout)
+	srv.maxBatch = *maxBatch
+	srv.pprofOn = *pprofOn
 	srv.publishVars()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
@@ -68,6 +74,7 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Print("shutting down, draining in-flight requests ...")
+	srv.draining.Store(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -75,10 +82,22 @@ func main() {
 	}
 }
 
+// defaultMaxBatch bounds /v1/eval batches: enough for every input
+// combination of the largest gate (MAJ5, 32 cases) several times over,
+// small enough that one request cannot monopolize the task pool.
+const defaultMaxBatch = 256
+
+// maxTimeoutMS rejects nonsense client deadlines (greater than an hour);
+// the effective deadline is still capped by the server's -timeout flag.
+const maxTimeoutMS = int64(time.Hour / time.Millisecond)
+
 // server holds the shared engine and request counters.
 type server struct {
 	eng            *spinwave.Engine
 	defaultTimeout time.Duration
+	maxBatch       int
+	pprofOn        bool
+	draining       atomic.Bool
 
 	requests  atomic.Int64
 	errors    atomic.Int64
@@ -87,16 +106,30 @@ type server struct {
 }
 
 func newServer(eng *spinwave.Engine, defaultTimeout time.Duration) *server {
-	return &server{eng: eng, defaultTimeout: defaultTimeout}
+	initHTTPMetrics()
+	return &server{eng: eng, defaultTimeout: defaultTimeout, maxBatch: defaultMaxBatch}
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/eval", s.handleEval)
-	mux.HandleFunc("/v1/table", s.handleTable)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/v1/eval", withMetrics("/v1/eval", s.handleEval))
+	mux.HandleFunc("/v1/table", withMetrics("/v1/table", s.handleTable))
+	mux.HandleFunc("/v1/healthz", withMetrics("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", withMetrics("/metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/vars", withMetrics("/debug/vars", s.handleVars))
+	if s.pprofOn {
+		registerPprof(mux)
+	}
 	return mux
+}
+
+// handleVars serves expvar, refusing with 503 during shutdown drain like
+// /metrics so monitoring backs off a dying process.
+func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	expvar.Handler().ServeHTTP(w, r)
 }
 
 // publishVars registers the engine and server counters with expvar. Safe
@@ -167,6 +200,13 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("need inputs or cases"))
 		return
 	}
+	if len(cases) > s.maxBatch {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d cases exceeds the limit of %d", len(cases), s.maxBatch))
+		return
+	}
+	if !s.validTimeout(w, req.TimeoutMS) {
+		return
+	}
 	b, err := buildBackend(req.backendRequest)
 	if err != nil {
 		s.fail(w, statusFor(err), err)
@@ -195,6 +235,9 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req tableRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.validTimeout(w, req.TimeoutMS) {
 		return
 	}
 	b, err := buildBackend(req.backendRequest)
@@ -243,6 +286,17 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// validTimeout rejects out-of-range timeout_ms values with a 400;
+// reports whether the request may proceed.
+func (s *server) validTimeout(w http.ResponseWriter, timeoutMS int64) bool {
+	if timeoutMS < 0 || timeoutMS > maxTimeoutMS {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("timeout_ms %d out of range [0, %d]", timeoutMS, maxTimeoutMS))
 		return false
 	}
 	return true

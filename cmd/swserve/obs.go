@@ -1,0 +1,102 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"spinwave/internal/obs"
+)
+
+// HTTP-layer metrics in the obs default registry: per-endpoint request
+// counts by status class and latency histograms. Registered lazily by
+// the first server so tests constructing several servers share one set.
+var (
+	httpMetricsOnce sync.Once
+	httpReqSeconds  func(path string) *obs.Histogram
+	httpReqTotal    func(path string, status int) *obs.Counter
+)
+
+func initHTTPMetrics() {
+	httpMetricsOnce.Do(func() {
+		r := obs.Default()
+		r.Describe("swserve_http_requests_total", "HTTP requests by endpoint and status code")
+		r.Describe("swserve_http_request_seconds", "HTTP request latency by endpoint")
+		httpReqSeconds = func(path string) *obs.Histogram {
+			return r.Histogram("swserve_http_request_seconds", nil, obs.L("path", path))
+		}
+		httpReqTotal = func(path string, status int) *obs.Counter {
+			return r.Counter("swserve_http_requests_total",
+				obs.L("path", path), obs.L("status", strconv.Itoa(status)))
+		}
+	})
+}
+
+// statusWriter captures the response status for metric labels.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withMetrics wraps a handler with per-endpoint latency and status
+// accounting. The route pattern (not the raw URL) is the path label, so
+// cardinality stays bounded to the mux's route set.
+func withMetrics(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		httpReqSeconds(path).Observe(time.Since(start).Seconds())
+		httpReqTotal(path, sw.status).Inc()
+	}
+}
+
+// handleMetrics serves the default registry in Prometheus text format.
+// During shutdown drain it answers 503 so scrapers back off instead of
+// recording a half-drained sample as live.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default().WritePrometheus(w) //nolint:errcheck
+}
+
+// refuseDraining answers 503 with a Retry-After when the server is
+// draining after SIGTERM; reports whether it did.
+func (s *server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "5")
+	http.Error(w, "server is draining", http.StatusServiceUnavailable)
+	return true
+}
+
+// registerPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/ — explicitly, so profiling is opt-in via -pprof rather
+// than a side effect of importing the package.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRequestValidation covers the decode/validation error paths: every
+// malformed request must come back as a JSON error body with the right
+// status code, never a 500 or a hang.
+func TestRequestValidation(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.maxBatch = 4
+
+	bigBatch := make([][]bool, 5)
+	for i := range bigBatch {
+		bigBatch[i] = []bool{i%2 == 0, true}
+	}
+
+	for _, tc := range []struct {
+		name    string
+		path    string
+		body    string
+		code    int
+		errLike string
+	}{
+		{"malformed json", "/v1/eval", `{"gate": "xor",`, http.StatusBadRequest, "bad request body"},
+		{"wrong type", "/v1/eval", `{"gate": 7}`, http.StatusBadRequest, "bad request body"},
+		{"unknown field", "/v1/eval", `{"gate": "xor", "bogus": 1}`, http.StatusBadRequest, "bad request body"},
+		{"empty eval", "/v1/eval", `{"gate": "xor"}`, http.StatusBadRequest, "need inputs or cases"},
+		{"oversized batch", "/v1/eval", mustJSON(t, map[string]any{"gate": "xor", "cases": bigBatch}),
+			http.StatusBadRequest, "exceeds the limit of 4"},
+		{"negative timeout", "/v1/eval", `{"gate": "xor", "inputs": [true, false], "timeout_ms": -5}`,
+			http.StatusBadRequest, "timeout_ms"},
+		{"absurd timeout", "/v1/table", `{"gate": "xor", "timeout_ms": 999999999999}`,
+			http.StatusBadRequest, "timeout_ms"},
+		{"zero timeout runs", "/v1/table", `{"gate": "xor", "timeout_ms": 0}`, http.StatusOK, ""},
+		{"tiny timeout expires", "/v1/table", `{"gate": "xor", "backend": "micromag", "timeout_ms": 1}`,
+			http.StatusGatewayTimeout, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.code {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.code, body)
+			}
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("error content-type %q, want application/json", ct)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body is not JSON: %s", body)
+			}
+			if e.Error == "" {
+				t.Fatalf("error body missing error field: %s", body)
+			}
+			if tc.errLike != "" && !strings.Contains(e.Error, tc.errLike) {
+				t.Errorf("error %q does not mention %q", e.Error, tc.errLike)
+			}
+		})
+	}
+}
+
+// newHTTPTestServer serves srv.routes() on a fresh listener, picking up
+// any server field changes made after newTestServer.
+func newHTTPTestServer(t *testing.T, srv *server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMetricsEndpoint exercises /metrics end to end: after an eval, the
+// exposition must carry the engine cache counters, the HTTP histograms
+// and the LLG totals in Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Same case twice: one miss then one hit.
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/eval", map[string]any{
+			"gate": "xor", "inputs": []bool{true, false},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("eval status %d: %s", resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content-type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE spinwave_engine_requests_total counter",
+		"spinwave_engine_cache_hits_total",
+		"spinwave_engine_cache_misses_total",
+		"spinwave_engine_in_flight",
+		`spinwave_engine_evals_total{result="ok"}`,
+		"spinwave_engine_eval_seconds_bucket",
+		"spinwave_llg_steps_total",
+		`swserve_http_requests_total{path="/v1/eval",status="200"}`,
+		`swserve_http_request_seconds_bucket{path="/v1/eval",le="+Inf"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDrainGating verifies /metrics and /debug/vars answer 503 with a
+// Retry-After header once the server enters its shutdown drain.
+func TestDrainGating(t *testing.T) {
+	srv, ts := newTestServer(t)
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s pre-drain status %d", path, resp.StatusCode)
+		}
+	}
+	srv.draining.Store(true)
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s draining status %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s draining response missing Retry-After", path)
+		}
+	}
+	// Work endpoints keep serving during the drain — only monitoring is
+	// gated; http.Server.Shutdown owns the work drain itself.
+	resp, body := postJSON(t, ts.URL+"/v1/table", map[string]any{"gate": "xor"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table during drain: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestPprofGating: the profile endpoints exist only with -pprof.
+func TestPprofGating(t *testing.T) {
+	srv, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof served without -pprof: status %d", resp.StatusCode)
+	}
+
+	srv.pprofOn = true
+	ts2 := newHTTPTestServer(t, srv)
+	resp, err = http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index with -pprof: status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"spinwave"
 	"spinwave/internal/core"
@@ -37,7 +38,13 @@ func main() {
 	asciiArt := flag.Bool("ascii", false, "print the wave pattern after the run")
 	sweepKind := flag.String("sweep", "", "run a sweep instead: width, roughness, thermal")
 	demo := flag.String("demo", "", "run a demo: interference")
+	stats := flag.Bool("stats", false, "print a timing/metrics summary to stderr when done")
 	flag.Parse()
+
+	if *stats {
+		spinwave.EnableSpanMetrics()
+		defer func() { fmt.Fprint(os.Stderr, "\n"+spinwave.SnapshotMetrics().Summary()) }()
+	}
 
 	if *demo == "interference" {
 		demoInterference()

@@ -35,6 +35,7 @@ func main() {
 	backend := flag.String("backend", "behavioral", "backend for tables 1/2: behavioral or micromag")
 	full := flag.Bool("full", false, "use the paper's full dimensions for micromagnetic runs (slow)")
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = NumCPU)")
+	stats := flag.Bool("stats", false, "print a timing/metrics summary to stderr when done")
 	flag.Parse()
 
 	var opts []spinwave.EngineOption
@@ -42,6 +43,10 @@ func main() {
 		opts = append(opts, spinwave.WithEngineWorkers(*workers))
 	}
 	eng = spinwave.NewEngine(opts...)
+	if *stats {
+		spinwave.EnableSpanMetrics()
+		defer func() { fmt.Fprint(os.Stderr, "\n"+spinwave.SnapshotMetrics().Summary()) }()
+	}
 
 	switch *table {
 	case "1":

@@ -1,0 +1,176 @@
+package spinwave
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperTables is the golden regression suite for the paper's
+// evaluation tables: it pins every input combination of Table I (MAJ3
+// fan-out-of-2, phase detection) and Table II (XOR fan-out-of-2,
+// normalized output magnetization) to tolerance bands derived from the
+// paper's values and this repo's documented deviations (EXPERIMENTS.md
+// E-T1/E-T2). If a refactor shifts a readout regime — a unanimous row
+// away from 1, a destructive row above threshold, a phase off 0/π, or
+// O1 diverging from O2 — this fails and names the row.
+//
+// The behavioral backend runs always; the micromagnetic backend (the
+// real experiment, minutes of solver time) is skipped under -short like
+// the other integration tests.
+func TestPaperTables(t *testing.T) {
+	t.Run("TableI/behavioral", func(t *testing.T) {
+		b, err := NewBehavioral(MAJ3, PaperSpec(), FeCoB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := MajorityTruthTable(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTableI(t, tt, 0.01)
+	})
+	t.Run("TableII/behavioral", func(t *testing.T) {
+		b, err := NewBehavioral(XOR, PaperSpec(), FeCoB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := XORTruthTable(b, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTableII(t, tt, 0.01)
+	})
+	t.Run("TableI/micromag", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("micromagnetic table: minutes of solver time")
+		}
+		m, err := NewMicromagnetic(MAJ3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.CalibrateI3(); err != nil {
+			t.Fatal(err)
+		}
+		tt, err := MajorityTruthTable(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTableI(t, tt, 0.02)
+	})
+	t.Run("TableII/micromag", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("micromagnetic table: minutes of solver time")
+		}
+		m, err := NewMicromagnetic(XOR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := XORTruthTable(m, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTableII(t, tt, 0.02)
+	})
+}
+
+// checkTableI pins the 8 MAJ3 rows. Bands (EXPERIMENTS.md E-T1):
+//
+//   - unanimous rows ({0,0,0}, {1,1,1}) normalize to 1 within 10%;
+//   - every mixed row sits well below 1 — [0.02, 0.5] covers the
+//     paper's 0.083–0.164, the behavioral 0.33 and our measured
+//     0.129–0.44 while still failing if a row drifts toward either a
+//     unanimous (≈1) or fully-destructive (≈0) regime;
+//   - the output phase is the logic value: within 0.2 rad of the
+//     reference phase for majority-0 rows, of reference+π for
+//     majority-1 rows (paper: exactly 0/π; measured: within 0.03);
+//   - fan-out of 2: O1 and O2 agree within fanoutTol on every row.
+func checkTableI(t *testing.T, tt *TruthTable, fanoutTol float64) {
+	t.Helper()
+	if len(tt.Cases) != 8 {
+		t.Fatalf("Table I has %d cases, want 8", len(tt.Cases))
+	}
+	if !tt.AllCorrect() {
+		t.Error("Table I decodes incorrectly")
+	}
+	if m := tt.FanOutMatched(); m > fanoutTol {
+		t.Errorf("fan-out mismatch |O1-O2| = %.4f, want <= %.4f", m, fanoutTol)
+	}
+	refPhase := tt.Cases[0].Outputs[0].Phase
+	for _, c := range tt.Cases {
+		ones := 0
+		for _, in := range c.Inputs {
+			if in {
+				ones++
+			}
+		}
+		unanimous := ones == 0 || ones == len(c.Inputs)
+		wantLogic := ones*2 > len(c.Inputs)
+		for _, o := range c.Outputs {
+			if unanimous {
+				if d := math.Abs(o.Normalized - 1); d > 0.1 {
+					t.Errorf("case %v %s: unanimous row normalized %.3f, want 1±0.1",
+						c.Inputs, o.Name, o.Normalized)
+				}
+			} else if o.Normalized < 0.02 || o.Normalized > 0.5 {
+				t.Errorf("case %v %s: mixed row normalized %.3f, want [0.02, 0.5]",
+					c.Inputs, o.Name, o.Normalized)
+			}
+			want := refPhase
+			if wantLogic {
+				want += math.Pi
+			}
+			if d := math.Abs(wrapPhase(o.Phase - want)); d > 0.2 {
+				t.Errorf("case %v %s: phase %.3f rad is %.3f from expected %s boundary",
+					c.Inputs, o.Name, o.Phase, d, map[bool]string{false: "0", true: "π"}[wantLogic])
+			}
+			if o.Logic != wantLogic {
+				t.Errorf("case %v %s: decoded %v, want %v", c.Inputs, o.Name, o.Logic, wantLogic)
+			}
+		}
+	}
+}
+
+// checkTableII pins the 4 XOR rows. Bands (EXPERIMENTS.md E-T2): equal
+// inputs interfere constructively to 1 within 10% (paper 0.99–1);
+// unequal inputs interfere destructively below 0.1 (paper ≈0, measured
+// 0.002) — comfortably under the 0.5 decision threshold either way.
+func checkTableII(t *testing.T, tt *TruthTable, fanoutTol float64) {
+	t.Helper()
+	if len(tt.Cases) != 4 {
+		t.Fatalf("Table II has %d cases, want 4", len(tt.Cases))
+	}
+	if !tt.AllCorrect() {
+		t.Error("Table II decodes incorrectly")
+	}
+	if m := tt.FanOutMatched(); m > fanoutTol {
+		t.Errorf("fan-out mismatch |O1-O2| = %.4f, want <= %.4f", m, fanoutTol)
+	}
+	for _, c := range tt.Cases {
+		destructive := c.Inputs[0] != c.Inputs[1]
+		for _, o := range c.Outputs {
+			if destructive {
+				if o.Normalized > 0.1 {
+					t.Errorf("case %v %s: destructive row normalized %.3f, want <= 0.1",
+						c.Inputs, o.Name, o.Normalized)
+				}
+			} else if d := math.Abs(o.Normalized - 1); d > 0.1 {
+				t.Errorf("case %v %s: constructive row normalized %.3f, want 1±0.1",
+					c.Inputs, o.Name, o.Normalized)
+			}
+			if o.Logic != destructive {
+				t.Errorf("case %v %s: decoded %v, want %v", c.Inputs, o.Name, o.Logic, destructive)
+			}
+		}
+	}
+}
+
+// wrapPhase maps an angle to (-π, π].
+func wrapPhase(p float64) float64 {
+	for p > math.Pi {
+		p -= 2 * math.Pi
+	}
+	for p <= -math.Pi {
+		p += 2 * math.Pi
+	}
+	return p
+}

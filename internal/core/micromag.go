@@ -13,6 +13,7 @@ import (
 	"spinwave/internal/layout"
 	"spinwave/internal/llg"
 	"spinwave/internal/material"
+	"spinwave/internal/obs"
 	"spinwave/internal/thermal"
 	"spinwave/internal/units"
 	"spinwave/internal/vec"
@@ -381,24 +382,31 @@ func (m *Micromagnetic) CalibrateI3() (float64, error) {
 }
 
 func (m *Micromagnetic) run(ctx context.Context, inputs []bool, mute map[string]bool) (map[string]detect.Readout, error) {
+	setup := obs.StartSpan("micromag.setup", obs.L("gate", m.kind.String()))
 	s, probes, err := m.newSolver(inputs, mute)
+	setup.End()
 	if err != nil {
 		return nil, err
 	}
 	every := m.cfg.SampleEvery
-	if err := s.RunContext(ctx, m.duration, func(step int) bool {
+	transient := obs.StartSpan("micromag.transient", obs.L("gate", m.kind.String()))
+	err = s.RunContext(ctx, m.duration, func(step int) bool {
 		if step%every == 0 {
 			for _, p := range probes {
 				p.Sample(s.Time, s.M)
 			}
 		}
 		return true
-	}); err != nil {
+	})
+	transient.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: %s evaluation aborted: %w", m.kind, err)
 	}
 	if err := s.CheckFinite(); err != nil {
 		return nil, err
 	}
+	lockin := obs.StartSpan("micromag.lockin", obs.L("gate", m.kind.String()))
+	defer lockin.End()
 	out := make(map[string]detect.Readout, len(probes))
 	for name, p := range probes {
 		r, err := p.LockIn(m.Freq, m.cfg.MeasurePeriods)

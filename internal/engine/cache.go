@@ -40,20 +40,25 @@ func (c *lruCache) get(key string) (map[string]detect.Readout, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-func (c *lruCache) put(key string, val map[string]detect.Readout) {
+// put stores val under key and returns how many entries were evicted to
+// stay within capacity.
+func (c *lruCache) put(key string, val map[string]detect.Readout) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry).val = val
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	var evicted int64
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.items, last.Value.(*lruEntry).key)
+		evicted++
 	}
+	return evicted
 }
 
 func (c *lruCache) len() int {

@@ -69,6 +69,7 @@ type Engine struct {
 	latNanos  atomic.Int64
 	latCount  atomic.Int64
 	cancelled atomic.Int64
+	evicted   atomic.Int64
 }
 
 // New builds an engine with the given options.
@@ -80,6 +81,7 @@ func New(opts ...Option) *Engine {
 	if o.Workers < 1 {
 		o.Workers = 1
 	}
+	initMetrics()
 	e := &Engine{
 		workers:   o.Workers,
 		evalSlots: make(chan struct{}, o.Workers),
@@ -109,6 +111,7 @@ type Stats struct {
 	SaturationWaits int64 // times a request had to queue for a free worker
 	EvalNanos       int64 // cumulative wall-clock spent in evaluations
 	EvalCount       int64 // evaluations timed (for mean latency)
+	CacheEvictions  int64 // readouts evicted from the LRU at capacity
 }
 
 // MeanLatency returns the average evaluation wall-clock time.
@@ -134,6 +137,7 @@ func (e *Engine) Stats() Stats {
 		SaturationWaits: e.satWaits.Load(),
 		EvalNanos:       e.latNanos.Load(),
 		EvalCount:       e.latCount.Load(),
+		CacheEvictions:  e.evicted.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEntries = e.cache.len()
@@ -174,6 +178,7 @@ func (e *Engine) Eval(ctx context.Context, b core.Backend, inputs []bool) (map[s
 		ctx = context.Background()
 	}
 	e.requests.Add(1)
+	mRequests.Inc()
 	key, cacheable := evalKey(b, inputs)
 	if !cacheable {
 		return e.runEval(ctx, b, inputs)
@@ -181,19 +186,25 @@ func (e *Engine) Eval(ctx context.Context, b core.Backend, inputs []bool) (map[s
 	if e.cache != nil {
 		if v, ok := e.cache.get(key); ok {
 			e.hits.Add(1)
+			mCacheHits.Inc()
 			return cloneReadouts(v), nil
 		}
 		e.misses.Add(1)
+		mCacheMisses.Inc()
 	}
 	v, err, shared := e.flight.do(ctx, key, func() (map[string]detect.Readout, error) {
 		out, err := e.runEval(ctx, b, inputs)
 		if err == nil && e.cache != nil {
-			e.cache.put(key, out)
+			if n := e.cache.put(key, out); n > 0 {
+				e.evicted.Add(n)
+				mCacheEvictions.Add(n)
+			}
 		}
 		return out, err
 	})
 	if shared {
 		e.deduped.Add(1)
+		mCoalesced.Inc()
 	}
 	if err != nil {
 		return nil, err
@@ -205,22 +216,32 @@ func (e *Engine) Eval(ctx context.Context, b core.Backend, inputs []bool) (map[s
 func (e *Engine) runEval(ctx context.Context, b core.Backend, inputs []bool) (map[string]detect.Readout, error) {
 	if err := e.acquire(ctx, e.evalSlots); err != nil {
 		e.cancelled.Add(1)
+		mEvalsCancelled.Inc()
 		return nil, err
 	}
 	defer func() { <-e.evalSlots }()
 	e.inFlight.Add(1)
-	defer e.inFlight.Add(-1)
+	mInFlight.Add(1)
+	defer func() {
+		e.inFlight.Add(-1)
+		mInFlight.Add(-1)
+	}()
 	start := time.Now()
 	out, err := core.RunContext(ctx, b, inputs)
-	e.latNanos.Add(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	e.latNanos.Add(elapsed.Nanoseconds())
 	e.latCount.Add(1)
+	mEvalSeconds.Observe(elapsed.Seconds())
 	switch {
 	case err == nil:
 		e.evals.Add(1)
+		mEvalsOK.Inc()
 	case ctx.Err() != nil:
 		e.cancelled.Add(1)
+		mEvalsCancelled.Inc()
 	default:
 		e.evalErrs.Add(1)
+		mEvalsErr.Inc()
 	}
 	return out, err
 }
@@ -234,6 +255,9 @@ func (e *Engine) acquire(ctx context.Context, slots chan struct{}) error {
 	default:
 	}
 	e.satWaits.Add(1)
+	mQueueWaits.Inc()
+	start := time.Now()
+	defer func() { mQueueSeconds.Observe(time.Since(start).Seconds()) }()
 	select {
 	case slots <- struct{}{}:
 		return nil
@@ -282,7 +306,11 @@ func (e *Engine) Map(ctx context.Context, n int, f func(ctx context.Context, i i
 			if ctx.Err() != nil {
 				return
 			}
-			if err := f(ctx, i); err != nil {
+			mTasks.Inc()
+			start := time.Now()
+			err := f(ctx, i)
+			mTaskSeconds.Observe(time.Since(start).Seconds())
+			if err != nil {
 				fail(fmt.Errorf("engine: task %d: %w", i, err))
 			}
 		}(i)

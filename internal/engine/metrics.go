@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"sync"
+
+	"spinwave/internal/obs"
+)
+
+// Process-wide engine metrics in the obs default registry. Every engine
+// in the process shares these series (they are workload totals — the
+// per-engine view stays available through Engine.Stats); they register
+// lazily on the first New so an importing program that never builds an
+// engine exports nothing.
+var (
+	metricsOnce sync.Once
+
+	mRequests       *obs.Counter
+	mCacheHits      *obs.Counter
+	mCacheMisses    *obs.Counter
+	mCacheEvictions *obs.Counter
+	mCoalesced      *obs.Counter
+	mEvalsOK        *obs.Counter
+	mEvalsErr       *obs.Counter
+	mEvalsCancelled *obs.Counter
+	mQueueWaits     *obs.Counter
+	mInFlight       *obs.Gauge
+	mEvalSeconds    *obs.Histogram
+	mQueueSeconds   *obs.Histogram
+	mTasks          *obs.Counter
+	mTaskSeconds    *obs.Histogram
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		r.Describe("spinwave_engine_requests_total", "Eval calls across all engines")
+		mRequests = r.Counter("spinwave_engine_requests_total")
+		r.Describe("spinwave_engine_cache_hits_total", "evaluations served from the LRU result cache")
+		mCacheHits = r.Counter("spinwave_engine_cache_hits_total")
+		r.Describe("spinwave_engine_cache_misses_total", "cacheable evaluations not found in the LRU")
+		mCacheMisses = r.Counter("spinwave_engine_cache_misses_total")
+		r.Describe("spinwave_engine_cache_evictions_total", "readouts evicted from the LRU at capacity")
+		mCacheEvictions = r.Counter("spinwave_engine_cache_evictions_total")
+		r.Describe("spinwave_engine_coalesced_total", "requests coalesced onto an identical in-flight evaluation")
+		mCoalesced = r.Counter("spinwave_engine_coalesced_total")
+		r.Describe("spinwave_engine_evals_total", "evaluations by outcome")
+		mEvalsOK = r.Counter("spinwave_engine_evals_total", obs.L("result", "ok"))
+		mEvalsErr = r.Counter("spinwave_engine_evals_total", obs.L("result", "error"))
+		mEvalsCancelled = r.Counter("spinwave_engine_evals_total", obs.L("result", "cancelled"))
+		r.Describe("spinwave_engine_queue_waits_total", "times a request queued for a free worker slot")
+		mQueueWaits = r.Counter("spinwave_engine_queue_waits_total")
+		r.Describe("spinwave_engine_in_flight", "evaluations holding a worker slot right now")
+		mInFlight = r.Gauge("spinwave_engine_in_flight")
+		r.Describe("spinwave_engine_eval_seconds", "wall-clock latency of one case evaluation")
+		mEvalSeconds = r.Histogram("spinwave_engine_eval_seconds", nil)
+		r.Describe("spinwave_engine_queue_wait_seconds", "time spent waiting for a worker slot (saturated pool only)")
+		mQueueSeconds = r.Histogram("spinwave_engine_queue_wait_seconds", nil)
+		r.Describe("spinwave_engine_tasks_total", "coarse tasks (sweep points, word channels) run through Map")
+		mTasks = r.Counter("spinwave_engine_tasks_total")
+		r.Describe("spinwave_engine_task_seconds", "wall-clock latency of one coarse task")
+		mTaskSeconds = r.Histogram("spinwave_engine_task_seconds", nil)
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"spinwave/internal/grid"
 	"spinwave/internal/mag"
@@ -244,10 +245,22 @@ func (s *Solver) Run(duration float64, each func(step int) bool) {
 // integrator step, so a cancelled or expired context aborts the
 // integration within one step and returns ctx.Err(). The magnetization is
 // left in its mid-run state; callers that abort should discard it.
-func (s *Solver) RunContext(ctx context.Context, duration float64, each func(step int) bool) error {
+func (s *Solver) RunContext(ctx context.Context, duration float64, each func(step int) bool) (err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	initMetrics()
+	start := time.Now()
+	taken := 0
+	defer func() {
+		elapsed := time.Since(start).Seconds()
+		mRuns.Inc()
+		mSteps.Add(int64(taken))
+		mRunSeconds.Observe(elapsed)
+		if taken > 0 {
+			mStepSeconds.Observe(elapsed / float64(taken))
+		}
+	}()
 	done := ctx.Done()
 	n := int(duration / s.Dt)
 	for i := 1; i <= n; i++ {
@@ -257,6 +270,7 @@ func (s *Solver) RunContext(ctx context.Context, duration float64, each func(ste
 		default:
 		}
 		s.Step()
+		taken = i
 		if each != nil && !each(i) {
 			return nil
 		}

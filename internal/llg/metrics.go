@@ -1,0 +1,36 @@
+package llg
+
+import (
+	"sync"
+
+	"spinwave/internal/obs"
+)
+
+// Process-wide solver metrics in the obs default registry, registered
+// lazily on the first RunContext so importing the package alone exports
+// nothing. Step counts are accumulated per run and added once at the
+// end — the integrator loop itself stays free of atomic traffic.
+var (
+	metricsOnce sync.Once
+
+	mSteps       *obs.Counter
+	mRuns        *obs.Counter
+	mRunSeconds  *obs.Histogram
+	mStepSeconds *obs.Histogram
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		r.Describe("spinwave_llg_steps_total", "integrator steps taken across all solvers")
+		mSteps = r.Counter("spinwave_llg_steps_total")
+		r.Describe("spinwave_llg_runs_total", "RunContext invocations (transients and pulses)")
+		mRuns = r.Counter("spinwave_llg_runs_total")
+		r.Describe("spinwave_llg_run_seconds", "wall-clock time of one RunContext call")
+		mRunSeconds = r.Histogram("spinwave_llg_run_seconds", nil)
+		r.Describe("spinwave_llg_step_seconds", "mean wall-clock time per integrator step, one observation per run")
+		mStepSeconds = r.Histogram("spinwave_llg_step_seconds", []float64{
+			1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1,
+		})
+	})
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every registered metric, keyed by
+// the series name including its rendered labels (e.g.
+// `swserve_http_request_seconds{path="/v1/eval",status="200"}`).
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// HistogramSnapshot is one histogram's state: per-bucket (non-
+// cumulative) counts aligned with Bounds, plus the implicit +Inf
+// overflow bucket as the final Counts entry.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1)
+// from the bucket boundaries: the smallest bound whose cumulative count
+// covers q. Observations beyond the last bound report +Inf as the
+// largest finite bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot copies every registered series. Each individual value is
+// read atomically; the snapshot as a whole is a consistent read when no
+// writers are active (e.g. after a run completes, for -stats printing).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, m := range r.snapshotSeries() {
+		key := seriesKey(m.family, m.labels)
+		switch {
+		case m.c != nil:
+			s.Counters[key] = m.c.Value()
+		case m.h != nil:
+			hs := HistogramSnapshot{
+				Bounds: append([]float64(nil), m.h.bounds...),
+				Counts: make([]int64, len(m.h.counts)),
+				Sum:    m.h.Sum(),
+				Count:  m.h.Count(),
+			}
+			for i := range m.h.counts {
+				hs.Counts[i] = m.h.counts[i].Load()
+			}
+			s.Histograms[key] = hs
+		default:
+			s.Gauges[key] = m.g.Value()
+		}
+	}
+	return s
+}
+
+// Summary renders the snapshot as an aligned text table: counters and
+// gauges one per line, histograms with count/mean/p50/p99. The zero-
+// valued series are skipped so `-stats` output stays focused on what
+// actually ran.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	section := func(title string) { fmt.Fprintf(tw, "%s\n", title) }
+
+	keys := make([]string, 0, len(s.Counters))
+	for k, v := range s.Counters {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) > 0 {
+		sort.Strings(keys)
+		section("counters:")
+		for _, k := range keys {
+			fmt.Fprintf(tw, "  %s\t%d\n", k, s.Counters[k])
+		}
+	}
+
+	keys = keys[:0]
+	for k, v := range s.Gauges {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) > 0 {
+		sort.Strings(keys)
+		section("gauges:")
+		for _, k := range keys {
+			fmt.Fprintf(tw, "  %s\t%g\n", k, s.Gauges[k])
+		}
+	}
+
+	keys = keys[:0]
+	for k, h := range s.Histograms {
+		if h.Count != 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) > 0 {
+		sort.Strings(keys)
+		section("histograms:")
+		for _, k := range keys {
+			h := s.Histograms[k]
+			fmt.Fprintf(tw, "  %s\tcount %d\tmean %s\tp50 ≤%s\tp99 ≤%s\n",
+				k, h.Count, fdur(h.Mean()), fdur(h.Quantile(0.5)), fdur(h.Quantile(0.99)))
+		}
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// fdur renders a duration in seconds human-readably.
+func fdur(sec float64) string {
+	d := time.Duration(sec * float64(time.Second))
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(100 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanSink receives finished spans. Implementations must be safe for
+// concurrent use; Finish is called on the hot path, so sinks should be
+// cheap (record and return).
+type SpanSink interface {
+	Finish(name string, start time.Time, d time.Duration, labels []Label)
+}
+
+// spanSink holds the installed sink. Spans are disabled (zero-cost —
+// not even a clock read) while it is nil.
+var spanSink atomic.Pointer[SpanSink]
+
+// SetSpanSink installs sink as the destination for finished spans; nil
+// disables tracing. It returns the previously installed sink so tests
+// can restore it.
+func SetSpanSink(sink SpanSink) SpanSink {
+	var prev *SpanSink
+	if sink == nil {
+		prev = spanSink.Swap(nil)
+	} else {
+		prev = spanSink.Swap(&sink)
+	}
+	if prev == nil {
+		return nil
+	}
+	return *prev
+}
+
+// Span is one timed operation. The zero Span is inert; obtain active
+// spans from StartSpan. Span is a value type so starting one allocates
+// nothing when labels are passed inline.
+type Span struct {
+	name   string
+	start  time.Time
+	labels []Label
+	active bool
+}
+
+// StartSpan begins a span. When no sink is installed the returned span
+// is inert and End is a no-op, so instrumented code can call
+// StartSpan/End unconditionally.
+func StartSpan(name string, labels ...Label) Span {
+	if spanSink.Load() == nil {
+		return Span{}
+	}
+	return Span{name: name, start: time.Now(), labels: labels, active: true}
+}
+
+// End finishes the span and delivers it to the sink installed at End
+// time (spans started before a sink swap still report).
+func (s Span) End() {
+	if !s.active {
+		return
+	}
+	if p := spanSink.Load(); p != nil {
+		(*p).Finish(s.name, s.start, time.Since(s.start), s.labels)
+	}
+}
+
+// HistogramSink records span durations into per-name histograms of a
+// registry — the cheapest useful sink: installed by swserve and the
+// -stats CLIs so span timings show up in /metrics and Snapshot.
+type HistogramSink struct {
+	Registry *Registry
+	// Buckets overrides DefBuckets for the span histograms.
+	Buckets []float64
+}
+
+// Finish implements SpanSink.
+func (h *HistogramSink) Finish(name string, _ time.Time, d time.Duration, labels []Label) {
+	h.Registry.Histogram("spinwave_span_seconds", h.Buckets, append(labels, L("span", name))...).Observe(d.Seconds())
+}
+
+// CollectingSink retains finished spans in memory — for tests and
+// ad-hoc debugging, not production.
+type CollectingSink struct {
+	mu    sync.Mutex
+	spans []FinishedSpan
+}
+
+// FinishedSpan is one retained span record.
+type FinishedSpan struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Labels   []Label
+}
+
+// Finish implements SpanSink.
+func (c *CollectingSink) Finish(name string, start time.Time, d time.Duration, labels []Label) {
+	c.mu.Lock()
+	c.spans = append(c.spans, FinishedSpan{Name: name, Start: start, Duration: d, Labels: labels})
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of the retained spans.
+func (c *CollectingSink) Spans() []FinishedSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FinishedSpan, len(c.spans))
+	copy(out, c.spans)
+	return out
+}

@@ -1,0 +1,68 @@
+package ovf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/vec"
+)
+
+// FuzzOVFRead drives the OVF 2.0 parser with arbitrary byte streams.
+// Whatever the input, Read must return cleanly — either an error or a
+// File whose mesh and data are mutually consistent — and a file it
+// accepts must survive a Write/Read round trip unchanged in shape.
+func FuzzOVFRead(f *testing.F) {
+	// Seed with a genuine file from our own writer ...
+	mesh, err := grid.NewMesh(4, 3, 5e-9, 5e-9, 1.5e-9)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m := vec.NewField(mesh.NCells())
+	for i := range m {
+		m[i] = vec.V(float64(i%3), float64(i%5)/4, 1)
+	}
+	var valid bytes.Buffer
+	if err := Write(&valid, mesh, m, "fuzz seed"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// ... and with structured corruptions of the kind real files exhibit.
+	f.Add([]byte(""))
+	f.Add([]byte("# OOMMF OVF 2.0\n# znodes: 1\n"))
+	f.Add([]byte("# znodes: 1\n# xnodes: 2\n# ynodes: 2\n# Begin: Data Text\n1 2\n"))
+	f.Add([]byte("# znodes: 1\n# xnodes: 2\n# ynodes: 2\n# Begin: Data Text\n1 2 NaN\n"))
+	f.Add([]byte("# znodes: 1\n# xnodes: -1\n# ynodes: 2\n"))
+	f.Add([]byte("# znodes: 2\n"))
+	f.Add([]byte("# valuedim: 1\n"))
+	f.Add([]byte(strings.Replace(valid.String(), "xnodes: 4", "xnodes: 999", 1)))
+	f.Add([]byte(strings.Replace(valid.String(), "# End: Data Text\n", "", 1)))
+	f.Add([]byte("# xnodes: 1\n# ynodes: 1\n# znodes: 1\n# xstepsize: 1\n# ystepsize: 1\n# zstepsize: 1\n# Begin: Data Text\n0.5 0.5 0.5\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got, want := len(parsed.M), parsed.Mesh.NCells(); got != want {
+			t.Fatalf("accepted file with %d data points for a %d-cell mesh", got, want)
+		}
+		if parsed.Mesh.Nx <= 0 || parsed.Mesh.Ny <= 0 ||
+			parsed.Mesh.Dx <= 0 || parsed.Mesh.Dy <= 0 || parsed.Mesh.Dz <= 0 {
+			t.Fatalf("accepted degenerate mesh %+v", parsed.Mesh)
+		}
+		var out bytes.Buffer
+		if err := Write(&out, parsed.Mesh, parsed.M, parsed.Title); err != nil {
+			t.Fatalf("re-writing an accepted file failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-reading our own writer's output failed: %v", err)
+		}
+		if again.Mesh.Nx != parsed.Mesh.Nx || again.Mesh.Ny != parsed.Mesh.Ny ||
+			len(again.M) != len(parsed.M) {
+			t.Fatalf("round trip changed shape: %+v -> %+v", parsed.Mesh, again.Mesh)
+		}
+	})
+}

@@ -1,0 +1,26 @@
+package parallel
+
+import (
+	"sync"
+
+	"spinwave/internal/obs"
+)
+
+// Data-parallel throughput counters in the obs default registry,
+// registered lazily on the first word evaluation.
+var (
+	metricsOnce sync.Once
+
+	mWords    *obs.Counter
+	mChannels *obs.Counter
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		r.Describe("spinwave_parallel_words_total", "n-bit word evaluations through the FDM gate")
+		mWords = r.Counter("spinwave_parallel_words_total")
+		r.Describe("spinwave_parallel_channels_total", "frequency channels evaluated across all words")
+		mChannels = r.Counter("spinwave_parallel_channels_total")
+	})
+}

@@ -286,11 +286,14 @@ func (g *Gate) EvalContext(ctx context.Context, eng *engine.Engine, words ...Wor
 	type channelOut struct {
 		logic map[string]bool
 	}
+	initMetrics()
+	mWords.Inc()
 	outs := make([]channelOut, len(g.Channels))
 	evalChannel := func(ctx context.Context, ci int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		mChannels.Inc()
 		drives := map[string]complex128{}
 		for ii, name := range names {
 			drives[name] = phasor.Drive(words[ii][ci])

@@ -1,0 +1,25 @@
+package sweep
+
+import (
+	"sync"
+
+	"spinwave/internal/obs"
+)
+
+// Sweep-point throughput counters in the obs default registry,
+// registered lazily on the first runPoints call.
+var (
+	metricsOnce sync.Once
+
+	mPointsOK  *obs.Counter
+	mPointsErr *obs.Counter
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		r.Describe("spinwave_sweep_points_total", "sweep points evaluated, by outcome")
+		mPointsOK = r.Counter("spinwave_sweep_points_total", obs.L("result", "ok"))
+		mPointsErr = r.Counter("spinwave_sweep_points_total", obs.L("result", "error"))
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"spinwave/internal/engine"
 	"spinwave/internal/grid"
 	"spinwave/internal/layout"
+	"spinwave/internal/obs"
 )
 
 // TableRunner evaluates a gate truth table for a given spec.
@@ -37,12 +38,17 @@ type TableRunnerContext func(ctx context.Context, spec layout.Spec) (*core.Truth
 // the first workload that saturates the engine). Results always come
 // back in parameter order.
 func runPoints(ctx context.Context, eng *engine.Engine, params []float64, eval func(ctx context.Context, i int, param float64) (*core.TruthTable, error), describe func(param float64) string) ([]Result, error) {
+	initMetrics()
 	out := make([]Result, len(params))
 	do := func(ctx context.Context, i int) error {
+		span := obs.StartSpan("sweep.point")
 		tt, err := eval(ctx, i, params[i])
+		span.End()
 		if err != nil {
+			mPointsErr.Inc()
 			return fmt.Errorf("sweep: %s: %w", describe(params[i]), err)
 		}
+		mPointsOK.Inc()
 		out[i] = point(params[i], tt)
 		return nil
 	}

@@ -1,0 +1,42 @@
+package spinwave
+
+import (
+	"io"
+
+	"spinwave/internal/obs"
+)
+
+// Observability re-exports: the process-wide metric registry that the
+// engine, the LLG solver, the sweep harness and swserve all record
+// into, plus the span-tracing hooks. See internal/obs for full
+// documentation.
+type (
+	// MetricsSnapshot is a point-in-time copy of every registered
+	// metric; Summary renders it as the -stats timing table.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsHistogram is one histogram's snapshot state.
+	MetricsHistogram = obs.HistogramSnapshot
+	// SpanSink receives finished trace spans.
+	SpanSink = obs.SpanSink
+	// SpanLabel is one key/value span or metric label.
+	SpanLabel = obs.Label
+)
+
+// SnapshotMetrics copies the current state of every metric in the
+// default registry — cache traffic, LLG step totals, evaluation
+// latencies. CLIs print SnapshotMetrics().Summary() under -stats.
+func SnapshotMetrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// WriteMetrics writes the default registry in Prometheus text
+// exposition format (what swserve serves at /metrics).
+func WriteMetrics(w io.Writer) error { return obs.Default().WritePrometheus(w) }
+
+// SetSpanSink installs the destination for finished trace spans and
+// returns the previous sink; nil disables tracing. While no sink is
+// installed spans cost nothing on the hot path.
+func SetSpanSink(s SpanSink) SpanSink { return obs.SetSpanSink(s) }
+
+// EnableSpanMetrics routes span durations into the default registry as
+// spinwave_span_seconds histograms, so per-stage timings (setup,
+// transient, lock-in) appear in /metrics and SnapshotMetrics.
+func EnableSpanMetrics() { obs.SetSpanSink(&obs.HistogramSink{Registry: obs.Default()}) }
