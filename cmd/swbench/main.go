@@ -1,0 +1,242 @@
+// Command swbench benchmarks the LLG stepping cores and emits
+// BENCH_pr3.json: wall-clock timings of the reference (term-by-term)
+// stepper versus the fused tiled core at 1/2/4/8 workers on the paper's
+// XOR and MAJ3 micromagnetic truth tables, plus a bit-identity check of
+// the single-worker and 8-worker magnetization trajectories.
+//
+//	swbench                      full benchmark, writes BENCH_pr3.json
+//	swbench -quick               CI smoke variant: XOR only, one case
+//	swbench -out bench.json      choose the output path
+//
+// The process exits non-zero if the parallel stepper's trajectory
+// diverges from serial by even one bit — the CI smoke job relies on
+// this as a regression gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"spinwave"
+)
+
+// modeResult is one (stepper, workers) timing row.
+type modeResult struct {
+	// Name is "reference" for the term-by-term baseline or "fused" for
+	// the tiled core.
+	Name string `json:"name"`
+	// Workers is the stepping worker count (1 = serial fused).
+	Workers int `json:"workers"`
+	// Seconds is the total wall-clock time for all cases.
+	Seconds float64 `json:"seconds"`
+	// StepsPerSec is integrator throughput across the whole table.
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// Speedup is Seconds of the reference mode divided by this mode's.
+	Speedup float64 `json:"speedup_vs_reference"`
+}
+
+// gateResult aggregates one gate's benchmark.
+type gateResult struct {
+	Gate  string `json:"gate"`
+	Cases int    `json:"cases"`
+	// Cells is the number of material cells in the rasterized gate.
+	Cells int `json:"cells"`
+	// StepsPerCase is the fixed-step count of one transient.
+	StepsPerCase int          `json:"steps_per_case"`
+	Modes        []modeResult `json:"modes"`
+	// TrajectoriesBitIdentical reports whether the final magnetization
+	// of a 1-worker and an 8-worker run matched exactly, cell by cell.
+	TrajectoriesBitIdentical bool `json:"trajectories_bit_identical"`
+}
+
+// benchReport is the BENCH_pr3.json document.
+type benchReport struct {
+	Tool       string       `json:"tool"`
+	Quick      bool         `json:"quick"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Gates      []gateResult `json:"gates"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swbench: ")
+	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	quick := flag.Bool("quick", false, "CI smoke mode: XOR only, a single case per mode")
+	flag.Parse()
+
+	report := benchReport{
+		Tool:       "swbench",
+		Quick:      *quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	gates := []spinwave.GateKind{spinwave.XOR}
+	if !*quick {
+		gates = append(gates, spinwave.MAJ3)
+	}
+	ok := true
+	for _, kind := range gates {
+		g, err := benchGate(kind, *quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !g.TrajectoriesBitIdentical {
+			ok = false
+		}
+		report.Gates = append(report.Gates, *g)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+	if !ok {
+		log.Fatal("FAIL: parallel trajectory diverged from serial")
+	}
+}
+
+// newBackend builds a micromagnetic backend for the benchmark.
+func newBackend(kind spinwave.GateKind, workers int, reference bool) (*spinwave.Micromagnetic, error) {
+	return spinwave.NewMicromagnetic(kind, spinwave.MicromagConfig{
+		Spec:                spinwave.ReducedSpec(),
+		Mat:                 spinwave.FeCoB(),
+		Workers:             workers,
+		UseReferenceStepper: reference,
+	})
+}
+
+// benchCases returns the input combinations timed per mode: the full
+// truth table, or a single asymmetric case in quick mode.
+func benchCases(kind spinwave.GateKind, quick bool) [][]bool {
+	n := kind.NumInputs()
+	if quick {
+		in := make([]bool, n)
+		in[0] = true
+		return [][]bool{in}
+	}
+	cases := make([][]bool, 0, 1<<n)
+	for v := 0; v < 1<<n; v++ {
+		in := make([]bool, n)
+		for i := 0; i < n; i++ {
+			in[i] = v&(1<<(n-1-i)) != 0
+		}
+		cases = append(cases, in)
+	}
+	return cases
+}
+
+func benchGate(kind spinwave.GateKind, quick bool) (*gateResult, error) {
+	cases := benchCases(kind, quick)
+	probe, err := newBackend(kind, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	g := &gateResult{
+		Gate:         kind.String(),
+		Cases:        len(cases),
+		Cells:        probe.Region.Count(),
+		StepsPerCase: int(probe.Duration() / probe.Dt()),
+	}
+	log.Printf("%s: %d cases, %d cells, %d steps/case", g.Gate, g.Cases, g.Cells, g.StepsPerCase)
+
+	type mode struct {
+		name      string
+		workers   int
+		reference bool
+	}
+	modes := []mode{
+		{"reference", 1, true},
+		{"fused", 1, false},
+		{"fused", 2, false},
+		{"fused", 4, false},
+		{"fused", 8, false},
+	}
+	if quick {
+		modes = []mode{{"reference", 1, true}, {"fused", 1, false}, {"fused", 8, false}}
+	}
+	var refSeconds float64
+	for _, md := range modes {
+		m, err := newBackend(kind, md.workers, md.reference)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, in := range cases {
+			if _, err := m.Run(in); err != nil {
+				return nil, fmt.Errorf("%s %s w=%d: %w", g.Gate, md.name, md.workers, err)
+			}
+		}
+		secs := time.Since(start).Seconds()
+		if md.reference {
+			refSeconds = secs
+		}
+		r := modeResult{
+			Name:        md.name,
+			Workers:     md.workers,
+			Seconds:     secs,
+			StepsPerSec: float64(g.StepsPerCase*len(cases)) / secs,
+		}
+		if refSeconds > 0 {
+			r.Speedup = refSeconds / secs
+		}
+		g.Modes = append(g.Modes, r)
+		log.Printf("%s: %-9s workers=%d  %8.2fs  %.0f steps/s  speedup %.2fx",
+			g.Gate, md.name, md.workers, secs, r.StepsPerSec, r.Speedup)
+	}
+
+	// Divergence gate: the final magnetization of a full transient must
+	// be bit-identical between 1 and 8 stepping workers.
+	identical, err := trajectoriesIdentical(kind, cases[0])
+	if err != nil {
+		return nil, err
+	}
+	g.TrajectoriesBitIdentical = identical
+	if identical {
+		log.Printf("%s: 1-worker vs 8-worker trajectories bit-identical", g.Gate)
+	} else {
+		log.Printf("%s: DIVERGENCE between 1-worker and 8-worker trajectories", g.Gate)
+	}
+	return g, nil
+}
+
+// trajectoriesIdentical runs one full transient at 1 and 8 workers and
+// compares every cell of the final magnetization exactly.
+func trajectoriesIdentical(kind spinwave.GateKind, inputs []bool) (bool, error) {
+	m1, err := newBackend(kind, 1, false)
+	if err != nil {
+		return false, err
+	}
+	f1, _, _, err := m1.Snapshot(inputs)
+	if err != nil {
+		return false, err
+	}
+	m8, err := newBackend(kind, 8, false)
+	if err != nil {
+		return false, err
+	}
+	f8, _, _, err := m8.Snapshot(inputs)
+	if err != nil {
+		return false, err
+	}
+	if len(f1) != len(f8) {
+		return false, fmt.Errorf("snapshot sizes differ: %d vs %d", len(f1), len(f8))
+	}
+	for c := range f1 {
+		if f1[c] != f8[c] {
+			return false, nil
+		}
+	}
+	return true, nil
+}

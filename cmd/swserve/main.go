@@ -44,6 +44,7 @@ func main() {
 	log.SetPrefix("swserve: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = NumCPU)")
+	flag.IntVar(&stepWorkers, "step-workers", 0, "LLG stepping workers per micromag transient (0/1 = serial; trajectories are bit-identical)")
 	cacheSize := flag.Int("cache", 4096, "engine LRU capacity in cached case readouts (0 disables)")
 	timeout := flag.Duration("timeout", 120*time.Second, "server-side per-request deadline")
 	maxBatch := flag.Int("max-batch", defaultMaxBatch, "maximum cases per /v1/eval request")
@@ -347,6 +348,12 @@ func statusFor(err error) int {
 	}
 }
 
+// stepWorkers is the per-transient LLG stepping worker count applied to
+// every micromagnetic backend the server builds (-step-workers flag).
+// It composes with the engine pool: table rows parallelize across engine
+// workers while each row's LLG bands parallelize across step workers.
+var stepWorkers int
+
 func buildBackend(req backendRequest) (spinwave.Backend, error) {
 	kind, err := parseGate(req.Gate)
 	if err != nil {
@@ -370,7 +377,8 @@ func buildBackend(req backendRequest) (spinwave.Backend, error) {
 		if err != nil {
 			return nil, err
 		}
-		return spinwave.NewMicromagnetic(kind, spinwave.WithSpec(spec), spinwave.WithMaterial(mat))
+		return spinwave.NewMicromagnetic(kind, spinwave.WithSpec(spec), spinwave.WithMaterial(mat),
+			spinwave.WithWorkers(stepWorkers))
 	default:
 		return nil, fmt.Errorf("%w: backend %q (want behavioral or micromag)", spinwave.ErrUnknownComponent, req.Backend)
 	}

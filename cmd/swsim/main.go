@@ -39,6 +39,7 @@ func main() {
 	sweepKind := flag.String("sweep", "", "run a sweep instead: width, roughness, thermal")
 	demo := flag.String("demo", "", "run a demo: interference")
 	stats := flag.Bool("stats", false, "print a timing/metrics summary to stderr when done")
+	workers := flag.Int("workers", 0, "LLG stepping workers per transient (0/1 = serial; trajectories are bit-identical)")
 	flag.Parse()
 
 	if *stats {
@@ -68,6 +69,7 @@ func main() {
 		Mat:         material.FeCoB(),
 		Temperature: *temp,
 		Seed:        *seed,
+		Workers:     *workers,
 	}
 	if *rough > 0 {
 		cfg.RegionMutator = sweep.EdgeRoughness(*rough, *seed)

@@ -21,11 +21,23 @@
 //     references) regenerating Table III and its derived claims;
 //   - harnesses that regenerate every table and figure of the paper's
 //     evaluation (see EXPERIMENTS.md), MuMax3 script generation for
-//     cross-validation, OVF 2.0 snapshot I/O, and field rendering.
+//     cross-validation, OVF 2.0 snapshot I/O, and field rendering;
+//   - a concurrent evaluation engine (bounded worker pool, LRU result
+//     cache with request coalescing, context cancellation plumbed into
+//     the integrator loop) and an HTTP JSON service (cmd/swserve);
+//   - a dependency-free observability layer (Prometheus-format
+//     counters/gauges/histograms, zero-cost span tracing) instrumented
+//     through the engine, solver and serving layers;
+//   - a fused, tiled LLG stepping core: each Runge–Kutta stage is one
+//     pass over row bands executed by a persistent worker pool, with
+//     zero per-step allocations and trajectories that are bit-for-bit
+//     identical for every worker count (see DESIGN.md §10 and
+//     MicromagConfig.Workers).
 //
 // This package is the public facade: it re-exports the types and
 // constructors a downstream user needs, while the implementation lives
-// in internal/ packages (one per subsystem, see DESIGN.md).
+// in internal/ packages (one per subsystem; see ARCHITECTURE.md for
+// the package map and DESIGN.md for the physics and design decisions).
 //
 // # Quick start
 //

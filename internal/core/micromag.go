@@ -44,9 +44,14 @@ type MicromagConfig struct {
 	MaxAlpha float64
 	// Scheme selects the integrator (default RK4).
 	Scheme llg.Scheme
-	// Workers > 1 parallelizes the field evaluation over row bands
-	// (useful on multi-core machines; results are identical).
+	// Workers > 1 runs the LLG stepping kernels on a persistent pool of
+	// that many goroutines, banded over mesh rows (useful on multi-core
+	// machines; trajectories are bit-identical for any worker count).
 	Workers int
+	// UseReferenceStepper forces the original term-by-term LLG stepper
+	// instead of the fused tiled core. It exists for benchmarking and
+	// debugging; the two agree to floating-point round-off.
+	UseReferenceStepper bool
 	// Temperature enables the stochastic thermal field when > 0 (kelvin).
 	Temperature float64
 	// Seed seeds the thermal field.
@@ -229,7 +234,8 @@ func (m *Micromagnetic) newSolver(inputs []bool, mute map[string]bool) (*llg.Sol
 		return nil, nil, err
 	}
 	s.Scheme = m.cfg.Scheme
-	s.Eval.Workers = m.cfg.Workers
+	s.UseReference = m.cfg.UseReferenceStepper
+	s.SetWorkers(m.cfg.Workers)
 
 	// Matched terminations at the layout's absorbing ends.
 	ramp := m.cfg.Spec.Tail
@@ -308,17 +314,19 @@ func (m *Micromagnetic) RunContext(ctx context.Context, inputs []bool) (map[stri
 // Fingerprint implements Fingerprinter: a canonical hash of the gate
 // kind and the full micromagnetic config. A backend with a RegionMutator
 // hook has no canonical identity and reports ok = false (uncacheable).
-// The stencil worker count is excluded — results are identical for any
-// value.
+// The stepping worker count is excluded — trajectories are bit-identical
+// for any value; the reference-stepper flag is included because the
+// fused and reference cores differ at floating-point round-off.
 func (m *Micromagnetic) Fingerprint() (string, bool) {
 	if m.cfg.RegionMutator != nil {
 		return "", false
 	}
 	c := m.cfg
-	return hashKey(fmt.Sprintf("micromag/v1|%d|%+v|%+v|cell=%g|drive=%g|ramp=%g|meas=%d|settle=%g|sample=%d|alpha=%g|scheme=%d|T=%g|seed=%d|trim=%g",
+	return hashKey(fmt.Sprintf("micromag/v1|%d|%+v|%+v|cell=%g|drive=%g|ramp=%g|meas=%d|settle=%g|sample=%d|alpha=%g|scheme=%d|T=%g|seed=%d|trim=%g|ref=%t",
 		int(m.kind), c.Spec, c.Mat, c.CellSize, c.DriveField, c.RampPeriods,
 		c.MeasurePeriods, c.SettleFactor, c.SampleEvery, c.MaxAlpha,
-		int(c.Scheme), c.Temperature, c.Seed, c.I3PhaseTrim)), true
+		int(c.Scheme), c.Temperature, c.Seed, c.I3PhaseTrim,
+		c.UseReferenceStepper)), true
 }
 
 // RunSingle excites only the named input at logic 0 and measures the
@@ -388,6 +396,7 @@ func (m *Micromagnetic) run(ctx context.Context, inputs []bool, mute map[string]
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close() // release the stepping pool, if any
 	every := m.cfg.SampleEvery
 	transient := obs.StartSpan("micromag.transient", obs.L("gate", m.kind.String()))
 	err = s.RunContext(ctx, m.duration, func(step int) bool {
@@ -426,6 +435,7 @@ func (m *Micromagnetic) Snapshot(inputs []bool) (vec.Field, grid.Mesh, grid.Regi
 	if err != nil {
 		return nil, grid.Mesh{}, nil, err
 	}
+	defer s.Close()
 	s.Run(m.duration, nil)
 	if err := s.CheckFinite(); err != nil {
 		return nil, grid.Mesh{}, nil, err

@@ -68,10 +68,17 @@ func WithScheme(s llg.Scheme) MicromagOption {
 	return micromagOptionFunc(func(c *MicromagConfig) { c.Scheme = s })
 }
 
-// WithWorkers parallelizes the field-stencil evaluation over row bands
-// inside each transient run. Results are identical for any worker count.
+// WithWorkers runs each transient's LLG stepping kernels on a persistent
+// pool of n goroutines, banded over mesh rows. Trajectories are
+// bit-identical for any worker count (see DESIGN.md §10).
 func WithWorkers(n int) MicromagOption {
 	return micromagOptionFunc(func(c *MicromagConfig) { c.Workers = n })
+}
+
+// WithReferenceStepper forces the original term-by-term LLG stepper
+// instead of the fused tiled core — the benchmarking baseline.
+func WithReferenceStepper(on bool) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.UseReferenceStepper = on })
 }
 
 // WithCellSize sets the square cell edge in meters (default λ/11).

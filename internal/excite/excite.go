@@ -114,6 +114,11 @@ func (a *Antenna) AddTo(t float64, B vec.Field) {
 	}
 }
 
+// SourceCells implements mag.SparseSource: the antenna only ever writes
+// its fixed cell footprint, so the parallel stepper can treat it as a
+// sparse overlay instead of sweeping the whole mesh.
+func (a *Antenna) SourceCells() []int { return a.Cells }
+
 // SetLogic sets the antenna phase from a logic level: 0 ⇒ phase 0,
 // 1 ⇒ phase π (paper §III-A step (i)).
 func (a *Antenna) SetLogic(level bool) {

@@ -1,0 +1,108 @@
+package grid
+
+// Neighbor-presence mask bits for RunSet.Masks: bit set means the
+// neighbor cell exists (inside the mesh and inside the region), so a
+// 5-point stencil can test one byte instead of four region lookups.
+const (
+	// MaskLeft marks a region neighbor at (i-1, j).
+	MaskLeft uint8 = 1 << iota
+	// MaskRight marks a region neighbor at (i+1, j).
+	MaskRight
+	// MaskDown marks a region neighbor at (i, j-1).
+	MaskDown
+	// MaskUp marks a region neighbor at (i, j+1).
+	MaskUp
+)
+
+// Run is a maximal horizontal span of region cells, stored as half-open
+// flat indices [Start, End) within one row.
+type Run struct {
+	Start, End int32
+}
+
+// Len returns the number of cells in the run.
+func (r Run) Len() int { return int(r.End - r.Start) }
+
+// RunSet is the precomputed iteration geometry of a region: the active
+// cells of every row compressed into runs, plus a per-cell neighbor
+// mask for the exchange stencil. The hot solver loops iterate runs
+// instead of testing region[c] for every mesh cell, which both skips
+// vacuum cells entirely and removes the per-neighbor region loads from
+// the stencil inner loop.
+//
+// A RunSet is a snapshot: it must be rebuilt if the region changes.
+// All methods are read-only and safe for concurrent use.
+type RunSet struct {
+	mesh   Mesh
+	rowOff []int32 // len Ny+1; runs of row j are runs[rowOff[j]:rowOff[j+1]]
+	runs   []Run
+	masks  []uint8 // len NCells
+	active int
+}
+
+// NewRunSet precomputes the run/mask geometry for region on mesh. It
+// panics if the region length does not match the mesh (the same
+// contract as the field helpers).
+func NewRunSet(m Mesh, region Region) *RunSet {
+	if len(region) != m.NCells() {
+		panic("grid: region length does not match mesh")
+	}
+	rs := &RunSet{
+		mesh:   m,
+		rowOff: make([]int32, m.Ny+1),
+		masks:  make([]uint8, m.NCells()),
+	}
+	nx, ny := m.Nx, m.Ny
+	for j := 0; j < ny; j++ {
+		rs.rowOff[j] = int32(len(rs.runs))
+		row := j * nx
+		for i := 0; i < nx; {
+			if !region[row+i] {
+				i++
+				continue
+			}
+			start := i
+			for i < nx && region[row+i] {
+				c := row + i
+				var mask uint8
+				if i > 0 && region[c-1] {
+					mask |= MaskLeft
+				}
+				if i < nx-1 && region[c+1] {
+					mask |= MaskRight
+				}
+				if j > 0 && region[c-nx] {
+					mask |= MaskDown
+				}
+				if j < ny-1 && region[c+nx] {
+					mask |= MaskUp
+				}
+				rs.masks[c] = mask
+				i++
+			}
+			rs.runs = append(rs.runs, Run{Start: int32(row + start), End: int32(row + i)})
+			rs.active += i - start
+		}
+	}
+	rs.rowOff[ny] = int32(len(rs.runs))
+	return rs
+}
+
+// Mesh returns the mesh the run set was built for.
+func (rs *RunSet) Mesh() Mesh { return rs.mesh }
+
+// RowRuns returns the runs covering rows [j0, j1), suitable for one
+// band's kernel invocation.
+func (rs *RunSet) RowRuns(j0, j1 int) []Run {
+	return rs.runs[rs.rowOff[j0]:rs.rowOff[j1]]
+}
+
+// Runs returns the runs of every row in ascending order.
+func (rs *RunSet) Runs() []Run { return rs.runs }
+
+// Masks returns the per-cell neighbor-presence masks, indexed by flat
+// cell index; bits are MaskLeft/MaskRight/MaskDown/MaskUp.
+func (rs *RunSet) Masks() []uint8 { return rs.masks }
+
+// ActiveCells returns the total number of region cells.
+func (rs *RunSet) ActiveCells() int { return rs.active }

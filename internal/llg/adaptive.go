@@ -3,6 +3,8 @@ package llg
 import (
 	"fmt"
 	"math"
+
+	"spinwave/internal/tile"
 )
 
 // AdaptiveConfig tunes the embedded Bogacki–Shampine (RK23) adaptive
@@ -41,6 +43,12 @@ func (c AdaptiveConfig) withDefaults(dt float64) AdaptiveConfig {
 // rescaled by (MaxErr/err)^(1/3) either way. It returns the number of
 // accepted and rejected steps. The solver's Dt field is used as the
 // initial step and left at the final adapted value.
+//
+// Like Step, it uses the fused tiled core unless UseReference is set or
+// a full demag convolution is installed. The error estimate is an
+// ∞-norm: it is reduced from fixed per-band partials, and the maximum is
+// partition-invariant, so accept/reject decisions — and hence the whole
+// trajectory — are bit-identical for every worker count.
 func (s *Solver) RunAdaptive(duration float64, cfg AdaptiveConfig) (accepted, rejected int, err error) {
 	if duration <= 0 {
 		return 0, 0, fmt.Errorf("llg: adaptive duration %g must be positive", duration)
@@ -49,12 +57,67 @@ func (s *Solver) RunAdaptive(duration float64, cfg AdaptiveConfig) (accepted, re
 	if cfg.MinDt <= 0 || cfg.MaxDt < cfg.MinDt {
 		return 0, 0, fmt.Errorf("llg: invalid adaptive step bounds [%g, %g]", cfg.MinDt, cfg.MaxDt)
 	}
+	if s.UseReference || s.Eval.FullDemag != nil {
+		return s.runAdaptiveReference(duration, cfg)
+	}
+	return s.runAdaptiveFused(duration, cfg)
+}
+
+// runAdaptiveFused is the banded RK23 loop (kernels in parallel.go).
+func (s *Solver) runAdaptiveFused(duration float64, cfg AdaptiveConfig) (accepted, rejected int, err error) {
+	s.ensurePrep()
+	end := s.Time + duration
+	dt := math.Min(math.Max(s.Dt, cfg.MinDt), cfg.MaxDt)
+
+	for s.Time < end {
+		if s.Time+dt > end {
+			dt = end - s.Time
+		}
+		t := s.Time
+		s.timeBands = false
+		// Stages 1–3 build the 3rd-order solution y3 into mtmp; stage 4
+		// evaluates the embedded error stage at t+dt and folds the
+		// squared-norm error into per-band partials.
+		s.runStage(s.passBS23, 1, t, dt, s.M)
+		s.runStage(s.passBS23, 2, t+dt/2, dt, s.mtmp)
+		s.runStage(s.passBS23, 3, t+3*dt/4, dt, s.mtmp2)
+		s.runStage(s.passBS23, 4, t+dt, dt, s.mtmp)
+		// √ of the max squared norm equals the max norm (√ is monotone),
+		// so this matches the reference stepper's per-cell norms exactly.
+		worst := math.Sqrt(tile.MaxFloat64s(s.errPart)) * dt
+		if worst <= cfg.MaxErr || dt <= cfg.MinDt {
+			// Accept: commit M = normalize(y3) without a field pass.
+			s.st.num, s.st.t, s.st.dt, s.st.in = 5, t+dt, dt, s.mtmp
+			s.st.doField, s.st.doTorque = false, true
+			s.pool.Run(len(s.bands), s.passBS23)
+			s.Time = t + dt
+			s.steps++
+			accepted++
+		} else {
+			rejected++
+		}
+		dt = nextDt(dt, worst, cfg)
+		if accepted+rejected > 50_000_000 {
+			return accepted, rejected, fmt.Errorf("llg: adaptive run exceeded step budget")
+		}
+	}
+	s.Dt = dt
+	return accepted, rejected, nil
+}
+
+// runAdaptiveReference is the original term-by-term RK23 loop, retained
+// as the baseline and as the path for full-demag runs. The embedded
+// error stage now has its own buffer (kerr); it previously reused the
+// RK4 k4 buffer — harmless at the time because the adaptive path never
+// touched k4, but an aliasing trap once buffers started being shared
+// across banded passes.
+func (s *Solver) runAdaptiveReference(duration float64, cfg AdaptiveConfig) (accepted, rejected int, err error) {
 	end := s.Time + duration
 	dt := math.Min(math.Max(s.Dt, cfg.MinDt), cfg.MaxDt)
 
 	n := len(s.M)
 	m2 := s.mtmp
-	e3 := s.k4 // reuse the RK4 buffer for the embedded error stage
+	e3 := s.kerr
 
 	for s.Time < end {
 		if s.Time+dt > end {
@@ -75,7 +138,7 @@ func (s *Solver) RunAdaptive(duration float64, cfg AdaptiveConfig) (accepted, re
 		m2.AddScaled(2*dt/9, s.k1)
 		m2.AddScaled(dt/3, s.k2)
 		m2.AddScaled(4*dt/9, s.k3)
-		s.rhs(t+dt, m2, e3) // k4 for the error estimate
+		s.rhs(t+dt, m2, e3) // error stage for the embedded 2nd-order pair
 		// err = dt·‖(−5/72)k1 + (1/12)k2 + (1/9)k3 + (−1/8)k4‖∞
 		worst := 0.0
 		for i := 0; i < n; i++ {
@@ -101,18 +164,21 @@ func (s *Solver) RunAdaptive(duration float64, cfg AdaptiveConfig) (accepted, re
 		} else {
 			rejected++
 		}
-		// Step-size controller (3rd-order: exponent 1/3).
-		if worst > 0 {
-			factor := cfg.Headroom * math.Cbrt(cfg.MaxErr/worst)
-			factor = math.Min(math.Max(factor, 0.2), 5)
-			dt = math.Min(math.Max(dt*factor, cfg.MinDt), cfg.MaxDt)
-		} else {
-			dt = math.Min(dt*2, cfg.MaxDt)
-		}
+		dt = nextDt(dt, worst, cfg)
 		if accepted+rejected > 50_000_000 {
 			return accepted, rejected, fmt.Errorf("llg: adaptive run exceeded step budget")
 		}
 	}
 	s.Dt = dt
 	return accepted, rejected, nil
+}
+
+// nextDt is the shared step-size controller (3rd-order: exponent 1/3).
+func nextDt(dt, worst float64, cfg AdaptiveConfig) float64 {
+	if worst > 0 {
+		factor := cfg.Headroom * math.Cbrt(cfg.MaxErr/worst)
+		factor = math.Min(math.Max(factor, 0.2), 5)
+		return math.Min(math.Max(dt*factor, cfg.MinDt), cfg.MaxDt)
+	}
+	return math.Min(dt*2, cfg.MaxDt)
 }

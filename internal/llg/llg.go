@@ -2,15 +2,37 @@
 //
 //	dm/dt = −γ/(1+α²) · [ m×B + α·m×(m×B) ]
 //
-// (equation (1) of the paper in its explicit Landau–Lifshitz form) on the
-// 2-D mesh of internal/grid, with the effective field supplied by an
-// internal/mag.Evaluator. γ is in rad/(s·T) and B in Tesla.
+// (equation (1) of the paper, §II-C, in its explicit Landau–Lifshitz
+// form) on the 2-D mesh of internal/grid, with the effective field
+// supplied by an internal/mag.Evaluator. Units are SI per
+// internal/units: γ in rad/(s·T), B in Tesla, time in seconds.
 //
 // The damping constant is per-cell so that absorbing boundary layers
 // (smoothly ramped α) can terminate waveguides without reflections.
-// Two fixed-step schemes are provided: Heun (2 field evaluations/step) and
-// classical RK4 (4 evaluations, default); magnetization is renormalized
-// after every step.
+// Two fixed-step schemes are provided — Heun (2 field evaluations/step)
+// and classical RK4 (4 evaluations, default) — plus the adaptive
+// Bogacki–Shampine RK23 pair (RunAdaptive). Magnetization is
+// renormalized after every accepted step.
+//
+// # Stepping cores
+//
+// Step normally runs the tiled fused core (parallel.go): each RK stage
+// is a single pass over precomputed active-cell runs that evaluates the
+// local field, overlays sources, computes the torque and applies the
+// stage update, optionally split across a persistent worker pool
+// (SetWorkers) in horizontal row bands. StepReference is the original
+// term-by-term stepper, kept verbatim as the benchmark baseline and as
+// the execution path when a full demag convolution is installed.
+// Trajectories are bit-for-bit identical across worker counts; the
+// fused and reference cores agree to floating-point round-off
+// (see DESIGN.md §10).
+//
+// # Concurrency
+//
+// A Solver is driven by one goroutine at a time; distinct Solvers are
+// independent (they share no mutable state) and may run concurrently,
+// each with its own worker pool. Callers that enable SetWorkers(n > 1)
+// must Close the solver to release the pool goroutines.
 package llg
 
 import (
@@ -22,6 +44,7 @@ import (
 	"spinwave/internal/grid"
 	"spinwave/internal/mag"
 	"spinwave/internal/material"
+	"spinwave/internal/tile"
 	"spinwave/internal/vec"
 )
 
@@ -48,6 +71,10 @@ func (s Scheme) String() string {
 	}
 }
 
+// scratchFields is the number of mesh-sized buffers carved from the
+// solver's arena: b, k1..k4, kerr, mtmp, mtmp2, srcB.
+const scratchFields = 9
+
 // Solver advances the magnetization of one simulation in time.
 type Solver struct {
 	Mesh   grid.Mesh
@@ -62,11 +89,44 @@ type Solver struct {
 	Dt     float64 // fixed time step, s
 	Scheme Scheme
 
+	// UseReference forces the term-by-term reference stepper
+	// (StepReference) for every step. It exists for benchmarking the
+	// fused core against the original implementation and for debugging;
+	// production runs leave it false.
+	UseReference bool
+
 	steps int
 
-	// scratch buffers
+	// Scratch buffers, all carved from one arena allocation. b holds the
+	// effective field, k1..k4 the RK stage slopes, kerr the adaptive
+	// error stage, mtmp/mtmp2 the ping-pong stage inputs, and srcB the
+	// sparse-source overlay.
+	arena             *vec.Arena
 	b, k1, k2, k3, k4 vec.Field
-	mtmp              vec.Field
+	kerr              vec.Field
+	mtmp, mtmp2       vec.Field
+	srcB              vec.Field
+
+	// Fused-stepping state (parallel.go), rebuilt by ensurePrep when
+	// prepared is false.
+	workers      int
+	pool         *tile.Pool
+	bands        []tile.Band
+	prepared     bool
+	runs         *grid.RunSet
+	alphaPref    []float64 // −γ/(1+α²) per cell
+	cellSrcs     []mag.CellSource
+	sparseSrcs   []mag.SparseSource
+	otherSrcs    []mag.Source
+	srcCells     []int   // union of sparse-source cells, deduplicated
+	srcCellsBand [][]int // srcCells split by band
+	errPart      []float64
+	timeBands    bool
+
+	// Prebuilt pass closures and in-flight stage parameters; reusing
+	// them keeps the steady-state stepping loop allocation-free.
+	passRK4, passHeun, passBS23 func(int)
+	st                          stage
 }
 
 // New creates a solver for the given geometry and material, with the
@@ -81,22 +141,31 @@ func New(mesh grid.Mesh, region grid.Region, mat material.Params, dt float64) (*
 		return nil, err
 	}
 	n := mesh.NCells()
+	arena := vec.NewArena(scratchFields, n)
 	s := &Solver{
-		Mesh:   mesh,
-		Region: region,
-		Eval:   ev,
-		M:      vec.NewField(n),
-		Alpha:  make([]float64, n),
-		Gamma:  mat.GammaOrDefault(),
-		Dt:     dt,
-		Scheme: RK4,
-		b:      vec.NewField(n),
-		k1:     vec.NewField(n),
-		k2:     vec.NewField(n),
-		k3:     vec.NewField(n),
-		k4:     vec.NewField(n),
-		mtmp:   vec.NewField(n),
+		Mesh:    mesh,
+		Region:  region,
+		Eval:    ev,
+		M:       vec.NewField(n),
+		Alpha:   make([]float64, n),
+		Gamma:   mat.GammaOrDefault(),
+		Dt:      dt,
+		Scheme:  RK4,
+		workers: 1,
+		arena:   arena,
+		b:       arena.Field(),
+		k1:      arena.Field(),
+		k2:      arena.Field(),
+		k3:      arena.Field(),
+		k4:      arena.Field(),
+		kerr:    arena.Field(),
+		mtmp:    arena.Field(),
+		mtmp2:   arena.Field(),
+		srcB:    arena.Field(),
 	}
+	s.passRK4 = func(bi int) { s.rk4Band(bi) }
+	s.passHeun = func(bi int) { s.heunBand(bi) }
+	s.passBS23 = func(bi int) { s.bs23Band(bi) }
 	for i := range s.Alpha {
 		s.Alpha[i] = mat.Alpha
 	}
@@ -141,6 +210,7 @@ func (s *Solver) SetAlphaProfile(f func(i, j int) float64) {
 			}
 		}
 	}
+	s.prepared = false
 }
 
 // AddAbsorberTowards raises damping smoothly (quadratic ramp) from the
@@ -166,6 +236,7 @@ func (s *Solver) AddAbsorberTowards(px, py, rampLen, maxAlpha float64) {
 			}
 		}
 	}
+	s.prepared = false
 }
 
 // torque writes dm/dt into dst for magnetization m and field b.
@@ -190,8 +261,25 @@ func (s *Solver) rhs(t float64, m, dst vec.Field) {
 	s.torque(m, s.b, dst)
 }
 
-// Step advances the solver by one time step Dt.
+// Step advances the solver by one time step Dt using the fused tiled
+// core, falling back to the reference stepper when UseReference is set
+// or a full demag convolution is installed (the exact convolution is a
+// global operation the banded kernels cannot fuse).
 func (s *Solver) Step() {
+	if s.UseReference || s.Eval.FullDemag != nil {
+		s.StepReference()
+		return
+	}
+	s.stepFused()
+}
+
+// StepReference advances one time step with the original term-by-term
+// implementation: full-field sweeps for every RK stage via
+// mag.Evaluator.Field, separate AddScaled/Copy passes for the stage
+// updates, and a final renormalization sweep. It is retained verbatim
+// as the baseline the fused core is benchmarked and regression-tested
+// against; the two agree to floating-point round-off.
+func (s *Solver) StepReference() {
 	dt, t := s.Dt, s.Time
 	switch s.Scheme {
 	case Heun:
@@ -259,6 +347,9 @@ func (s *Solver) RunContext(ctx context.Context, duration float64, each func(ste
 		mRunSeconds.Observe(elapsed)
 		if taken > 0 {
 			mStepSeconds.Observe(elapsed / float64(taken))
+			if elapsed > 0 {
+				mStepsPerSec.Set(float64(taken) / elapsed)
+			}
 		}
 	}()
 	done := ctx.Done()

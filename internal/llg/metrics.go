@@ -17,6 +17,8 @@ var (
 	mRuns        *obs.Counter
 	mRunSeconds  *obs.Histogram
 	mStepSeconds *obs.Histogram
+	mBandSeconds *obs.Histogram
+	mStepsPerSec *obs.Gauge
 )
 
 func initMetrics() {
@@ -32,5 +34,11 @@ func initMetrics() {
 		mStepSeconds = r.Histogram("spinwave_llg_step_seconds", []float64{
 			1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1,
 		})
+		r.Describe("spinwave_llg_band_seconds", "wall-clock time of one band's fused stage kernel, sampled every 64 steps")
+		mBandSeconds = r.Histogram("spinwave_llg_band_seconds", []float64{
+			1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+		})
+		r.Describe("spinwave_llg_steps_per_second", "integrator throughput of the most recent run")
+		mStepsPerSec = r.Gauge("spinwave_llg_steps_per_second")
 	})
 }

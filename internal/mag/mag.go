@@ -17,6 +17,19 @@
 //   - Bias: a uniform static field.
 //   - Sources: time-dependent contributions (antennas, thermal field)
 //     via the Source interface.
+//
+// Units are SI throughout (see internal/units): fields in Tesla, lengths
+// in meters, energies in Joules.
+//
+// # Concurrency
+//
+// An Evaluator is driven by one goroutine at a time (the solver), but
+// its banded entry points — FieldRows and the RowsSource calls — may run
+// concurrently for disjoint row bands: each band writes only its own
+// rows while the magnetization input is read-only, so the exchange
+// stencil's one-row halo reads are safe without locks (DESIGN.md §10).
+// All local terms are evaluated per cell with band-independent
+// arithmetic, so results are bit-for-bit identical for any banding.
 package mag
 
 import (
@@ -25,6 +38,7 @@ import (
 
 	"spinwave/internal/grid"
 	"spinwave/internal/material"
+	"spinwave/internal/tile"
 	"spinwave/internal/units"
 	"spinwave/internal/vec"
 )
@@ -56,6 +70,35 @@ type Source interface {
 	AddTo(t float64, B vec.Field)
 }
 
+// SparseSource is a Source confined to a small fixed set of cells (an
+// antenna). The parallel stepper accumulates sparse sources into an
+// overlay field once per stage instead of sweeping the full mesh.
+type SparseSource interface {
+	Source
+	// SourceCells returns the flat indices the source writes; the set
+	// must not change between calls.
+	SourceCells() []int
+}
+
+// CellSource is a Source whose value at a cell is an independent pure
+// function of (t, cell) — the counter-based thermal field. The fused
+// stepper samples it per cell inside the stencil pass; because the value
+// does not depend on evaluation order, banding leaves results
+// bit-identical.
+type CellSource interface {
+	Source
+	// FieldAt returns the source field at one cell.
+	FieldAt(t float64, cell int) vec.Vector
+}
+
+// RowsSource is a Source that can restrict itself to a row range, so
+// banded field passes can include it without a separate serial sweep.
+type RowsSource interface {
+	Source
+	// AddToRows adds the source's field for rows [j0, j1) only.
+	AddToRows(t float64, B vec.Field, j0, j1 int)
+}
+
 // DemagConvolver is the interface satisfied by demag.Kernel: an exact
 // magnetostatic interaction evaluated from the current magnetization.
 // When installed on an Evaluator it replaces the local thin-film term.
@@ -70,10 +113,12 @@ type Evaluator struct {
 	Coeffs  Coeffs
 	Sources []Source
 
-	// Workers > 1 evaluates the local field terms in parallel over row
-	// bands. The result is bit-identical to the serial evaluation
-	// because cells are partitioned disjointly and the exchange stencil
-	// only reads the magnetization.
+	// Workers > 1 evaluates the local field terms of Field in parallel
+	// over row bands using transient goroutines. The result is
+	// bit-identical to the serial evaluation because cells are
+	// partitioned disjointly and the exchange stencil only reads the
+	// magnetization. The LLG solver does not use this path: it drives
+	// FieldRows on its own persistent tile.Pool (see Solver.SetWorkers).
 	Workers int
 
 	// FullDemag, when non-nil, replaces the local thin-film demag term
@@ -85,6 +130,15 @@ type Evaluator struct {
 	DisableExchange   bool
 	DisableAnisotropy bool
 	DisableDemag      bool
+
+	// runs is the lazily built iteration geometry (active runs and
+	// stencil neighbor masks). It caches the Region contents: call
+	// Invalidate after mutating Region in place.
+	runs     *grid.RunSet
+	runsOnce sync.Once
+
+	// pool, when set, parallelizes Energy row partials.
+	pool *tile.Pool
 }
 
 // NewEvaluator constructs an evaluator after validating shapes.
@@ -98,16 +152,78 @@ func NewEvaluator(mesh grid.Mesh, region grid.Region, mat material.Params) (*Eva
 	return &Evaluator{Mesh: mesh, Region: region, Coeffs: CoeffsFor(mat)}, nil
 }
 
+// Prepare builds the precomputed iteration geometry (active-cell runs
+// and per-cell stencil neighbor masks) if it has not been built yet. It
+// is called implicitly by Field/FieldRows; call it explicitly to move
+// the one-time cost out of the first step. The geometry snapshots the
+// Region contents — mutate the region only before Prepare, or call
+// Invalidate afterwards.
+func (e *Evaluator) Prepare() *grid.RunSet {
+	e.runsOnce.Do(func() { e.runs = grid.NewRunSet(e.Mesh, e.Region) })
+	return e.runs
+}
+
+// Invalidate discards the precomputed geometry so the next evaluation
+// rebuilds it from the current Region contents.
+func (e *Evaluator) Invalidate() {
+	e.runs = nil
+	e.runsOnce = sync.Once{}
+}
+
+// SetPool installs a persistent worker pool used to parallelize the
+// Energy reduction. A nil pool restores serial evaluation. (Field-term
+// banding is driven by the caller via FieldRows; it does not use this
+// pool.)
+func (e *Evaluator) SetPool(p *tile.Pool) { e.pool = p }
+
 // Field evaluates B_eff at time t for magnetization m, writing into B.
-// Cells outside the region are left zero.
+// Cells outside the region are set to zero.
 func (e *Evaluator) Field(t float64, m, B vec.Field) {
+	if e.FullDemag != nil {
+		e.fieldFullDemag(t, m, B)
+		return
+	}
+	e.Prepare()
+	B.Zero()
 	if e.Workers > 1 && e.Mesh.Ny >= e.Workers {
-		e.fieldParallel(m, B)
+		var wg sync.WaitGroup
+		for _, b := range tile.Split(e.Mesh.Ny, e.Workers) {
+			wg.Add(1)
+			go func(j0, j1 int) {
+				defer wg.Done()
+				e.FieldRows(m, B, j0, j1)
+			}(b.J0, b.J1)
+		}
+		wg.Wait()
+	} else {
+		e.FieldRows(m, B, 0, e.Mesh.Ny)
+	}
+	for _, s := range e.Sources {
+		s.AddTo(t, B)
+	}
+}
+
+// fieldFullDemag is the evaluation path with the exact Newell-tensor
+// convolution installed: banded local terms, then the global
+// convolution, then bias and sources — the pre-tiling term order.
+func (e *Evaluator) fieldFullDemag(t float64, m, B vec.Field) {
+	if e.Workers > 1 && e.Mesh.Ny >= e.Workers {
+		var wg sync.WaitGroup
+		for _, b := range tile.Split(e.Mesh.Ny, e.Workers) {
+			wg.Add(1)
+			go func(j0, j1 int) {
+				defer wg.Done()
+				lo, hi := j0*e.Mesh.Nx, j1*e.Mesh.Nx
+				B[lo:hi].Zero()
+				e.localTerms(m, B, j0, j1)
+			}(b.J0, b.J1)
+		}
+		wg.Wait()
 	} else {
 		B.Zero()
 		e.localTerms(m, B, 0, e.Mesh.Ny)
 	}
-	if !e.DisableDemag && e.FullDemag != nil {
+	if !e.DisableDemag {
 		// The exact convolution is global; it runs after the banded
 		// local terms. Errors can only come from shape mismatches, which
 		// the constructor rules out.
@@ -123,6 +239,62 @@ func (e *Evaluator) Field(t float64, m, B vec.Field) {
 	}
 }
 
+// FieldRows writes the fused local field — exchange, anisotropy,
+// thin-film demag and bias — into B for every region cell of rows
+// [j0, j1), overwriting previous contents of those cells. Cells outside
+// the region are not touched. Disjoint row ranges may run concurrently;
+// m must not be mutated while any FieldRows call is in flight.
+//
+// This is the hot kernel of the parallel stepper: one sweep over the
+// precomputed active runs replaces the zero + exchange + anisotropy +
+// demag + bias sweeps of the term-by-term path, with the per-cell
+// arithmetic kept in the exact same order so results are bit-identical.
+func (e *Evaluator) FieldRows(m, B vec.Field, j0, j1 int) {
+	rs := e.Prepare()
+	masks := rs.Masks()
+	nx := e.Mesh.Nx
+	wx := e.Coeffs.ExFactor / (e.Mesh.Dx * e.Mesh.Dx)
+	wy := e.Coeffs.ExFactor / (e.Mesh.Dy * e.Mesh.Dy)
+	doEx := !e.DisableExchange
+	bAnis, axis := e.Coeffs.BAnis, e.Coeffs.AnisAxis
+	doAnis := !e.DisableAnisotropy && bAnis != 0
+	bDemag := e.Coeffs.BDemag
+	doDemag := !e.DisableDemag
+	bias := e.Coeffs.BBias
+	doBias := bias != vec.Zero
+	for _, run := range rs.RowRuns(j0, j1) {
+		for c := int(run.Start); c < int(run.End); c++ {
+			mc := m[c]
+			var acc vec.Vector
+			if doEx {
+				mask := masks[c]
+				if mask&grid.MaskLeft != 0 {
+					acc = acc.MAdd(wx, m[c-1].Sub(mc))
+				}
+				if mask&grid.MaskRight != 0 {
+					acc = acc.MAdd(wx, m[c+1].Sub(mc))
+				}
+				if mask&grid.MaskDown != 0 {
+					acc = acc.MAdd(wy, m[c-nx].Sub(mc))
+				}
+				if mask&grid.MaskUp != 0 {
+					acc = acc.MAdd(wy, m[c+nx].Sub(mc))
+				}
+			}
+			if doAnis {
+				acc = acc.MAdd(bAnis*mc.Dot(axis), axis)
+			}
+			if doDemag {
+				acc.Z -= bDemag * mc.Z
+			}
+			if doBias {
+				acc = acc.Add(bias)
+			}
+			B[c] = acc
+		}
+	}
+}
+
 // localTerms adds exchange, anisotropy and demag for rows [j0, j1).
 func (e *Evaluator) localTerms(m, B vec.Field, j0, j1 int) {
 	if !e.DisableExchange {
@@ -135,28 +307,6 @@ func (e *Evaluator) localTerms(m, B vec.Field, j0, j1 int) {
 	if !e.DisableDemag && e.FullDemag == nil {
 		AddThinFilmDemag(e.Region[lo:hi], m[lo:hi], B[lo:hi], e.Coeffs.BDemag)
 	}
-}
-
-// fieldParallel splits the local terms across row bands.
-func (e *Evaluator) fieldParallel(m, B vec.Field) {
-	ny := e.Mesh.Ny
-	workers := e.Workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		j0 := ny * w / workers
-		j1 := ny * (w + 1) / workers
-		if j0 == j1 {
-			continue
-		}
-		wg.Add(1)
-		go func(j0, j1 int) {
-			defer wg.Done()
-			lo, hi := j0*e.Mesh.Nx, j1*e.Mesh.Nx
-			B[lo:hi].Zero()
-			e.localTerms(m, B, j0, j1)
-		}(j0, j1)
-	}
-	wg.Wait()
 }
 
 // AddExchange adds the exchange field B_ex = factor·∇²m, with factor in
@@ -231,47 +381,69 @@ func AddUniform(region grid.Region, B vec.Field, b vec.Vector) {
 }
 
 // Energy returns the total magnetic energy (J) of configuration m,
-// composed of exchange, anisotropy, demag and Zeeman contributions. It is
-// used for diagnostics and for the damping/energy-dissipation tests.
+// composed of exchange, anisotropy, demag and Zeeman contributions. It
+// is used for diagnostics and for the damping/energy-dissipation tests.
+//
+// The sum is assembled from per-row partials merged in row order — a
+// fixed reduction order independent of the worker count — so the value
+// is bit-identical whether it is computed serially or on the pool
+// installed with SetPool.
 func (e *Evaluator) Energy(m vec.Field) float64 {
+	ny := e.Mesh.Ny
+	rows := make([]float64, ny)
+	if e.pool != nil && e.pool.Workers() > 1 {
+		bands := tile.Split(ny, e.pool.Workers())
+		e.pool.Run(len(bands), func(b int) {
+			for j := bands[b].J0; j < bands[b].J1; j++ {
+				rows[j] = e.rowEnergy(m, j)
+			}
+		})
+	} else {
+		for j := 0; j < ny; j++ {
+			rows[j] = e.rowEnergy(m, j)
+		}
+	}
+	return tile.SumFloat64s(rows)
+}
+
+// rowEnergy accumulates the energy contributions of row j in cell order.
+func (e *Evaluator) rowEnergy(m vec.Field, j int) float64 {
 	mesh, reg, c := e.Mesh, e.Region, e.Coeffs
 	vol := mesh.CellVolume()
 	nx := mesh.Nx
+	row := j * nx
 	var etot float64
-	for j := 0; j < mesh.Ny; j++ {
-		row := j * nx
-		for i := 0; i < nx; i++ {
-			idx := row + i
-			if !reg[idx] {
-				continue
+	for i := 0; i < nx; i++ {
+		idx := row + i
+		if !reg[idx] {
+			continue
+		}
+		mc := m[idx]
+		// Exchange: A·|∇m|², one-sided differences counted once per bond.
+		if !e.DisableExchange {
+			aex := c.ExFactor * c.Ms / 2 // back to Aex
+			if i < nx-1 && reg[idx+1] {
+				d := m[idx+1].Sub(mc)
+				etot += aex * d.Norm2() / (mesh.Dx * mesh.Dx) * vol
 			}
-			mc := m[idx]
-			// Exchange: A·|∇m|², one-sided differences counted once per bond.
-			if !e.DisableExchange {
-				aex := c.ExFactor * c.Ms / 2 // back to Aex
-				if i < nx-1 && reg[idx+1] {
-					d := m[idx+1].Sub(mc)
-					etot += aex * d.Norm2() / (mesh.Dx * mesh.Dx) * vol
-				}
-				if j < mesh.Ny-1 && reg[idx+nx] {
-					d := m[idx+nx].Sub(mc)
-					etot += aex * d.Norm2() / (mesh.Dy * mesh.Dy) * vol
-				}
+			if j < mesh.Ny-1 && reg[idx+nx] {
+				d := m[idx+nx].Sub(mc)
+				etot += aex * d.Norm2() / (mesh.Dy * mesh.Dy) * vol
 			}
-			// Anisotropy: Ku1·(1 − (m·u)²).
-			if !e.DisableAnisotropy && c.BAnis != 0 {
-				ku := c.BAnis * c.Ms / 2
-				p := mc.Dot(c.AnisAxis)
-				etot += ku * (1 - p*p) * vol
-			}
-			// Thin-film demag: ½·µ0·Ms²·mz².
-			if !e.DisableDemag {
-				etot += 0.5 * c.BDemag * c.Ms * mc.Z * mc.Z * vol
-			}
-			// Zeeman: −Ms·(m·B_bias).
-			if c.BBias != vec.Zero {
-				etot -= c.Ms * mc.Dot(c.BBias) * vol
-			}
+		}
+		// Anisotropy: Ku1·(1 − (m·u)²).
+		if !e.DisableAnisotropy && c.BAnis != 0 {
+			ku := c.BAnis * c.Ms / 2
+			p := mc.Dot(c.AnisAxis)
+			etot += ku * (1 - p*p) * vol
+		}
+		// Thin-film demag: ½·µ0·Ms²·mz².
+		if !e.DisableDemag {
+			etot += 0.5 * c.BDemag * c.Ms * mc.Z * mc.Z * vol
+		}
+		// Zeeman: −Ms·(m·B_bias).
+		if c.BBias != vec.Zero {
+			etot -= c.Ms * mc.Dot(c.BBias) * vol
 		}
 	}
 	return etot

@@ -63,15 +63,26 @@ func (s *Source) AddTo(t float64, B vec.Field) {
 	if s.Sigma == 0 {
 		return
 	}
-	bin := uint64(t / s.Dt)
 	for c := range B {
 		if !s.Region[c] {
 			continue
 		}
-		g0, g1 := gaussPair(s.Seed, uint64(c), bin, 0)
-		g2, _ := gaussPair(s.Seed, uint64(c), bin, 1)
-		B[c] = B[c].Add(vec.V(g0*s.Sigma, g1*s.Sigma, g2*s.Sigma))
+		B[c] = B[c].Add(s.FieldAt(t, c))
 	}
+}
+
+// FieldAt implements mag.CellSource: the thermal field of one cell is a
+// pure function of (t, cell) thanks to counter-based hashing, so the
+// banded stepper can sample it per cell inside the fused field pass with
+// results bit-identical for any worker count.
+func (s *Source) FieldAt(t float64, c int) vec.Vector {
+	if s.Sigma == 0 {
+		return vec.Zero
+	}
+	bin := uint64(t / s.Dt)
+	g0, g1 := gaussPair(s.Seed, uint64(c), bin, 0)
+	g2, _ := gaussPair(s.Seed, uint64(c), bin, 1)
+	return vec.V(g0*s.Sigma, g1*s.Sigma, g2*s.Sigma)
 }
 
 // gaussPair returns two independent standard Gaussians derived from the

@@ -1,0 +1,46 @@
+package vec
+
+import "fmt"
+
+// Arena carves same-length Fields out of one contiguous backing
+// allocation. The LLG solver allocates all of its per-run scratch
+// (effective field, RK stage buffers, source overlay) from a single
+// arena, so solver construction costs one allocation for all scratch
+// and the buffers are contiguous in memory — friendlier to the cache
+// than independently allocated slices and impossible to resize apart.
+//
+// An Arena is a bump allocator: Field hands out successive windows and
+// panics when the capacity declared at construction is exhausted, which
+// in the solver indicates a programming error rather than a recoverable
+// condition.
+type Arena struct {
+	buf   []Vector
+	cells int
+	next  int
+}
+
+// NewArena allocates backing storage for fields×cells vectors, zeroed.
+func NewArena(fields, cells int) *Arena {
+	if fields < 0 || cells < 0 {
+		panic(fmt.Sprintf("vec: invalid arena shape %d fields x %d cells", fields, cells))
+	}
+	return &Arena{buf: make([]Vector, fields*cells), cells: cells}
+}
+
+// Field returns the next unused cells-length Field from the arena.
+func (a *Arena) Field() Field {
+	if a.next+a.cells > len(a.buf) {
+		panic("vec: arena exhausted")
+	}
+	f := Field(a.buf[a.next : a.next+a.cells : a.next+a.cells])
+	a.next += a.cells
+	return f
+}
+
+// Remaining returns how many more Fields the arena can hand out.
+func (a *Arena) Remaining() int {
+	if a.cells == 0 {
+		return 0
+	}
+	return (len(a.buf) - a.next) / a.cells
+}

@@ -1,0 +1,139 @@
+// Command docslint enforces godoc coverage: every exported top-level
+// identifier (types, functions, methods, consts, vars) in the listed
+// package directories must carry a doc comment, and every package must
+// have a package comment. It is the `make docs-lint` gate behind ISSUE
+// 3's documentation acceptance criterion, equivalent to revive's
+// "exported" rule but dependency-free.
+//
+//	go run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core
+//
+// Exits non-zero listing each undocumented identifier as file:line.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("docslint: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: docslint <package-dir> ...")
+	}
+	var problems []string
+	for _, dir := range os.Args[1:] {
+		p, err := lintDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		log.Fatalf("%d undocumented exported identifiers", len(problems))
+	}
+}
+
+// lintDir parses one package directory (tests excluded) and returns one
+// "file:line: message" string per violation.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		for name, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if d.Recv != nil {
+						if rt := receiverTypeName(d.Recv); rt != "" && !ast.IsExported(rt) {
+							continue // method on unexported type
+						}
+						report(d.Pos(), "exported method %s is undocumented", d.Name.Name)
+					} else {
+						report(d.Pos(), "exported function %s is undocumented", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(report, d)
+				}
+			}
+			_ = name
+		}
+		if !hasPkgDoc && pkg.Name != "main" {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+	}
+	return problems, nil
+}
+
+// lintGenDecl checks type/const/var declarations. A doc comment on the
+// grouped declaration covers all of its specs (the standard convention
+// for const blocks); otherwise each exported spec needs its own.
+func lintGenDecl(report func(token.Pos, string, ...any), d *ast.GenDecl) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	blockDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !blockDoc && s.Doc == nil {
+				report(s.Pos(), "exported type %s is undocumented", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if blockDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), "exported %s %s is undocumented", strings.ToLower(d.Tok.String()), n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName extracts the bare type name of a method receiver.
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
