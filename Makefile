@@ -4,7 +4,7 @@ GO ?= go
 # with -short; the margin absorbs run-to-run jitter, not regressions.
 COVER_BASELINE ?= 67.0
 
-.PHONY: all build vet test test-race bench bench-pr3 bench-smoke cover docs-lint fuzz clean
+.PHONY: all build vet test test-race bench bench-pr3 bench-smoke cover docs-lint journal-smoke fuzz clean
 
 all: build vet test docs-lint
 
@@ -22,13 +22,19 @@ test:
 # tiled LLG solver and its worker pool, the frequency-parallel gates
 # and the metrics registry.
 test-race:
-	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./cmd/swserve/
+	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./cmd/swserve/
 
 # Godoc coverage gate (ISSUE 3): every exported identifier in the LLG
-# core, the field evaluator, the gate backends and the root package
-# must carry a doc comment.
+# core, the field evaluator, the gate backends, the flight-recorder
+# packages and the root package must carry a doc comment.
 docs-lint:
-	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core
+	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal
+
+# Flight-recorder smoke (ISSUE 4): a short probed XOR case writing the
+# JSONL journal and Chrome trace, then schema-validating the journal.
+journal-smoke:
+	$(GO) run ./cmd/swsim -gate xor -inputs 10 -probe -journal journal.jsonl -trace-out trace.json -workers 2
+	$(GO) run ./tools/journalcheck journal.jsonl
 
 # Coverage gate: total -short statement coverage must stay at or above
 # COVER_BASELINE (-short skips the minutes-long micromagnetic

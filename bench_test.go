@@ -95,6 +95,37 @@ func BenchmarkTableII_XORFO2_Micromagnetic(b *testing.B) {
 	}
 }
 
+// BenchmarkXORCaseProbeOverhead measures the in-situ probe tax on the
+// fused 8-worker stepper (EXPERIMENTS.md E-OBS2): one XOR case with
+// probes off, at the default cadence, and at stride 1. The budget is
+// ≤3% at the default cadence.
+func BenchmarkXORCaseProbeOverhead(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		probes ProbeConfig
+	}{
+		{"off", ProbeConfig{}},
+		{"default", ProbeConfig{Enabled: true}},
+		{"stride1", ProbeConfig{Enabled: true, Stride: 1}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			m, err := NewMicromagnetic(XOR, MicromagConfig{
+				Spec: ReducedSpec(), Mat: FeCoB(), Workers: 8, Probes: bc.probes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := []bool{true, false}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTableIII_Performance regenerates Table III and the derived
 // §IV-D ratios.
 func BenchmarkTableIII_Performance(b *testing.B) {

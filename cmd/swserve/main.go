@@ -7,6 +7,9 @@
 //	POST /v1/eval     evaluate one input case or a batch of cases
 //	POST /v1/table    evaluate a full truth table (paper Tables I/II)
 //	GET  /v1/healthz  liveness probe
+//	GET  /v1/runs                 run IDs with retained probe data
+//	GET  /v1/runs/{id}/events     NDJSON live tail of the run journal
+//	GET  /v1/runs/{id}/probes     probe time-series (JSON, ?format=csv)
 //	GET  /metrics     Prometheus text exposition (engine, solver, HTTP)
 //	GET  /debug/vars  expvar metrics (engine + server counters)
 //	GET  /debug/pprof/*  runtime profiles (only with -pprof)
@@ -37,6 +40,7 @@ import (
 	"time"
 
 	"spinwave"
+	"spinwave/internal/journal"
 )
 
 func main() {
@@ -49,6 +53,7 @@ func main() {
 	timeout := flag.Duration("timeout", 120*time.Second, "server-side per-request deadline")
 	maxBatch := flag.Int("max-batch", defaultMaxBatch, "maximum cases per /v1/eval request")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.BoolVar(&probeOn, "probe", false, "record in-situ probe time-series for micromag runs (served at /v1/runs/{id}/probes)")
 	flag.Parse()
 
 	var opts []spinwave.EngineOption
@@ -57,6 +62,7 @@ func main() {
 	}
 	opts = append(opts, spinwave.WithEngineCacheSize(*cacheSize))
 	srv := newServer(spinwave.NewEngine(opts...), *timeout)
+	defer srv.close()
 	srv.maxBatch = *maxBatch
 	srv.pprofOn = *pprofOn
 	srv.publishVars()
@@ -100,6 +106,14 @@ type server struct {
 	pprofOn        bool
 	draining       atomic.Bool
 
+	// Flight-recorder plumbing (runs.go): recent-event replay ring, live
+	// streaming hub, NDJSON heartbeat cadence, and the journal detach
+	// hook released by close().
+	ring          *journal.RingSink
+	hub           *journal.Hub
+	heartbeat     time.Duration
+	detachJournal func()
+
 	requests  atomic.Int64
 	errors    atomic.Int64
 	evalCases atomic.Int64
@@ -108,7 +122,19 @@ type server struct {
 
 func newServer(eng *spinwave.Engine, defaultTimeout time.Duration) *server {
 	initHTTPMetrics()
-	return &server{eng: eng, defaultTimeout: defaultTimeout, maxBatch: defaultMaxBatch}
+	s := &server{eng: eng, defaultTimeout: defaultTimeout, maxBatch: defaultMaxBatch,
+		heartbeat: 5 * time.Second}
+	s.detachJournal = s.attachJournal()
+	return s
+}
+
+// close detaches the server's journal sinks; deferred in main and in
+// test cleanup so sinks do not accumulate on the process journal.
+func (s *server) close() {
+	if s.detachJournal != nil {
+		s.detachJournal()
+		s.detachJournal = nil
+	}
 }
 
 func (s *server) routes() http.Handler {
@@ -118,18 +144,21 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/healthz", withMetrics("/v1/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", withMetrics("/metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/vars", withMetrics("/debug/vars", s.handleVars))
+	mux.HandleFunc("GET /v1/runs", withMetrics("/v1/runs", s.handleRuns))
+	mux.HandleFunc("GET /v1/runs/{id}/events", withMetrics("/v1/runs/events", s.handleRunEvents))
+	mux.HandleFunc("GET /v1/runs/{id}/probes", withMetrics("/v1/runs/probes", s.handleRunProbes))
 	if s.pprofOn {
 		registerPprof(mux)
 	}
 	return mux
 }
 
-// handleVars serves expvar, refusing with 503 during shutdown drain like
-// /metrics so monitoring backs off a dying process.
+// handleVars serves expvar. Like /metrics it is deliberately exempt
+// from the drain 503: read-only observability must stay scrapeable
+// while in-flight work finishes, so the final counter values of a
+// dying process are not lost (the shutdown-scrape regression test pins
+// this).
 func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
-	if s.refuseDraining(w) {
-		return
-	}
 	expvar.Handler().ServeHTTP(w, r)
 }
 
@@ -173,6 +202,9 @@ type evalRequest struct {
 type caseResponse struct {
 	Inputs  []bool                      `json:"inputs"`
 	Outputs map[string]spinwave.Readout `json:"outputs"`
+	// Run is the journal/probe run ID assigned to this case — the ID to
+	// tail at /v1/runs/{id}/events or fetch at /v1/runs/{id}/probes.
+	Run string `json:"run,omitempty"`
 }
 
 type evalResponse struct {
@@ -217,11 +249,15 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp := evalResponse{Gate: b.Kind().String(), Backend: b.Name(), Results: make([]caseResponse, len(cases))}
 	err = s.eng.Map(ctx, len(cases), func(ctx context.Context, i int) error {
-		out, err := s.eng.Eval(ctx, b, cases[i])
+		// Mint the run ID here (rather than letting the engine do it) so
+		// the response can tell the client which ID to tail or fetch
+		// probes for.
+		runID := spinwave.NewRunID()
+		out, err := s.eng.Eval(spinwave.WithRunID(ctx, runID), b, cases[i])
 		if err != nil {
 			return err
 		}
-		resp.Results[i] = caseResponse{Inputs: cases[i], Outputs: out}
+		resp.Results[i] = caseResponse{Inputs: cases[i], Outputs: out, Run: runID}
 		return nil
 	})
 	if err != nil {
@@ -354,6 +390,11 @@ func statusFor(err error) int {
 // workers while each row's LLG bands parallelize across step workers.
 var stepWorkers int
 
+// probeOn enables in-situ probe recording on every micromagnetic
+// backend the server builds (-probe flag); recorded runs are served at
+// /v1/runs/{id}/probes.
+var probeOn bool
+
 func buildBackend(req backendRequest) (spinwave.Backend, error) {
 	kind, err := parseGate(req.Gate)
 	if err != nil {
@@ -377,8 +418,12 @@ func buildBackend(req backendRequest) (spinwave.Backend, error) {
 		if err != nil {
 			return nil, err
 		}
-		return spinwave.NewMicromagnetic(kind, spinwave.WithSpec(spec), spinwave.WithMaterial(mat),
-			spinwave.WithWorkers(stepWorkers))
+		mopts := []spinwave.MicromagOption{spinwave.WithSpec(spec), spinwave.WithMaterial(mat),
+			spinwave.WithWorkers(stepWorkers)}
+		if probeOn {
+			mopts = append(mopts, spinwave.WithProbes(spinwave.ProbeConfig{Enabled: true}))
+		}
+		return spinwave.NewMicromagnetic(kind, mopts...)
 	default:
 		return nil, fmt.Errorf("%w: backend %q (want behavioral or micromag)", spinwave.ErrUnknownComponent, req.Backend)
 	}

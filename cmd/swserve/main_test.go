@@ -16,6 +16,7 @@ import (
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
 	srv := newServer(spinwave.NewEngine(spinwave.WithEngineWorkers(4)), 30*time.Second)
+	t.Cleanup(srv.close)
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return srv, ts

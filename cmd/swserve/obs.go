@@ -52,6 +52,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the
+// NDJSON run tail) keep working behind the metrics wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withMetrics wraps a handler with per-endpoint latency and status
 // accounting. The route pattern (not the raw URL) is the path label, so
 // cardinality stays bounded to the mux's route set.
@@ -69,12 +77,11 @@ func withMetrics(path string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // handleMetrics serves the default registry in Prometheus text format.
-// During shutdown drain it answers 503 so scrapers back off instead of
-// recording a half-drained sample as live.
+// Deliberately NOT gated on the drain state: a scrape during shutdown
+// must still succeed, or the final counter increments of a terminating
+// process (requests it is draining right now) are never observed. Only
+// mutating or long-lived endpoints refuse while draining.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if s.refuseDraining(w) {
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.Default().WritePrometheus(w) //nolint:errcheck
 }

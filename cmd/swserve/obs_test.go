@@ -137,8 +137,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
-// TestDrainGating verifies /metrics and /debug/vars answer 503 with a
-// Retry-After header once the server enters its shutdown drain.
+// TestDrainGating is the shutdown-scrape regression test: read-only
+// observability endpoints (/metrics, /debug/vars) must keep answering
+// 200 while the server drains, or the final counter values of a
+// terminating process are lost to the scraper. Only new long-lived
+// event tails are refused with 503 + Retry-After.
 func TestDrainGating(t *testing.T) {
 	srv, ts := newTestServer(t)
 	for _, path := range []string{"/metrics", "/debug/vars"} {
@@ -158,18 +161,27 @@ func TestDrainGating(t *testing.T) {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusServiceUnavailable {
-			t.Errorf("%s draining status %d, want 503", path, resp.StatusCode)
-		}
-		if resp.Header.Get("Retry-After") == "" {
-			t.Errorf("%s draining response missing Retry-After", path)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s during drain: status %d, want 200 (shutdown scrape must succeed)", path, resp.StatusCode)
 		}
 	}
-	// Work endpoints keep serving during the drain — only monitoring is
+	// New event tails ARE refused: they would outlive the drain window.
+	resp, err := http.Get(ts.URL + "/v1/runs/rwhatever/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("events tail during drain: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("events tail drain refusal missing Retry-After")
+	}
+	// Work endpoints keep serving during the drain — only new streams are
 	// gated; http.Server.Shutdown owns the work drain itself.
-	resp, body := postJSON(t, ts.URL+"/v1/table", map[string]any{"gate": "xor"})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("table during drain: status %d: %s", resp.StatusCode, body)
+	resp2, body := postJSON(t, ts.URL+"/v1/table", map[string]any{"gate": "xor"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("table during drain: status %d: %s", resp2.StatusCode, body)
 	}
 }
 

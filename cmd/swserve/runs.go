@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"spinwave"
+	"spinwave/internal/journal"
+)
+
+// Run-inspection endpoints (DESIGN.md §11):
+//
+//	GET /v1/runs                  run IDs with retained probe data
+//	GET /v1/runs/{id}/events      NDJSON live tail of the run journal
+//	GET /v1/runs/{id}/probes      probe time-series as JSON or CSV
+//
+// The journal tail replays the recent history from an in-memory ring,
+// then switches to live hub delivery (subscribing before the replay and
+// de-duplicating by sequence number, so no event is lost or repeated at
+// the seam). Heartbeat lines keep idle connections alive; delivery is
+// backpressure-safe — a slow client's events are dropped from its own
+// bounded buffer, never stalling the solver.
+
+// eventRing bounds the journal replay history swserve retains.
+const eventRing = 4096
+
+// attachJournal installs the server's ring and hub on the process
+// journal, returning a detach function for clean shutdown.
+func (s *server) attachJournal() (detach func()) {
+	s.ring = journal.NewRingSink(eventRing)
+	s.hub = journal.NewHub()
+	d1 := spinwave.AttachJournalSink(s.ring)
+	d2 := spinwave.AttachJournalSink(s.hub)
+	return func() { d2(); d1() }
+}
+
+// handleRuns lists the run IDs with retained probe recorders.
+func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, map[string]any{"runs": spinwave.ProbedRuns()})
+}
+
+// terminalEvent reports whether e is the last journal event a run emits
+// — the engine's eval completion (which follows the backend's own
+// run.complete / run.error), or the backend's terminal events for runs
+// that bypass the engine.
+func terminalEvent(e journal.Event) bool {
+	return e.Name == "engine.eval.done"
+}
+
+// handleRunEvents is the NDJSON live tail: replayed history, then live
+// events, with heartbeats, until the run completes or the client goes
+// away. New tails are refused while draining (the stream would be cut
+// by shutdown anyway), and live tails terminate at the next heartbeat
+// tick once draining starts, so open streams never hold Shutdown
+// hostage.
+func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	id := r.PathValue("id")
+	if id == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("missing run id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	// Subscribe before replaying so no event falls between ring and hub;
+	// the seq guard below drops the overlap.
+	events, _, cancel := s.hub.Subscribe(id, 256)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	var last uint64
+	// write emits one event line; it reports whether the tail should
+	// continue (false on client error or a terminal run event).
+	write := func(e journal.Event) bool {
+		if e.Seq <= last {
+			return true
+		}
+		last = e.Seq
+		if _, err := w.Write(append(e.MarshalJSONL(), '\n')); err != nil {
+			return false
+		}
+		fl.Flush()
+		return !terminalEvent(e)
+	}
+	for _, e := range s.ring.EventsFor(id) {
+		if !write(e) {
+			return
+		}
+	}
+	hb := time.NewTicker(s.heartbeat)
+	defer hb.Stop()
+	done := r.Context().Done()
+	for {
+		select {
+		case <-done:
+			return
+		case <-hb.C:
+			if s.draining.Load() {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "{\"event\":\"heartbeat\",\"time_ns\":%d,\"run\":%q}\n",
+				time.Now().UnixNano(), id); err != nil {
+				return
+			}
+			fl.Flush()
+		case e, open := <-events:
+			if !open || !write(e) {
+				return
+			}
+		}
+	}
+}
+
+// handleRunProbes serves a probed run's time-series. JSON by default;
+// `?format=csv` (or an Accept: text/csv header) selects CSV rows of
+// t, mx/my/mz per probe.
+func (s *server) handleRunProbes(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := spinwave.ProbesFor(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no probe data for run %q (probes enabled with -probe?)", id))
+		return
+	}
+	snap := rec.Snapshot(id)
+	if r.URL.Query().Get("format") == "csv" || r.Header.Get("Accept") == "text/csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		if err := snap.WriteCSV(w); err != nil {
+			s.errors.Add(1)
+		}
+		return
+	}
+	s.reply(w, snap)
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spinwave"
+	"spinwave/internal/probe"
+	"spinwave/internal/vec"
+)
+
+// TestRunEventsTail drives the NDJSON tail end to end: an eval's run ID
+// comes back in the response, tailing it replays the journaled
+// lifecycle in strictly increasing sequence order, and the stream
+// terminates by itself after the run's terminal event.
+func TestRunEventsTail(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/eval", map[string]any{
+		"gate": "xor", "inputs": []bool{true, true},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval status %d: %s", resp.StatusCode, body)
+	}
+	var er evalResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Results) != 1 || er.Results[0].Run == "" {
+		t.Fatalf("eval response missing run ID: %s", body)
+	}
+	runID := er.Results[0].Run
+
+	tr, err := http.Get(ts.URL + "/v1/runs/" + runID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("tail status %d", tr.StatusCode)
+	}
+	if ct := tr.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("tail content-type %q", ct)
+	}
+	// The run is complete, so the replay must terminate the stream on
+	// its own (no cancel needed) — read to EOF with a deadline guard.
+	type line struct {
+		Seq   uint64 `json:"seq"`
+		Run   string `json:"run"`
+		Event string `json:"event"`
+	}
+	var lines []line
+	done := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(tr.Body)
+		for sc.Scan() {
+			var l line
+			if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+				done <- err
+				return
+			}
+			lines = append(lines, l)
+		}
+		done <- sc.Err()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("tail did not terminate after run completion")
+	}
+	if len(lines) < 2 {
+		t.Fatalf("tail delivered %d events, want at least start+done", len(lines))
+	}
+	var last uint64
+	for _, l := range lines {
+		if l.Seq <= last {
+			t.Fatalf("sequence not strictly increasing: %d after %d", l.Seq, last)
+		}
+		last = l.Seq
+		if l.Run != runID {
+			t.Errorf("event %q for run %q leaked into tail of %q", l.Event, l.Run, runID)
+		}
+	}
+	var sawStart bool
+	for _, l := range lines {
+		if l.Event == "engine.eval.start" {
+			sawStart = true
+		}
+	}
+	if !sawStart {
+		t.Error("tail missing engine.eval.start")
+	}
+	if lines[len(lines)-1].Event != "engine.eval.done" {
+		t.Errorf("last event %q, want engine.eval.done", lines[len(lines)-1].Event)
+	}
+}
+
+// TestRunEventsHeartbeat tails a run with no events: the stream must
+// carry periodic heartbeat lines and shut down when the client goes
+// away.
+func TestRunEventsHeartbeat(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.heartbeat = 20 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/runs/ridle/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no heartbeat before stream end: %v", sc.Err())
+	}
+	var hb struct {
+		Event  string `json:"event"`
+		TimeNS int64  `json:"time_ns"`
+		Run    string `json:"run"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hb); err != nil {
+		t.Fatalf("heartbeat is not JSON: %q", sc.Text())
+	}
+	if hb.Event != "heartbeat" || hb.TimeNS == 0 || hb.Run != "ridle" {
+		t.Errorf("unexpected heartbeat %+v", hb)
+	}
+	cancel()
+	// After cancel the server side must unwind; draining the body ends.
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+}
+
+// TestRunProbesEndpoint publishes a hand-fed recorder and fetches it
+// back as JSON and CSV.
+func TestRunProbesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	rec, err := probe.NewRecorder(probe.Config{Enabled: true, Stride: 1, EnergyEvery: -1, Capacity: 16},
+		nil, []probe.Point{{Name: "out", Cells: []int{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vec.Field{vec.UnitZ}
+	for step := 0; step < 5; step++ {
+		m[0].X = 0.1 * float64(step)
+		rec.ObserveStep(step, float64(step)*1e-12, m)
+	}
+	runID := spinwave.NewRunID()
+	probe.Default().Put(runID, rec)
+
+	// /v1/runs lists it.
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), runID) {
+		t.Fatalf("/v1/runs status %d body %s (want %s listed)", resp.StatusCode, body, runID)
+	}
+
+	// JSON snapshot.
+	resp, err = http.Get(ts.URL + "/v1/runs/" + runID + "/probes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probes status %d: %s", resp.StatusCode, body)
+	}
+	var snap spinwave.ProbeSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("probes body is not a snapshot: %v", err)
+	}
+	if snap.Run != runID || len(snap.Series) != 1 || len(snap.Series[0].Time) != 5 {
+		t.Errorf("snapshot run=%q series=%d", snap.Run, len(snap.Series))
+	}
+
+	// CSV export.
+	resp, err = http.Get(ts.URL + "/v1/runs/" + runID + "/probes?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Errorf("csv content-type %q", ct)
+	}
+	rows := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(rows) != 6 || !strings.HasPrefix(rows[0], "t,out.mx") {
+		t.Errorf("csv rows=%d header=%q", len(rows), rows[0])
+	}
+
+	// Unknown run → 404.
+	resp, err = http.Get(ts.URL + "/v1/runs/rnope/probes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run status %d, want 404", resp.StatusCode)
+	}
+}

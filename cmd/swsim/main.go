@@ -46,6 +46,7 @@ func main() {
 		spinwave.EnableSpanMetrics()
 		defer func() { fmt.Fprint(os.Stderr, "\n"+spinwave.SnapshotMetrics().Summary()) }()
 	}
+	defer setupFlight(*stats)()
 
 	if *demo == "interference" {
 		demoInterference()
@@ -74,6 +75,9 @@ func main() {
 	if *rough > 0 {
 		cfg.RegionMutator = sweep.EdgeRoughness(*rough, *seed)
 	}
+	if *flagProbe {
+		cfg.Probes = spinwave.ProbeConfig{Enabled: true}
+	}
 	m, err := spinwave.NewMicromagnetic(kind, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -93,6 +97,7 @@ func main() {
 	} else {
 		runSingleCase(kind, m, *inputs, *temp > 0)
 	}
+	reportProbes()
 	if *asciiArt {
 		in, err := parseInputs(kind, orDefault(*inputs, kind))
 		if err != nil {

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"log/slog"
+	"os"
+
+	"spinwave"
+)
+
+// Flight-recorder flags (DESIGN.md §11): in-situ probes, the JSONL run
+// journal, and slog verbosity.
+var (
+	flagProbe    = flag.Bool("probe", false, "record in-situ probe time-series for micromag runs")
+	flagJournal  = flag.String("journal", "", "write the structured run journal (JSON lines) to this file")
+	flagLogLevel = flag.String("log-level", "info", "slog level: debug, info, warn, error")
+)
+
+// setupFlight wires the flight-recorder flags after flag.Parse; the
+// returned cleanup detaches and closes the journal sink.
+func setupFlight() (cleanup func()) {
+	cleanup = func() {}
+	lvl, err := spinwave.ParseLogLevel(*flagLogLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slog.SetDefault(spinwave.NewLogger(os.Stderr, lvl))
+
+	if *flagJournal != "" {
+		f, err := os.Create(*flagJournal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		detach := spinwave.AttachJournalSink(spinwave.NewJournalWriter(f))
+		cleanup = func() {
+			detach()
+			if err := f.Close(); err != nil {
+				log.Printf("journal close: %v", err)
+			}
+		}
+	}
+	return cleanup
+}

@@ -47,6 +47,7 @@ func main() {
 		spinwave.EnableSpanMetrics()
 		defer func() { fmt.Fprint(os.Stderr, "\n"+spinwave.SnapshotMetrics().Summary()) }()
 	}
+	defer setupFlight()()
 
 	switch *table {
 	case "1":
@@ -89,7 +90,11 @@ func newBackend(kind spinwave.GateKind, backend string, full bool) spinwave.Back
 		if full {
 			spec = spinwave.PaperMicromagSpec()
 		}
-		m, err := spinwave.NewMicromagnetic(kind, spinwave.MicromagConfig{Spec: spec, Mat: spinwave.FeCoB()})
+		cfg := spinwave.MicromagConfig{Spec: spec, Mat: spinwave.FeCoB()}
+		if *flagProbe {
+			cfg.Probes = spinwave.ProbeConfig{Enabled: true}
+		}
+		m, err := spinwave.NewMicromagnetic(kind, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,79 @@
+package spinwave
+
+import (
+	"context"
+	"io"
+	"log/slog"
+
+	"spinwave/internal/journal"
+	"spinwave/internal/obs"
+	"spinwave/internal/probe"
+)
+
+// Flight-recorder re-exports (DESIGN.md §11): the in-situ probe layer,
+// the structured run journal, and the Chrome-trace span exporter. See
+// internal/probe and internal/journal for full documentation.
+type (
+	// ProbeConfig selects what a probed run samples and how often; pass
+	// it to WithProbes.
+	ProbeConfig = probe.Config
+	// ProbeRecorder holds a probed run's ring-buffered time-series.
+	ProbeRecorder = probe.Recorder
+	// ProbeSeries is one probe's exported magnetization window.
+	ProbeSeries = probe.Series
+	// ProbeSnapshot is the JSON-ready export of a probed run.
+	ProbeSnapshot = probe.Snapshot
+	// JournalEvent is one structured run-journal record.
+	JournalEvent = journal.Event
+	// JournalSink receives journal events (file writer, ring, hub).
+	JournalSink = journal.Sink
+	// ChromeTraceSink collects spans for chrome://tracing export
+	// (swsim -trace-out).
+	ChromeTraceSink = obs.ChromeTraceSink
+	// TeeSpanSink fans spans out to several sinks (metrics + trace).
+	TeeSpanSink = obs.TeeSink
+)
+
+// AttachJournalSink adds a sink to the process-wide run journal and
+// returns a detach function. With no sinks attached, journaling is a
+// single atomic load per lifecycle point.
+func AttachJournalSink(s JournalSink) (detach func()) {
+	return journal.Default().Attach(s)
+}
+
+// NewJournalWriter builds a sink rendering events as JSON Lines to w —
+// the file sink behind the CLIs' -journal flag.
+func NewJournalWriter(w io.Writer) JournalSink { return journal.NewWriterSink(w) }
+
+// NewRunID returns a fresh process-unique run identifier for
+// correlating journal events, span labels and probe registrations.
+func NewRunID() string { return journal.NewRunID() }
+
+// WithRunID returns a context carrying the run ID; backends evaluated
+// under it journal and publish probes under that ID instead of minting
+// their own.
+func WithRunID(ctx context.Context, id string) context.Context {
+	return journal.WithRunID(ctx, id)
+}
+
+// RunIDFrom returns the run ID carried by ctx, or "".
+func RunIDFrom(ctx context.Context) string { return journal.RunID(ctx) }
+
+// ProbesFor returns the probe recorder published by a probed run (see
+// WithProbes), or false if the run is unknown or was not probed.
+func ProbesFor(runID string) (*ProbeRecorder, bool) { return probe.Default().Get(runID) }
+
+// ProbedRuns returns the run IDs with retained probe recorders, oldest
+// first.
+func ProbedRuns() []string { return probe.Default().Runs() }
+
+// NewLogger returns a text slog.Logger at the given level whose records
+// are stamped with the run ID carried by the logging context — the
+// shared handler behind the CLIs' -log-level flag.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return journal.NewLogger(w, level)
+}
+
+// ParseLogLevel maps -log-level flag values (debug, info, warn, error)
+// to slog levels.
+func ParseLogLevel(s string) (slog.Level, error) { return journal.ParseLevel(s) }

@@ -4,16 +4,19 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"spinwave/internal/detect"
 	"spinwave/internal/dispersion"
 	"spinwave/internal/dsp"
 	"spinwave/internal/excite"
 	"spinwave/internal/grid"
+	"spinwave/internal/journal"
 	"spinwave/internal/layout"
 	"spinwave/internal/llg"
 	"spinwave/internal/material"
 	"spinwave/internal/obs"
+	"spinwave/internal/probe"
 	"spinwave/internal/thermal"
 	"spinwave/internal/units"
 	"spinwave/internal/vec"
@@ -68,6 +71,12 @@ type MicromagConfig struct {
 	// accurately" (§III-A) refers to exactly this adjustment. Use
 	// CalibrateI3 to measure it.
 	I3PhaseTrim float64
+	// Probes configures the in-situ flight recorder (DESIGN.md §11):
+	// when Enabled, each run attaches a probe.Recorder over the output
+	// detector cells and publishes it in probe.Default() under the run
+	// ID. Probes observe the trajectory without altering it, so this
+	// field is excluded from Fingerprint (like Workers).
+	Probes probe.Config
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -389,16 +398,97 @@ func (m *Micromagnetic) CalibrateI3() (float64, error) {
 	return trim, nil
 }
 
+// inputString renders a logic-input vector as the paper's "10"-style
+// case label for journal events.
+func inputString(inputs []bool) string {
+	b := make([]byte, len(inputs))
+	for i, v := range inputs {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// newRecorder builds the flight recorder over the run's detector cells.
+// The ring capacity defaults to the whole run at the configured stride
+// (bounded), so the full measurement window is retained; Freq defaults
+// to the drive frequency so snapshots include live lock-in estimates.
+func (m *Micromagnetic) newRecorder(s *llg.Solver, probes map[string]*detect.Probe) (*probe.Recorder, error) {
+	pc := m.cfg.Probes.WithDefaults()
+	if pc.Freq == 0 {
+		pc.Freq = m.Freq
+	}
+	if m.cfg.Probes.Capacity == 0 {
+		need := int(m.duration/m.dt)/pc.Stride + 2
+		if need > 1<<20 {
+			need = 1 << 20
+		}
+		pc.Capacity = need
+	}
+	names := make([]string, 0, len(probes))
+	for name := range probes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	points := make([]probe.Point, 0, len(names))
+	for _, name := range names {
+		points = append(points, probe.Point{Name: name, Cells: probes[name].Cells})
+	}
+	return probe.NewRecorder(pc, s.Eval, points)
+}
+
 func (m *Micromagnetic) run(ctx context.Context, inputs []bool, mute map[string]bool) (map[string]detect.Readout, error) {
-	setup := obs.StartSpan("micromag.setup", obs.L("gate", m.kind.String()))
+	// One run ID correlates this run's journal events, span labels and
+	// log lines; the engine propagates its eval ID down via the context.
+	runID := journal.RunID(ctx)
+	if runID == "" {
+		runID = journal.NewRunID()
+	}
+	j := journal.Default()
+	gateL, runL := obs.L("gate", m.kind.String()), obs.L("run", runID)
+	if j.Enabled() {
+		fields := []journal.Field{
+			journal.F("gate", m.kind.String()),
+			journal.F("inputs", inputString(inputs)),
+			journal.F("duration_s", m.duration),
+			journal.F("dt_s", m.dt),
+			journal.F("freq_hz", m.Freq),
+			journal.F("workers", m.cfg.Workers),
+			journal.F("probes", m.cfg.Probes.Enabled),
+		}
+		if fp, ok := m.Fingerprint(); ok {
+			fields = append(fields, journal.F("fingerprint", fp))
+		}
+		j.Emit(runID, "run.start", fields...)
+	}
+	fail := func(err error) (map[string]detect.Readout, error) {
+		j.Emit(runID, "run.error", journal.F("error", err.Error()))
+		return nil, err
+	}
+
+	setup := obs.StartSpan("micromag.setup", gateL, runL)
 	s, probes, err := m.newSolver(inputs, mute)
 	setup.End()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	defer s.Close() // release the stepping pool, if any
+	s.RunID = runID
+
+	if m.cfg.Probes.Enabled {
+		rec, err := m.newRecorder(s, probes)
+		if err != nil {
+			return fail(err)
+		}
+		s.SetObserver(rec)
+		probe.Default().Put(runID, rec)
+	}
+
 	every := m.cfg.SampleEvery
-	transient := obs.StartSpan("micromag.transient", obs.L("gate", m.kind.String()))
+	transient := obs.StartSpan("micromag.transient", gateL, runL)
 	err = s.RunContext(ctx, m.duration, func(step int) bool {
 		if step%every == 0 {
 			for _, p := range probes {
@@ -409,20 +499,41 @@ func (m *Micromagnetic) run(ctx context.Context, inputs []bool, mute map[string]
 	})
 	transient.End()
 	if err != nil {
-		return nil, fmt.Errorf("core: %s evaluation aborted: %w", m.kind, err)
+		return fail(fmt.Errorf("core: %s evaluation aborted: %w", m.kind, err))
 	}
 	if err := s.CheckFinite(); err != nil {
-		return nil, err
+		return fail(err)
 	}
-	lockin := obs.StartSpan("micromag.lockin", obs.L("gate", m.kind.String()))
+	j.Emit(runID, "run.settled",
+		journal.F("steps", s.Steps()),
+		journal.F("sim_time_s", s.Time))
+
+	lockin := obs.StartSpan("micromag.lockin", gateL, runL)
 	defer lockin.End()
+	j.Emit(runID, "run.lockin",
+		journal.F("freq_hz", m.Freq),
+		journal.F("periods", m.cfg.MeasurePeriods))
 	out := make(map[string]detect.Readout, len(probes))
 	for name, p := range probes {
 		r, err := p.LockIn(m.Freq, m.cfg.MeasurePeriods)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		out[name] = r
+	}
+	if j.Enabled() {
+		names := make([]string, 0, len(out))
+		for name := range out {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fields := make([]journal.Field, 0, 2*len(names))
+		for _, name := range names {
+			fields = append(fields,
+				journal.F(name+".amplitude", out[name].Amplitude),
+				journal.F(name+".phase", out[name].Phase))
+		}
+		j.Emit(runID, "run.complete", fields...)
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"spinwave/internal/layout"
 	"spinwave/internal/llg"
 	"spinwave/internal/material"
+	"spinwave/internal/probe"
 )
 
 // BehavioralOption customizes NewBehavioral beyond the positional
@@ -114,4 +115,13 @@ func WithI3PhaseTrim(rad float64) MicromagOption {
 // WithMeasurePeriods sets the lock-in window length in drive periods.
 func WithMeasurePeriods(n int) MicromagOption {
 	return micromagOptionFunc(func(c *MicromagConfig) { c.MeasurePeriods = n })
+}
+
+// WithProbes configures the in-situ flight recorder (DESIGN.md §11).
+// Pass probe.Config{Enabled: true} for the default cadences; each run
+// then publishes its recorder in probe.Default() under the run ID.
+// Probing never alters the trajectory and does not affect the backend's
+// cache fingerprint.
+func WithProbes(pc probe.Config) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.Probes = pc })
 }

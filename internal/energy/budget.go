@@ -1,0 +1,34 @@
+package energy
+
+// Budget is a per-term breakdown of the micromagnetic energy (J) of one
+// magnetization configuration — the payload of the flight recorder's
+// energy probes (DESIGN.md §11). The terms mirror the effective-field
+// composition in internal/mag: Heisenberg exchange A·|∇m|², uniaxial
+// anisotropy Ku1·(1−(m·u)²), the thin-film demagnetization well
+// ½µ0Ms²·mz², and the Zeeman coupling −Ms·m·B to the bias field.
+//
+// It lives in this package (the paper's §IV-D energy model) so both
+// tiers of energy accounting — the aJ-scale transducer budget of
+// Table III and the micromagnetic field energies sampled during a run —
+// share one home; internal/mag fills a Budget via its EnergyBudget
+// method without importing anything beyond this leaf package.
+type Budget struct {
+	Exchange   float64 `json:"exchange"`
+	Anisotropy float64 `json:"anisotropy"`
+	Demag      float64 `json:"demag"`
+	Zeeman     float64 `json:"zeeman"`
+}
+
+// Total returns the summed energy of all terms (J).
+func (b Budget) Total() float64 {
+	return b.Exchange + b.Anisotropy + b.Demag + b.Zeeman
+}
+
+// Add accumulates o into b term by term and returns the sum.
+func (b Budget) Add(o Budget) Budget {
+	b.Exchange += o.Exchange
+	b.Anisotropy += o.Anisotropy
+	b.Demag += o.Demag
+	b.Zeeman += o.Zeeman
+	return b
+}

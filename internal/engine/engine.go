@@ -21,12 +21,15 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spinwave/internal/core"
 	"spinwave/internal/detect"
+	"spinwave/internal/journal"
 )
 
 // Options configures an Engine.
@@ -158,6 +161,12 @@ func evalKey(b core.Backend, inputs []bool) (string, bool) {
 	if !ok {
 		return "", false
 	}
+	return key + "/" + bitString(inputs), true
+}
+
+// bitString renders an input vector as the "10"-style case label used
+// in cache keys and journal events.
+func bitString(inputs []bool) string {
 	bits := make([]byte, len(inputs))
 	for i, v := range inputs {
 		if v {
@@ -166,7 +175,7 @@ func evalKey(b core.Backend, inputs []bool) (string, bool) {
 			bits[i] = '0'
 		}
 	}
-	return key + "/" + string(bits), true
+	return string(bits)
 }
 
 // Eval evaluates one input case of the backend through the worker pool.
@@ -183,14 +192,23 @@ func (e *Engine) Eval(ctx context.Context, b core.Backend, inputs []bool) (map[s
 	if !cacheable {
 		return e.runEval(ctx, b, inputs)
 	}
+	j := journal.Default()
 	if e.cache != nil {
 		if v, ok := e.cache.get(key); ok {
 			e.hits.Add(1)
 			mCacheHits.Inc()
+			if j.Enabled() {
+				j.Emit(journal.RunID(ctx), "engine.cache",
+					journal.F("result", "hit"), journal.F("key", key))
+			}
 			return cloneReadouts(v), nil
 		}
 		e.misses.Add(1)
 		mCacheMisses.Inc()
+		if j.Enabled() {
+			j.Emit(journal.RunID(ctx), "engine.cache",
+				journal.F("result", "miss"), journal.F("key", key))
+		}
 	}
 	v, err, shared := e.flight.do(ctx, key, func() (map[string]detect.Readout, error) {
 		out, err := e.runEval(ctx, b, inputs)
@@ -205,6 +223,10 @@ func (e *Engine) Eval(ctx context.Context, b core.Backend, inputs []bool) (map[s
 	if shared {
 		e.deduped.Add(1)
 		mCoalesced.Inc()
+		if j.Enabled() {
+			j.Emit(journal.RunID(ctx), "engine.cache",
+				journal.F("result", "coalesced"), journal.F("key", key))
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -213,6 +235,10 @@ func (e *Engine) Eval(ctx context.Context, b core.Backend, inputs []bool) (map[s
 }
 
 // runEval acquires an eval slot and runs the case with context support.
+// Each evaluation is assigned a run ID, propagated down through the
+// context so the backend journals and publishes probes under the same
+// ID, and stamped as a pprof goroutine label so CPU profiles attribute
+// solver time to individual evaluations.
 func (e *Engine) runEval(ctx context.Context, b core.Backend, inputs []bool) (map[string]detect.Readout, error) {
 	if err := e.acquire(ctx, e.evalSlots); err != nil {
 		e.cancelled.Add(1)
@@ -226,22 +252,45 @@ func (e *Engine) runEval(ctx context.Context, b core.Backend, inputs []bool) (ma
 		e.inFlight.Add(-1)
 		mInFlight.Add(-1)
 	}()
+	evalID := journal.RunID(ctx)
+	if evalID == "" {
+		evalID = journal.NewRunID()
+		ctx = journal.WithRunID(ctx, evalID)
+	}
+	j := journal.Default()
+	if j.Enabled() {
+		j.Emit(evalID, "engine.eval.start",
+			journal.F("backend", b.Name()),
+			journal.F("inputs", bitString(inputs)))
+	}
 	start := time.Now()
-	out, err := core.RunContext(ctx, b, inputs)
+	var out map[string]detect.Readout
+	var err error
+	pprof.Do(ctx, pprof.Labels("engine", "eval", "run", evalID), func(ctx context.Context) {
+		out, err = core.RunContext(ctx, b, inputs)
+	})
 	elapsed := time.Since(start)
 	e.latNanos.Add(elapsed.Nanoseconds())
 	e.latCount.Add(1)
 	mEvalSeconds.Observe(elapsed.Seconds())
+	status := "ok"
 	switch {
 	case err == nil:
 		e.evals.Add(1)
 		mEvalsOK.Inc()
 	case ctx.Err() != nil:
+		status = "cancelled"
 		e.cancelled.Add(1)
 		mEvalsCancelled.Inc()
 	default:
+		status = "error"
 		e.evalErrs.Add(1)
 		mEvalsErr.Inc()
+	}
+	if j.Enabled() {
+		j.Emit(evalID, "engine.eval.done",
+			journal.F("status", status),
+			journal.F("elapsed_ms", elapsed.Seconds()*1e3))
 	}
 	return out, err
 }
@@ -308,7 +357,10 @@ func (e *Engine) Map(ctx context.Context, n int, f func(ctx context.Context, i i
 			}
 			mTasks.Inc()
 			start := time.Now()
-			err := f(ctx, i)
+			var err error
+			pprof.Do(ctx, pprof.Labels("engine", "task", "task", strconv.Itoa(i)), func(ctx context.Context) {
+				err = f(ctx, i)
+			})
 			mTaskSeconds.Observe(time.Since(start).Seconds())
 			if err != nil {
 				fail(fmt.Errorf("engine: task %d: %w", i, err))

@@ -1,0 +1,162 @@
+package journal
+
+import (
+	"io"
+	"sync"
+)
+
+// WriterSink renders events as JSON Lines to an io.Writer — the file
+// sink behind the -journal CLI flags. Writes are serialized by the
+// journal's delivery mutex; the sink adds its own mutex so it is also
+// safe when shared across journals.
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink builds a JSONL sink over w.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Emit implements Sink.
+func (s *WriterSink) Emit(e Event) {
+	line := append(e.MarshalJSONL(), '\n')
+	s.mu.Lock()
+	s.w.Write(line) //nolint:errcheck // journaling must not fail the run
+	s.mu.Unlock()
+}
+
+// RingSink retains the most recent events in a fixed-capacity ring —
+// the in-memory sink used by tests and by swserve to replay the recent
+// history of a run before switching a tail to live delivery.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	head  int // next write position
+	count int // number of valid entries (≤ cap)
+}
+
+// NewRingSink builds a ring retaining the last capacity events
+// (capacity < 1 is clamped to 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	s.buf[s.head] = e
+	s.head = (s.head + 1) % len(s.buf)
+	if s.count < len(s.buf) {
+		s.count++
+	}
+	s.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, s.count)
+	start := s.head - s.count
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < s.count; i++ {
+		out = append(out, s.buf[(start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// EventsFor returns the retained events of one run, oldest first. An
+// empty run ID matches every event.
+func (s *RingSink) EventsFor(run string) []Event {
+	all := s.Events()
+	if run == "" {
+		return all
+	}
+	out := all[:0]
+	for _, e := range all {
+		if e.Run == run {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Hub fans events out to live subscribers over bounded buffered
+// channels — the delivery mechanism behind swserve's NDJSON tail. A
+// subscriber that cannot keep up has events dropped (counted per
+// subscriber) rather than stalling the emitting solver: journal
+// delivery must never exert backpressure on the physics loop.
+type Hub struct {
+	mu   sync.Mutex
+	subs map[int]*subscriber
+	next int
+}
+
+// subscriber is one live tail.
+type subscriber struct {
+	run     string // filter; "" matches all runs
+	ch      chan Event
+	dropped int64
+}
+
+// NewHub builds an empty hub.
+func NewHub() *Hub { return &Hub{subs: make(map[int]*subscriber)} }
+
+// Emit implements Sink: non-blocking delivery to every matching
+// subscriber, dropping on a full buffer.
+func (h *Hub) Emit(e Event) {
+	h.mu.Lock()
+	for _, sub := range h.subs {
+		if sub.run != "" && sub.run != e.Run {
+			continue
+		}
+		select {
+		case sub.ch <- e:
+		default:
+			sub.dropped++
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe registers a live tail for one run ID ("" = all runs) with
+// the given channel buffer (clamped to ≥1). It returns the delivery
+// channel, a function reporting how many events were dropped on buffer
+// overflow, and a cancel function that unregisters and closes the
+// channel. Cancel is idempotent.
+func (h *Hub) Subscribe(run string, buffer int) (events <-chan Event, dropped func() int64, cancel func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &subscriber{run: run, ch: make(chan Event, buffer)}
+	h.mu.Lock()
+	id := h.next
+	h.next++
+	h.subs[id] = sub
+	h.mu.Unlock()
+	var once sync.Once
+	return sub.ch, func() int64 {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return sub.dropped
+		}, func() {
+			once.Do(func() {
+				h.mu.Lock()
+				delete(h.subs, id)
+				h.mu.Unlock()
+				close(sub.ch)
+			})
+		}
+}
+
+// Subscribers returns the number of live subscriptions.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}

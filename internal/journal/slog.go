@@ -1,0 +1,60 @@
+package journal
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// runIDHandler decorates a slog.Handler so every record emitted with a
+// context carrying a run ID (WithRunID) gets a "run" attribute — the
+// shared handler behind the CLIs' -log-level flags that keeps log
+// lines, journal events and trace spans correlated by run ID.
+type runIDHandler struct {
+	slog.Handler
+}
+
+// Handle implements slog.Handler.
+func (h runIDHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := RunID(ctx); id != "" {
+		r.AddAttrs(slog.String("run", id))
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler, preserving the run-ID stamping on
+// derived handlers.
+func (h runIDHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return runIDHandler{Handler: h.Handler.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler, preserving the run-ID stamping on
+// derived handlers.
+func (h runIDHandler) WithGroup(name string) slog.Handler {
+	return runIDHandler{Handler: h.Handler.WithGroup(name)}
+}
+
+// NewLogger returns a text-format slog.Logger writing to w at the given
+// level, with run IDs stamped from the context onto every record.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(runIDHandler{Handler: slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})})
+}
+
+// ParseLevel maps the -log-level flag values (debug, info, warn, error)
+// to slog levels, case-insensitively.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}

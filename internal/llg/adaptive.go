@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"spinwave/internal/journal"
 	"spinwave/internal/tile"
 )
 
@@ -58,9 +59,18 @@ func (s *Solver) RunAdaptive(duration float64, cfg AdaptiveConfig) (accepted, re
 		return 0, 0, fmt.Errorf("llg: invalid adaptive step bounds [%g, %g]", cfg.MinDt, cfg.MaxDt)
 	}
 	if s.UseReference || s.Eval.FullDemag != nil {
-		return s.runAdaptiveReference(duration, cfg)
+		accepted, rejected, err = s.runAdaptiveReference(duration, cfg)
+	} else {
+		accepted, rejected, err = s.runAdaptiveFused(duration, cfg)
 	}
-	return s.runAdaptiveFused(duration, cfg)
+	if j := journal.Default(); j.Enabled() {
+		j.Emit(s.RunID, "adaptive.stats",
+			journal.F("accepted", accepted),
+			journal.F("rejected", rejected),
+			journal.F("final_dt", s.Dt),
+			journal.F("max_err", cfg.MaxErr))
+	}
+	return accepted, rejected, err
 }
 
 // runAdaptiveFused is the banded RK23 loop (kernels in parallel.go).
@@ -93,6 +103,9 @@ func (s *Solver) runAdaptiveFused(duration float64, cfg AdaptiveConfig) (accepte
 			s.Time = t + dt
 			s.steps++
 			accepted++
+			if s.obs != nil {
+				s.obs.ObserveStep(s.steps, s.Time, s.M)
+			}
 		} else {
 			rejected++
 		}
@@ -161,6 +174,9 @@ func (s *Solver) runAdaptiveReference(duration float64, cfg AdaptiveConfig) (acc
 			s.Time = t + dt
 			s.steps++
 			accepted++
+			if s.obs != nil {
+				s.obs.ObserveStep(s.steps, s.Time, s.M)
+			}
 		} else {
 			rejected++
 		}

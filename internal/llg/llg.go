@@ -95,7 +95,16 @@ type Solver struct {
 	// production runs leave it false.
 	UseReference bool
 
+	// RunID identifies the evaluation this solver serves; it is stamped
+	// onto journal events emitted at solver level (adaptive step stats)
+	// so they correlate with the run's lifecycle events and spans.
+	RunID string
+
 	steps int
+
+	// obs, when non-nil, receives a callback after every committed
+	// integrator step (see SetObserver).
+	obs StepObserver
 
 	// Scratch buffers, all carved from one arena allocation. b holds the
 	// effective field, k1..k4 the RK stage slopes, kerr the adaptive
@@ -362,6 +371,9 @@ func (s *Solver) RunContext(ctx context.Context, duration float64, each func(ste
 		}
 		s.Step()
 		taken = i
+		if s.obs != nil {
+			s.obs.ObserveStep(s.steps, s.Time, s.M)
+		}
 		if each != nil && !each(i) {
 			return nil
 		}

@@ -1,0 +1,21 @@
+package llg
+
+import "spinwave/internal/vec"
+
+// StepObserver is the flight-recorder hook of the run loop (DESIGN.md
+// §11): it receives a callback after every committed integrator step
+// with the solver's cumulative step count, the new simulation time, and
+// the magnetization. probe.Recorder implements it.
+//
+// The observer runs synchronously on the solver goroutine between
+// steps, so implementations must be cheap and allocation-free to
+// preserve the zero-alloc stepping loop, and must treat m as read-only
+// and valid only for the duration of the call.
+type StepObserver interface {
+	ObserveStep(step int, t float64, m vec.Field)
+}
+
+// SetObserver installs the step observer; nil removes it. With no
+// observer installed the run loop pays one nil check per step —
+// observability is free when disabled.
+func (s *Solver) SetObserver(o StepObserver) { s.obs = o }

@@ -1,0 +1,109 @@
+package llg
+
+import (
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/journal"
+	"spinwave/internal/material"
+	"spinwave/internal/vec"
+)
+
+// countingObserver records the step numbers and times it was called with.
+type countingObserver struct {
+	steps []int
+	times []float64
+}
+
+func (o *countingObserver) ObserveStep(step int, t float64, m vec.Field) {
+	o.steps = append(o.steps, step)
+	o.times = append(o.times, t)
+}
+
+// TestObserverCumulativeSteps checks the observer sees the solver's
+// cumulative step counter (continuous across Run calls, so probe stride
+// decimation does not reset between the transient and measure phases)
+// and the post-step simulation time.
+func TestObserverCumulativeSteps(t *testing.T) {
+	s := singleSpin(t, 0.1, 0.01, 1e-13)
+	obs := &countingObserver{}
+	s.SetObserver(obs)
+	s.Run(5e-13, nil)
+	s.Run(3e-13, nil)
+	if len(obs.steps) != s.Steps() || s.Steps() < 6 {
+		t.Fatalf("observer called %d times over %d solver steps", len(obs.steps), s.Steps())
+	}
+	for i, st := range obs.steps {
+		if st != i+1 {
+			t.Fatalf("observation %d has step %d, want %d (cumulative across Run calls)", i, st, i+1)
+		}
+	}
+	if obs.times[0] != s.Dt {
+		t.Errorf("first observed time %g, want dt=%g", obs.times[0], s.Dt)
+	}
+	seen := len(obs.steps)
+	s.SetObserver(nil)
+	s.Run(2e-13, nil)
+	if len(obs.steps) != seen {
+		t.Error("observer still called after removal")
+	}
+}
+
+// TestObserverAdaptive checks accepted adaptive steps are observed
+// (rejected ones are not: step numbers stay strictly increasing) and
+// that an attached journal receives the adaptive.stats event under the
+// solver's run ID.
+func TestObserverAdaptive(t *testing.T) {
+	mesh := grid.MustMesh(4, 4, 2e-9, 2e-9, 1e-9)
+	s, err := New(mesh, grid.FullRegion(mesh), material.FeCoB(), 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunID = "rtest"
+	obs := &countingObserver{}
+	s.SetObserver(obs)
+	ring := journal.NewRingSink(64)
+	defer journal.Default().Attach(ring)()
+
+	acc, _, err := s.RunAdaptive(2e-12, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.steps) != acc {
+		t.Errorf("observed %d steps, accepted %d", len(obs.steps), acc)
+	}
+	for i := 1; i < len(obs.steps); i++ {
+		if obs.steps[i] != obs.steps[i-1]+1 {
+			t.Fatalf("non-consecutive observed steps %v", obs.steps)
+		}
+	}
+	evs := ring.EventsFor("rtest")
+	if len(evs) != 1 || evs[0].Name != "adaptive.stats" {
+		t.Fatalf("journal events %+v, want one adaptive.stats", evs)
+	}
+	if got := evs[0].Fields["accepted"]; got != acc {
+		t.Errorf("journaled accepted = %v, want %d", got, acc)
+	}
+}
+
+// nopObserver is the cheapest possible observer, used to price the hook.
+type nopObserver struct{ calls int }
+
+func (o *nopObserver) ObserveStep(int, float64, vec.Field) { o.calls++ }
+
+// TestRunObservedAllocates pins that the observer dispatch itself adds
+// no allocation to the run loop (the probe package separately pins that
+// Recorder.ObserveStep is allocation-free).
+func TestRunObservedAllocates(t *testing.T) {
+	s := singleSpin(t, 0.1, 0.01, 1e-13)
+	s.Run(1e-12, nil) // warm up scratch state
+	obs := &nopObserver{}
+	s.SetObserver(obs)
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Step()
+		obs.ObserveStep(s.Steps(), s.Time, s.M)
+	})
+	if allocs > 0 {
+		t.Errorf("observed stepping allocates %g per step, want 0", allocs)
+	}
+}

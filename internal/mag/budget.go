@@ -1,0 +1,60 @@
+package mag
+
+import (
+	"spinwave/internal/energy"
+	"spinwave/internal/vec"
+)
+
+// EnergyBudget returns the per-term magnetic energy breakdown (J) of
+// configuration m — the same contributions Energy sums, kept separate
+// per term for the flight recorder's energy probes (DESIGN.md §11).
+//
+// The sweep is serial and allocation-free: it is called from the probe
+// layer on a cadence (every probe.Config.EnergyEvery steps), on the
+// solver goroutine, where it must not disturb the zero-alloc hot loop.
+// Terms honor the Disable* ablation switches exactly like Energy, so
+// Budget.Total() equals Energy(m) up to summation order.
+func (e *Evaluator) EnergyBudget(m vec.Field) energy.Budget {
+	e.Prepare()
+	mesh, reg, c := e.Mesh, e.Region, e.Coeffs
+	vol := mesh.CellVolume()
+	nx := mesh.Nx
+	var b energy.Budget
+	for j := 0; j < mesh.Ny; j++ {
+		row := j * nx
+		for i := 0; i < nx; i++ {
+			idx := row + i
+			if !reg[idx] {
+				continue
+			}
+			mc := m[idx]
+			// Exchange: A·|∇m|², one-sided differences counted once per bond.
+			if !e.DisableExchange {
+				aex := c.ExFactor * c.Ms / 2 // back to Aex
+				if i < nx-1 && reg[idx+1] {
+					d := m[idx+1].Sub(mc)
+					b.Exchange += aex * d.Norm2() / (mesh.Dx * mesh.Dx) * vol
+				}
+				if j < mesh.Ny-1 && reg[idx+nx] {
+					d := m[idx+nx].Sub(mc)
+					b.Exchange += aex * d.Norm2() / (mesh.Dy * mesh.Dy) * vol
+				}
+			}
+			// Anisotropy: Ku1·(1 − (m·u)²).
+			if !e.DisableAnisotropy && c.BAnis != 0 {
+				ku := c.BAnis * c.Ms / 2
+				p := mc.Dot(c.AnisAxis)
+				b.Anisotropy += ku * (1 - p*p) * vol
+			}
+			// Thin-film demag: ½·µ0·Ms²·mz².
+			if !e.DisableDemag {
+				b.Demag += 0.5 * c.BDemag * c.Ms * mc.Z * mc.Z * vol
+			}
+			// Zeeman: −Ms·(m·B_bias).
+			if c.BBias != vec.Zero {
+				b.Zeeman -= c.Ms * mc.Dot(c.BBias) * vol
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package mag
+
+import (
+	"math"
+	"testing"
+
+	"spinwave/internal/grid"
+	"spinwave/internal/material"
+	"spinwave/internal/vec"
+)
+
+// TestEnergyBudgetMatchesEnergy pins EnergyBudget against the existing
+// total-energy reduction: the per-term breakdown must sum to Energy(m)
+// for a non-trivial configuration, including a notch in the region.
+func TestEnergyBudgetMatchesEnergy(t *testing.T) {
+	mesh := grid.MustMesh(8, 6, 2e-9, 2e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	reg[3] = false // irregular geometry exercises the bond guards
+	ev, err := NewEvaluator(mesh, reg, material.FeCoB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Coeffs.BBias = vec.V(0, 0, 0.05)
+
+	m := vec.NewField(mesh.NCells())
+	for i := range m {
+		m[i] = vec.V(0.1*float64(i%5), 0.05*float64(i%3), 1).Normalized()
+	}
+
+	b := ev.EnergyBudget(m)
+	total, want := b.Total(), ev.Energy(m)
+	if math.Abs(total-want) > 1e-12*math.Max(1, math.Abs(want)) {
+		t.Errorf("Budget.Total() = %g, Energy = %g", total, want)
+	}
+	if b.Exchange <= 0 || b.Anisotropy <= 0 || b.Demag < 0 {
+		t.Errorf("implausible budget %+v", b)
+	}
+	if b.Zeeman >= 0 {
+		t.Errorf("Zeeman energy %g not negative for m ∥ +z bias", b.Zeeman)
+	}
+}
+
+// TestEnergyBudgetAblation checks the Disable* switches zero the
+// matching term and only that term.
+func TestEnergyBudgetAblation(t *testing.T) {
+	mesh := grid.MustMesh(4, 2, 2e-9, 2e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	ev, _ := NewEvaluator(mesh, reg, material.FeCoB())
+	m := vec.NewField(mesh.NCells())
+	for i := range m {
+		m[i] = vec.V(0.2*float64(i), 0, 1).Normalized()
+	}
+	full := ev.EnergyBudget(m)
+	ev.DisableExchange = true
+	cut := ev.EnergyBudget(m)
+	if cut.Exchange != 0 {
+		t.Errorf("exchange not ablated: %g", cut.Exchange)
+	}
+	if cut.Anisotropy != full.Anisotropy || cut.Demag != full.Demag {
+		t.Errorf("ablating exchange perturbed other terms: %+v vs %+v", cut, full)
+	}
+}
+
+// TestEnergyBudgetAllocates pins the allocation-free contract the probe
+// layer relies on: after Prepare, the sweep must not allocate.
+func TestEnergyBudgetAllocates(t *testing.T) {
+	mesh := grid.MustMesh(16, 16, 2e-9, 2e-9, 1e-9)
+	reg := grid.FullRegion(mesh)
+	ev, _ := NewEvaluator(mesh, reg, material.FeCoB())
+	m := vec.NewField(mesh.NCells())
+	m.Fill(vec.UnitZ)
+	ev.Prepare()
+	allocs := testing.AllocsPerRun(10, func() {
+		_ = ev.EnergyBudget(m)
+	})
+	if allocs > 0 {
+		t.Errorf("EnergyBudget allocates %g per call, want 0", allocs)
+	}
+}

@@ -73,9 +73,21 @@ type HistogramSink struct {
 	Buckets []float64
 }
 
-// Finish implements SpanSink.
+// Finish implements SpanSink. The per-run "run" label (one fresh value
+// per evaluation) is dropped before recording: folding it into the
+// histogram key would mint a new metric series per run — unbounded
+// cardinality. Run-resolved span timelines belong to ChromeTraceSink
+// and the journal, which keep the label.
 func (h *HistogramSink) Finish(name string, _ time.Time, d time.Duration, labels []Label) {
-	h.Registry.Histogram("spinwave_span_seconds", h.Buckets, append(labels, L("span", name))...).Observe(d.Seconds())
+	kept := make([]Label, 0, len(labels)+1)
+	for _, l := range labels {
+		if l.Key == "run" {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	kept = append(kept, L("span", name))
+	h.Registry.Histogram("spinwave_span_seconds", h.Buckets, kept...).Observe(d.Seconds())
 }
 
 // CollectingSink retains finished spans in memory — for tests and

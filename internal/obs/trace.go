@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// ChromeTraceSink retains finished spans and renders them in the Chrome
+// trace-event format (the `{"traceEvents":[...]}` JSON loadable in
+// chrome://tracing and Perfetto) — the exporter behind `swsim
+// -trace-out trace.json`. Unlike HistogramSink it keeps every span
+// label, including the per-run "run" label, so a trace shows which
+// evaluation each setup/transient/lockin span belonged to.
+//
+// Spans are capped at MaxSpans (default 65536); spans finished beyond
+// the cap are counted in Dropped instead of growing without bound.
+type ChromeTraceSink struct {
+	// MaxSpans bounds retention; 0 means the default 65536.
+	MaxSpans int
+
+	mu      sync.Mutex
+	spans   []FinishedSpan
+	rows    map[string]int // span name → tid, by first appearance
+	order   []string
+	dropped int64
+}
+
+// Finish implements SpanSink.
+func (c *ChromeTraceSink) Finish(name string, start time.Time, d time.Duration, labels []Label) {
+	max := c.MaxSpans
+	if max <= 0 {
+		max = 65536
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spans) >= max {
+		c.dropped++
+		return
+	}
+	if c.rows == nil {
+		c.rows = make(map[string]int)
+	}
+	if _, ok := c.rows[name]; !ok {
+		c.rows[name] = len(c.order) + 1
+		c.order = append(c.order, name)
+	}
+	c.spans = append(c.spans, FinishedSpan{Name: name, Start: start, Duration: d, Labels: labels})
+}
+
+// Len returns the number of retained spans.
+func (c *ChromeTraceSink) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans)
+}
+
+// Dropped returns the number of spans discarded at the retention cap.
+func (c *ChromeTraceSink) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// traceEvent is one Chrome "complete" event (ph "X", timestamps in µs).
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// threadName is a Chrome metadata event labeling a tid row.
+type threadName struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// Export renders the retained spans as a Chrome trace JSON document.
+// Timestamps are microseconds relative to the earliest retained span,
+// each span name gets its own row (tid), and span labels become event
+// args.
+func (c *ChromeTraceSink) Export(w io.Writer) error {
+	c.mu.Lock()
+	spans := make([]FinishedSpan, len(c.spans))
+	copy(spans, c.spans)
+	rows := make(map[string]int, len(c.rows))
+	for k, v := range c.rows {
+		rows[k] = v
+	}
+	order := append([]string(nil), c.order...)
+	c.mu.Unlock()
+
+	var epoch time.Time
+	for _, s := range spans {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	events := make([]any, 0, len(spans)+len(order))
+	for _, name := range order {
+		events = append(events, threadName{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: rows[name],
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  rows[s.Name],
+		}
+		if len(s.Labels) > 0 {
+			ev.Args = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				ev.Args[l.Key] = l.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// TeeSink delivers every finished span to all of its sinks — used when
+// a CLI wants both histogram metrics (-stats) and a Chrome trace
+// (-trace-out) from the same run.
+type TeeSink []SpanSink
+
+// Finish implements SpanSink.
+func (t TeeSink) Finish(name string, start time.Time, d time.Duration, labels []Label) {
+	for _, s := range t {
+		if s != nil {
+			s.Finish(name, start, d, labels)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChromeTraceSink(t *testing.T) {
+	c := &ChromeTraceSink{}
+	t0 := time.Unix(100, 0)
+	c.Finish("micromag.setup", t0, 2*time.Millisecond, []Label{L("gate", "xor"), L("run", "r1")})
+	c.Finish("micromag.transient", t0.Add(2*time.Millisecond), 50*time.Millisecond, []Label{L("run", "r1")})
+	c.Finish("micromag.setup", t0.Add(time.Millisecond), time.Millisecond, nil)
+	if c.Len() != 3 {
+		t.Fatalf("retained %d spans", c.Len())
+	}
+
+	var sb strings.Builder
+	if err := c.Export(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	// 2 thread_name metadata events + 3 complete events.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("%d trace events, want 5", len(doc.TraceEvents))
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if ev["ts"].(float64) < 0 {
+				t.Errorf("negative ts in %v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if complete != 3 || meta != 2 {
+		t.Errorf("complete=%d meta=%d", complete, meta)
+	}
+	// The run label must survive into args (unlike the histogram sink).
+	if !strings.Contains(sb.String(), `"run":"r1"`) {
+		t.Error("run label missing from trace args")
+	}
+}
+
+func TestChromeTraceSinkCap(t *testing.T) {
+	c := &ChromeTraceSink{MaxSpans: 2}
+	for i := 0; i < 5; i++ {
+		c.Finish("s", time.Unix(int64(i), 0), time.Millisecond, nil)
+	}
+	if c.Len() != 2 || c.Dropped() != 3 {
+		t.Errorf("len=%d dropped=%d, want 2/3", c.Len(), c.Dropped())
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	a, b := &CollectingSink{}, &CollectingSink{}
+	tee := TeeSink{a, nil, b}
+	tee.Finish("s", time.Now(), time.Millisecond, nil)
+	if len(a.Spans()) != 1 || len(b.Spans()) != 1 {
+		t.Errorf("tee delivered %d/%d", len(a.Spans()), len(b.Spans()))
+	}
+}
+
+// TestHistogramSinkDropsRunLabel pins the cardinality guard: per-run
+// labels must not become histogram label sets.
+func TestHistogramSinkDropsRunLabel(t *testing.T) {
+	reg := NewRegistry()
+	h := &HistogramSink{Registry: reg}
+	h.Finish("op", time.Now(), time.Millisecond, []Label{L("gate", "xor"), L("run", "r1")})
+	h.Finish("op", time.Now(), time.Millisecond, []Label{L("gate", "xor"), L("run", "r2")})
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "run=") {
+		t.Errorf("run label leaked into metrics:\n%s", out)
+	}
+	if !strings.Contains(out, `gate="xor"`) || !strings.Contains(out, `span="op"`) {
+		t.Errorf("expected labels missing:\n%s", out)
+	}
+	// Both spans must have landed in ONE series.
+	if !strings.Contains(out, `spinwave_span_seconds_count{gate="xor",span="op"} 2`) {
+		t.Errorf("spans split across series:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders the snapshot's magnetization series as CSV: one row
+// per sample time with columns t, then mx/my/mz per probe (headers
+// "<name>.mx" etc.). Series are aligned by sample index; rows stop at
+// the shortest series, which only differ transiently while a sample is
+// in flight. This is the text/csv form of /v1/runs/{id}/probes.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	if len(s.Series) == 0 {
+		_, err := io.WriteString(w, "t\n")
+		return err
+	}
+	header := "t"
+	rows := len(s.Series[0].Time)
+	for _, se := range s.Series {
+		header += fmt.Sprintf(",%s.mx,%s.my,%s.mz", se.Name, se.Name, se.Name)
+		if len(se.Time) < rows {
+			rows = len(se.Time)
+		}
+	}
+	if _, err := io.WriteString(w, header+"\n"); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 256)
+	for i := 0; i < rows; i++ {
+		buf = strconv.AppendFloat(buf[:0], s.Series[0].Time[i], 'g', -1, 64)
+		for _, se := range s.Series {
+			for _, col := range [3][]float64{se.MX, se.MY, se.MZ} {
+				buf = append(buf, ',')
+				buf = strconv.AppendFloat(buf, col[i], 'g', -1, 64)
+			}
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package probe
+
+import (
+	"sync"
+)
+
+// Registry maps run IDs to their recorders so serving layers can look
+// up probe data after (or during) a run. It retains a bounded number of
+// runs, evicting the oldest — swserve keeps the last few dozen runs
+// inspectable without growing without bound.
+type Registry struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // insertion order, oldest first
+	recs  map[string]*Recorder
+}
+
+// NewRegistry builds a registry retaining at most capacity runs
+// (capacity < 1 is clamped to 1).
+func NewRegistry(capacity int) *Registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Registry{cap: capacity, recs: make(map[string]*Recorder, capacity)}
+}
+
+var defaultRegistry = NewRegistry(32)
+
+// Default returns the process-wide registry core backends publish into
+// and swserve's /v1/runs/{id}/probes endpoint reads from.
+func Default() *Registry { return defaultRegistry }
+
+// Put registers the recorder under the run ID, evicting the oldest run
+// if the registry is full. Re-putting an existing ID replaces its
+// recorder without consuming capacity.
+func (g *Registry) Put(run string, r *Recorder) {
+	if run == "" || r == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, exists := g.recs[run]; !exists {
+		if len(g.order) >= g.cap {
+			oldest := g.order[0]
+			g.order = g.order[1:]
+			delete(g.recs, oldest)
+		}
+		g.order = append(g.order, run)
+	}
+	g.recs[run] = r
+}
+
+// Get returns the recorder registered under the run ID.
+func (g *Registry) Get(run string) (*Recorder, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.recs[run]
+	return r, ok
+}
+
+// Runs returns the retained run IDs, oldest first.
+func (g *Registry) Runs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}

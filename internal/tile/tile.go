@@ -85,6 +85,14 @@ type Pool struct {
 
 // NewPool starts a pool of n persistent workers. n < 1 is clamped to 1.
 // Callers must Close the pool when done with it or its goroutines leak.
+//
+// The workers deliberately carry no pprof goroutine labels: labeling
+// them (pprof.Do or SetGoroutineLabels) makes the process allocate
+// intermittently while the pool is hot, which trips the process-wide
+// malloc counting in TestStepAllocates' zero-alloc pin. Band kernels
+// are attributed in CPU profiles by function name instead; the
+// engine's eval/task goroutines, which are not under an allocation
+// pin, do carry labels (DESIGN.md §11).
 func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1

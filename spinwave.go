@@ -145,6 +145,9 @@ var (
 	WithI3PhaseTrim = core.WithI3PhaseTrim
 	// WithMeasurePeriods sets the lock-in window in drive periods.
 	WithMeasurePeriods = core.WithMeasurePeriods
+	// WithProbes attaches the in-situ flight recorder to every run
+	// (DESIGN.md §11); recorders are published via ProbesFor.
+	WithProbes = core.WithProbes
 )
 
 // NewBehavioral builds the fast phasor backend for a gate.

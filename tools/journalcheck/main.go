@@ -1,0 +1,166 @@
+// Command journalcheck validates a run-journal JSONL file against the
+// journal schema (DESIGN.md §11): every line must be a JSON object with
+// a positive integer "seq", an integer "time_ns", a string "event" (and
+// a string "run" when present); sequence numbers must be strictly
+// increasing over the file; and per run, lifecycle ordering must hold —
+// no run.settled/run.lockin/run.complete before that run's run.start,
+// and nothing after its run.complete or run.error.
+//
+//	go run ./tools/journalcheck journal.jsonl
+//
+// It is the CI gate behind the probed-simulation smoke job: a journal
+// that drops events, reorders them, or emits malformed lines fails the
+// build. Exits non-zero listing each violation as line:N.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("journalcheck: ")
+	if len(os.Args) != 2 {
+		log.Fatal("usage: journalcheck <journal.jsonl>")
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	problems, lines, err := check(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		log.Fatalf("%d violation(s) in %d line(s)", len(problems), lines)
+	}
+	fmt.Printf("journalcheck: %s ok (%d events)\n", os.Args[1], lines)
+}
+
+// runState tracks per-run lifecycle progress.
+type runState struct {
+	started bool
+	ended   bool // run.complete or run.error seen
+}
+
+// check scans the journal and returns schema violations as
+// "line:N: ..." strings plus the number of lines read.
+func check(f *os.File) (problems []string, lines int, err error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var lastSeq uint64
+	runs := make(map[string]*runState)
+	for sc.Scan() {
+		lines++
+		at := func(format string, args ...any) {
+			problems = append(problems, fmt.Sprintf("line:%d: %s", lines, fmt.Sprintf(format, args...)))
+		}
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
+			at("not a JSON object: %v", err)
+			continue
+		}
+		seq, ok := uintField(raw, "seq")
+		if !ok {
+			at(`missing or non-positive-integer "seq"`)
+		} else {
+			if seq <= lastSeq {
+				at(`"seq" %d not strictly increasing (previous %d)`, seq, lastSeq)
+			}
+			lastSeq = seq
+		}
+		if _, ok := intField(raw, "time_ns"); !ok {
+			at(`missing or non-integer "time_ns"`)
+		}
+		name, ok := stringField(raw, "event")
+		if !ok || name == "" {
+			at(`missing or empty string "event"`)
+			continue
+		}
+		run := ""
+		if _, present := raw["run"]; present {
+			if run, ok = stringField(raw, "run"); !ok {
+				at(`"run" is not a string`)
+				continue
+			}
+		}
+		if run == "" {
+			continue // process-level event: no lifecycle to track
+		}
+		st := runs[run]
+		if st == nil {
+			st = &runState{}
+			runs[run] = st
+		}
+		// Lifecycle ordering is checked for the backend's run.* namespace
+		// only: engine events (engine.eval.done) legitimately bracket the
+		// backend lifecycle on both sides.
+		if st.ended && strings.HasPrefix(name, "run.") {
+			at("event %q for run %s after its terminal run.complete/run.error", name, run)
+		}
+		switch name {
+		case "run.start":
+			if st.started {
+				at("duplicate run.start for run %s", run)
+			}
+			st.started = true
+		case "run.settled", "run.lockin", "run.complete", "run.error":
+			if !st.started {
+				at("%s for run %s before its run.start", name, run)
+			}
+			if name == "run.complete" || name == "run.error" {
+				st.ended = true
+			}
+		}
+	}
+	return problems, lines, sc.Err()
+}
+
+// uintField extracts a positive integer field.
+func uintField(raw map[string]json.RawMessage, key string) (uint64, bool) {
+	v, ok := raw[key]
+	if !ok {
+		return 0, false
+	}
+	var n uint64
+	if err := json.Unmarshal(v, &n); err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// intField extracts an integer field.
+func intField(raw map[string]json.RawMessage, key string) (int64, bool) {
+	v, ok := raw[key]
+	if !ok {
+		return 0, false
+	}
+	var n int64
+	if err := json.Unmarshal(v, &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// stringField extracts a string field.
+func stringField(raw map[string]json.RawMessage, key string) (string, bool) {
+	v, ok := raw[key]
+	if !ok {
+		return "", false
+	}
+	var s string
+	if err := json.Unmarshal(v, &s); err != nil {
+		return "", false
+	}
+	return s, true
+}
