@@ -4,7 +4,7 @@ GO ?= go
 # with -short; the margin absorbs run-to-run jitter, not regressions.
 COVER_BASELINE ?= 67.0
 
-.PHONY: all build vet test test-race bench bench-pr3 bench-smoke cover docs-lint journal-smoke fuzz clean
+.PHONY: all build vet test test-race bench bench-pr3 bench-pr5 bench-compare bench-smoke cover docs-lint journal-smoke health-smoke fuzz clean
 
 all: build vet test docs-lint
 
@@ -22,19 +22,31 @@ test:
 # tiled LLG solver and its worker pool, the frequency-parallel gates
 # and the metrics registry.
 test-race:
-	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./cmd/swserve/
+	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./internal/health/ ./cmd/swserve/
 
 # Godoc coverage gate (ISSUE 3): every exported identifier in the LLG
 # core, the field evaluator, the gate backends, the flight-recorder
 # packages and the root package must carry a doc comment.
 docs-lint:
-	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal
+	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal ./internal/health
 
 # Flight-recorder smoke (ISSUE 4): a short probed XOR case writing the
 # JSONL journal and Chrome trace, then schema-validating the journal.
 journal-smoke:
 	$(GO) run ./cmd/swsim -gate xor -inputs 10 -probe -journal journal.jsonl -trace-out trace.json -workers 2
 	$(GO) run ./tools/journalcheck journal.jsonl
+
+# Health-monitor smoke (ISSUE 5): destabilize the integrator on purpose
+# by scaling dt far past the stability bound; the streaming monitor must
+# fire a critical alert, record a violated verdict in the journal, and
+# make swsim exit non-zero. swdoctor then scores the journal and must
+# agree. The `!` inverts swsim's expected failure.
+health-smoke:
+	! $(GO) run ./cmd/swsim -gate xor -inputs 10 -health -dt-scale 20 -journal health.jsonl
+	$(GO) run ./tools/journalcheck health.jsonl
+	@grep -q '"verdict":"violated"' health.jsonl || { echo "FAIL: no violated verdict in health.jsonl"; exit 1; }
+	@grep -q '"severity":"critical"' health.jsonl || { echo "FAIL: no critical alert in health.jsonl"; exit 1; }
+	! $(GO) run ./tools/swdoctor health.jsonl
 
 # Coverage gate: total -short statement coverage must stay at or above
 # COVER_BASELINE (-short skips the minutes-long micromagnetic
@@ -62,10 +74,23 @@ bench:
 bench-pr3:
 	$(GO) run ./cmd/swbench -out BENCH_pr3.json
 
+# Current stepper benchmark artifact (ISSUE 5).
+bench-pr5:
+	$(GO) run ./cmd/swbench -out BENCH_pr5.json
+
+# Regression gate: rerun the benchmark and compare the *normalized*
+# fused-8 throughput (fused-8 steps/s ÷ the same run's reference
+# steps/s) against the committed BENCH_pr3.json baseline ratio, so the
+# gate tracks the fused core's speedup rather than the CI host's
+# absolute speed. Fails on a >15% regression.
+bench-compare:
+	$(GO) run ./cmd/swbench -quick -out BENCH_quick.json -compare BENCH_pr3.json
+
 # CI smoke variant: XOR only, one case per mode. Exits non-zero if the
-# 8-worker trajectory diverges from serial by even one bit.
+# 8-worker trajectory diverges from serial by even one bit. Writes to a
+# scratch file so it never clobbers the committed full-run artifact.
 bench-smoke:
-	$(GO) run ./cmd/swbench -quick -out BENCH_pr3.json
+	$(GO) run ./cmd/swbench -quick -out BENCH_quick.json
 
 clean:
 	$(GO) clean ./...

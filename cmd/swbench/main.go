@@ -1,16 +1,22 @@
 // Command swbench benchmarks the LLG stepping cores and emits
-// BENCH_pr3.json: wall-clock timings of the reference (term-by-term)
+// BENCH_pr5.json: wall-clock timings of the reference (term-by-term)
 // stepper versus the fused tiled core at 1/2/4/8 workers on the paper's
 // XOR and MAJ3 micromagnetic truth tables, plus a bit-identity check of
 // the single-worker and 8-worker magnetization trajectories.
 //
-//	swbench                      full benchmark, writes BENCH_pr3.json
+//	swbench                      full benchmark, writes BENCH_pr5.json
 //	swbench -quick               CI smoke variant: XOR only, one case
 //	swbench -out bench.json      choose the output path
+//	swbench -compare BENCH_pr3.json   regression-gate vs a baseline
 //
 // The process exits non-zero if the parallel stepper's trajectory
-// diverges from serial by even one bit — the CI smoke job relies on
-// this as a regression gate.
+// diverges from serial by even one bit, or — with -compare — if the
+// fused-8 throughput regressed more than 15% against the baseline
+// file. The comparison is machine-independent: each run's fused-8
+// steps/s is normalized by the same run's reference-stepper steps/s,
+// and the two *ratios* are compared, so a slower CI host does not
+// trip the gate but a slowdown of the fused core relative to its own
+// baseline does.
 package main
 
 import (
@@ -66,8 +72,9 @@ type benchReport struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("swbench: ")
-	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
 	quick := flag.Bool("quick", false, "CI smoke mode: XOR only, a single case per mode")
+	compare := flag.String("compare", "", "baseline BENCH json to regression-gate against (15% on normalized fused-8 throughput)")
 	flag.Parse()
 
 	report := benchReport{
@@ -105,6 +112,77 @@ func main() {
 	if !ok {
 		log.Fatal("FAIL: parallel trajectory diverged from serial")
 	}
+	if *compare != "" {
+		if err := compareBaseline(report, *compare); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// regressionTolerance is the allowed fractional drop of the normalized
+// fused-8 throughput against the -compare baseline.
+const regressionTolerance = 0.15
+
+// compareBaseline gates the report against a baseline BENCH file. For
+// every gate present in both, the fused-8 steps/s normalized by the
+// same run's reference steps/s must not fall more than
+// regressionTolerance below the baseline's ratio.
+func compareBaseline(report benchReport, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("compare baseline %s: %w", path, err)
+	}
+	compared := 0
+	for _, g := range report.Gates {
+		var bg *gateResult
+		for i := range base.Gates {
+			if base.Gates[i].Gate == g.Gate {
+				bg = &base.Gates[i]
+			}
+		}
+		if bg == nil {
+			continue
+		}
+		cur, okCur := normalizedFused8(g)
+		ref, okRef := normalizedFused8(*bg)
+		if !okCur || !okRef {
+			continue
+		}
+		compared++
+		log.Printf("%s: normalized fused-8 throughput %.2fx reference (baseline %.2fx)", g.Gate, cur, ref)
+		if cur < ref*(1-regressionTolerance) {
+			return fmt.Errorf("FAIL: %s fused-8 normalized throughput %.2fx regressed more than %.0f%% below baseline %.2fx (%s)",
+				g.Gate, cur, regressionTolerance*100, ref, path)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("compare baseline %s: no comparable gates (need reference and fused-8 modes in both)", path)
+	}
+	log.Printf("compare: %d gate(s) within %.0f%% of %s", compared, regressionTolerance*100, path)
+	return nil
+}
+
+// normalizedFused8 is a gate's fused-8 steps/s divided by the same
+// run's reference-stepper steps/s — the machine-independent throughput
+// figure the -compare gate tracks.
+func normalizedFused8(g gateResult) (float64, bool) {
+	var ref, fused8 float64
+	for _, m := range g.Modes {
+		switch {
+		case m.Name == "reference" && m.Workers == 1:
+			ref = m.StepsPerSec
+		case m.Name == "fused" && m.Workers == 8:
+			fused8 = m.StepsPerSec
+		}
+	}
+	if ref <= 0 || fused8 <= 0 {
+		return 0, false
+	}
+	return fused8 / ref, true
 }
 
 // newBackend builds a micromagnetic backend for the benchmark.

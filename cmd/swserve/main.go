@@ -6,7 +6,9 @@
 //
 //	POST /v1/eval     evaluate one input case or a batch of cases
 //	POST /v1/table    evaluate a full truth table (paper Tables I/II)
-//	GET  /v1/healthz  liveness probe
+//	GET  /v1/healthz  liveness probe (build info, uptime, drain state;
+//	                  ?deep=1 adds a behavioral canary eval + pool ping)
+//	GET  /v1/slo      rolling-window SLO state with burn rates
 //	GET  /v1/runs                 run IDs with retained probe data
 //	GET  /v1/runs/{id}/events     NDJSON live tail of the run journal
 //	GET  /v1/runs/{id}/probes     probe time-series (JSON, ?format=csv)
@@ -54,6 +56,10 @@ func main() {
 	maxBatch := flag.Int("max-batch", defaultMaxBatch, "maximum cases per /v1/eval request")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.BoolVar(&probeOn, "probe", false, "record in-situ probe time-series for micromag runs (served at /v1/runs/{id}/probes)")
+	flag.BoolVar(&healthOn, "health", false, "attach the numerical health monitor to micromag runs (alerts + verdicts, DESIGN.md §12)")
+	sloWindow := flag.Duration("slo-window", defaultSLOWindow, "rolling SLO window")
+	sloObjective := flag.Float64("slo-objective", defaultSLOObjective, "SLO good-fraction objective in percent (availability and latency)")
+	sloLatency := flag.Duration("slo-latency", defaultSLOLatency, "SLO latency threshold (responses slower than this burn the latency budget)")
 	flag.Parse()
 
 	var opts []spinwave.EngineOption
@@ -65,6 +71,7 @@ func main() {
 	defer srv.close()
 	srv.maxBatch = *maxBatch
 	srv.pprofOn = *pprofOn
+	srv.slo = newSLOTracker(*sloWindow, *sloObjective, *sloLatency)
 	srv.publishVars()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
@@ -114,6 +121,11 @@ type server struct {
 	heartbeat     time.Duration
 	detachJournal func()
 
+	// SLO tracker (slo.go) and deep-health canary cache (health.go).
+	slo     *sloTracker
+	canary  canaryState
+	started time.Time
+
 	requests  atomic.Int64
 	errors    atomic.Int64
 	evalCases atomic.Int64
@@ -123,7 +135,9 @@ type server struct {
 func newServer(eng *spinwave.Engine, defaultTimeout time.Duration) *server {
 	initHTTPMetrics()
 	s := &server{eng: eng, defaultTimeout: defaultTimeout, maxBatch: defaultMaxBatch,
-		heartbeat: 5 * time.Second}
+		heartbeat: 5 * time.Second,
+		slo:       newSLOTracker(defaultSLOWindow, defaultSLOObjective, defaultSLOLatency),
+		started:   time.Now()}
 	s.detachJournal = s.attachJournal()
 	return s
 }
@@ -139,14 +153,15 @@ func (s *server) close() {
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/eval", withMetrics("/v1/eval", s.handleEval))
-	mux.HandleFunc("/v1/table", withMetrics("/v1/table", s.handleTable))
-	mux.HandleFunc("/v1/healthz", withMetrics("/v1/healthz", s.handleHealthz))
-	mux.HandleFunc("/metrics", withMetrics("/metrics", s.handleMetrics))
-	mux.HandleFunc("/debug/vars", withMetrics("/debug/vars", s.handleVars))
-	mux.HandleFunc("GET /v1/runs", withMetrics("/v1/runs", s.handleRuns))
-	mux.HandleFunc("GET /v1/runs/{id}/events", withMetrics("/v1/runs/events", s.handleRunEvents))
-	mux.HandleFunc("GET /v1/runs/{id}/probes", withMetrics("/v1/runs/probes", s.handleRunProbes))
+	mux.HandleFunc("/v1/eval", s.withMetrics("/v1/eval", s.handleEval))
+	mux.HandleFunc("/v1/table", s.withMetrics("/v1/table", s.handleTable))
+	mux.HandleFunc("/v1/healthz", s.withMetrics("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/slo", s.withMetrics("/v1/slo", s.handleSLO))
+	mux.HandleFunc("/metrics", s.withMetrics("/metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/vars", s.withMetrics("/debug/vars", s.handleVars))
+	mux.HandleFunc("GET /v1/runs", s.withMetrics("/v1/runs", s.handleRuns))
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.withMetrics("/v1/runs/events", s.handleRunEvents))
+	mux.HandleFunc("GET /v1/runs/{id}/probes", s.withMetrics("/v1/runs/probes", s.handleRunProbes))
 	if s.pprofOn {
 		registerPprof(mux)
 	}
@@ -310,10 +325,6 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, tt)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.reply(w, map[string]any{"status": "ok", "workers": s.eng.Workers()})
-}
-
 func (s *server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
@@ -395,6 +406,11 @@ var stepWorkers int
 // /v1/runs/{id}/probes.
 var probeOn bool
 
+// healthOn attaches the numerical health monitor to every micromagnetic
+// backend the server builds (-health flag); verdicts and alerts flow
+// into the journal (tailable at /v1/runs/{id}/events) and /metrics.
+var healthOn bool
+
 func buildBackend(req backendRequest) (spinwave.Backend, error) {
 	kind, err := parseGate(req.Gate)
 	if err != nil {
@@ -422,6 +438,9 @@ func buildBackend(req backendRequest) (spinwave.Backend, error) {
 			spinwave.WithWorkers(stepWorkers)}
 		if probeOn {
 			mopts = append(mopts, spinwave.WithProbes(spinwave.ProbeConfig{Enabled: true}))
+		}
+		if healthOn {
+			mopts = append(mopts, spinwave.WithHealth(spinwave.HealthConfig{Enabled: true}))
 		}
 		return spinwave.NewMicromagnetic(kind, mopts...)
 	default:

@@ -61,9 +61,10 @@ func (w *statusWriter) Flush() {
 }
 
 // withMetrics wraps a handler with per-endpoint latency and status
-// accounting. The route pattern (not the raw URL) is the path label, so
-// cardinality stays bounded to the mux's route set.
-func withMetrics(path string, h http.HandlerFunc) http.HandlerFunc {
+// accounting, and scores the request against the SLO tracker. The
+// route pattern (not the raw URL) is the path label, so cardinality
+// stays bounded to the mux's route set.
+func (s *server) withMetrics(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -71,8 +72,10 @@ func withMetrics(path string, h http.HandlerFunc) http.HandlerFunc {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		httpReqSeconds(path).Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		httpReqSeconds(path).Observe(elapsed.Seconds())
 		httpReqTotal(path, sw.status).Inc()
+		s.slo.record(path, sw.status, elapsed)
 	}
 }
 

@@ -105,6 +105,12 @@ func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-hb.C:
 			if s.draining.Load() {
+				// Tell the client the stream is ending because the server is
+				// shutting down, not because the run completed — a tail that
+				// just goes quiet is indistinguishable from a dead run.
+				fmt.Fprintf(w, "{\"event\":\"server_draining\",\"time_ns\":%d,\"run\":%q}\n", //nolint:errcheck
+					time.Now().UnixNano(), id)
+				fl.Flush()
 				return
 			}
 			if _, err := fmt.Fprintf(w, "{\"event\":\"heartbeat\",\"time_ns\":%d,\"run\":%q}\n",

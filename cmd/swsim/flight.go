@@ -16,6 +16,8 @@ var (
 	flagJournal  = flag.String("journal", "", "write the structured run journal (JSON lines) to this file")
 	flagLogLevel = flag.String("log-level", "info", "slog level: debug, info, warn, error")
 	flagTraceOut = flag.String("trace-out", "", "write a Chrome trace (chrome://tracing JSON) to this file")
+	flagHealth   = flag.Bool("health", false, "monitor numerical health invariants (DESIGN.md §12); exit non-zero on a violated run")
+	flagDtScale  = flag.Float64("dt-scale", 1, "multiply the stability-bounded time step (>1 destabilizes the integrator on purpose)")
 )
 
 // setupFlight wires the flight-recorder flags after flag.Parse; the
@@ -74,6 +76,36 @@ func setupFlight(stats bool) (cleanup func()) {
 		})
 	}
 	return cleanup
+}
+
+// healthExit summarizes the health verdicts of every monitored run and
+// returns the process exit code: 1 when any run was violated, else 0 —
+// the -health flag's contract, relied on by `make health-smoke`.
+func healthExit() int {
+	if !*flagHealth {
+		return 0
+	}
+	runs := spinwave.MonitoredRuns()
+	violated, degraded := 0, 0
+	for _, id := range runs {
+		rep, ok := spinwave.HealthFor(id)
+		if !ok {
+			continue
+		}
+		switch rep.Verdict {
+		case spinwave.VerdictViolated.String():
+			violated++
+			slog.Error("run violated health invariants", "run", id, "alerts", len(rep.Alerts))
+		case spinwave.VerdictDegraded.String():
+			degraded++
+			slog.Warn("run degraded", "run", id, "alerts", len(rep.Alerts))
+		}
+	}
+	slog.Info("health summary", "runs", len(runs), "violated", violated, "degraded", degraded)
+	if violated > 0 {
+		return 1
+	}
+	return 0
 }
 
 // reportProbes logs where the probe data of the finished runs went.

@@ -29,6 +29,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("swsim: ")
+	os.Exit(run())
+}
+
+// run holds the real main body so deferred cleanup (journal sinks,
+// trace export, stats summaries) executes before the process exits with
+// the code it returns — os.Exit directly in a body with defers would
+// skip them.
+func run() int {
 	gate := flag.String("gate", "xor", "gate: xor, maj3, maj3single")
 	inputs := flag.String("inputs", "", "input bits, I1 first (e.g. 10 or 011); empty = full truth table")
 	full := flag.Bool("full", false, "use the paper's full dimensions (slow)")
@@ -50,11 +58,11 @@ func main() {
 
 	if *demo == "interference" {
 		demoInterference()
-		return
+		return 0
 	}
 	if *sweepKind != "" {
 		runSweep(*sweepKind, *seed)
-		return
+		return healthExit()
 	}
 
 	kind, err := parseGate(*gate)
@@ -78,6 +86,13 @@ func main() {
 	if *flagProbe {
 		cfg.Probes = spinwave.ProbeConfig{Enabled: true}
 	}
+	if *flagHealth {
+		// Abort on the first critical alert: a blown-up transient will
+		// never produce a usable readout, so fail fast instead of stepping
+		// NaNs to the end of the run.
+		cfg.Health = spinwave.HealthConfig{Enabled: true, AbortOnCritical: true}
+	}
+	cfg.DtScale = *flagDtScale
 	m, err := spinwave.NewMicromagnetic(kind, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -109,6 +124,7 @@ func main() {
 		}
 		fmt.Print(art)
 	}
+	return healthExit()
 }
 
 func orDefault(inputs string, kind spinwave.GateKind) string {

@@ -31,6 +31,13 @@ var ctx = context.Background()
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("swtables: ")
+	os.Exit(run())
+}
+
+// run holds the real main body so deferred cleanup (journal sink,
+// stats summary) executes before the process exits with the code it
+// returns.
+func run() int {
 	table := flag.String("table", "all", "which table: 1, 2, 3, derived, ratios, all")
 	backend := flag.String("backend", "behavioral", "backend for tables 1/2: behavioral or micromag")
 	full := flag.Bool("full", false, "use the paper's full dimensions for micromagnetic runs (slow)")
@@ -75,6 +82,7 @@ func main() {
 	default:
 		log.Fatalf("unknown table %q", *table)
 	}
+	return healthExit()
 }
 
 func newBackend(kind spinwave.GateKind, backend string, full bool) spinwave.Backend {
@@ -93,6 +101,12 @@ func newBackend(kind spinwave.GateKind, backend string, full bool) spinwave.Back
 		cfg := spinwave.MicromagConfig{Spec: spec, Mat: spinwave.FeCoB()}
 		if *flagProbe {
 			cfg.Probes = spinwave.ProbeConfig{Enabled: true}
+		}
+		if *flagHealth {
+			// No AbortOnCritical here: tables should still print so a
+			// partially-broken sweep remains inspectable; the process exit
+			// code carries the verdict instead.
+			cfg.Health = spinwave.HealthConfig{Enabled: true}
 		}
 		m, err := spinwave.NewMicromagnetic(kind, cfg)
 		if err != nil {

@@ -1,0 +1,41 @@
+package spinwave
+
+import (
+	"spinwave/internal/health"
+)
+
+// Health-monitor re-exports (DESIGN.md §12): the streaming invariant
+// watchdog that rides the same observer hook as the flight recorder and
+// judges each run — healthy, degraded or violated. See internal/health
+// for full documentation.
+type (
+	// HealthConfig selects which invariants a monitored run checks and
+	// their thresholds; pass it to WithHealth.
+	HealthConfig = health.Config
+	// HealthReport is the frozen verdict + alerts of a monitored run.
+	HealthReport = health.Report
+	// HealthAlert is one fired invariant rule.
+	HealthAlert = health.Alert
+	// HealthSeverity ranks an alert (info, warn, critical).
+	HealthSeverity = health.Severity
+	// HealthVerdict is the per-run outcome (healthy, degraded, violated).
+	HealthVerdict = health.Verdict
+)
+
+// Health verdict values.
+const (
+	// VerdictHealthy: no warn or critical alert fired.
+	VerdictHealthy = health.Healthy
+	// VerdictDegraded: at least one warn alert fired, none critical.
+	VerdictDegraded = health.Degraded
+	// VerdictViolated: at least one critical alert fired.
+	VerdictViolated = health.Violated
+)
+
+// HealthFor returns the health report published by a monitored run (see
+// WithHealth), or false if the run is unknown or was not monitored.
+func HealthFor(runID string) (HealthReport, bool) { return health.Default().Get(runID) }
+
+// MonitoredRuns returns the run IDs with retained health reports,
+// oldest first.
+func MonitoredRuns() []string { return health.Default().Runs() }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spinwave/internal/health"
+	"spinwave/internal/journal"
+	"spinwave/internal/layout"
+	"spinwave/internal/material"
+	"spinwave/internal/obs"
+)
+
+// TestHealthDestabilizedRunE2E is the acceptance end-to-end: a dt
+// scaled far past the stability bound destabilizes the fused
+// integrator, and the streaming monitor must (1) fire a critical
+// saturation alert into the journal, (2) record a violated
+// health.verdict, (3) abort the run with a non-nil error — the signal
+// the swsim/swtables -health flag turns into a non-zero exit — and
+// (4) increment the critical alert counter in the metrics registry.
+// The run aborts within one sweep cadence of the blow-up, so the test
+// is fast enough to run un-short.
+func TestHealthDestabilizedRunE2E(t *testing.T) {
+	ring := journal.NewRingSink(128)
+	defer journal.Default().Attach(ring)()
+	critBefore := obs.Default().Counter("spinwave_health_alerts_total",
+		obs.L("rule", health.RuleSaturation), obs.L("severity", "critical")).Value()
+
+	m, err := NewMicromagnetic(XOR, MicromagConfig{
+		Spec:    layout.ReducedSpec(),
+		Mat:     material.FeCoB(),
+		DtScale: 20,
+		Health:  health.Config{Enabled: true, AbortOnCritical: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run([]bool{true, false})
+	if err == nil {
+		t.Fatal("destabilized run completed without a health abort")
+	}
+	if !strings.Contains(err.Error(), "aborted") || !strings.Contains(err.Error(), health.RuleSaturation) {
+		t.Fatalf("abort error %q does not name the critical saturation alert", err)
+	}
+
+	// Journal: a critical alert followed by the violated verdict.
+	var runID string
+	var sawCritical, sawViolated bool
+	for _, e := range ring.Events() {
+		switch e.Name {
+		case "alert":
+			if e.Fields["severity"] == "critical" {
+				sawCritical = true
+				runID = e.Run
+			}
+		case "health.verdict":
+			if e.Fields["verdict"] == "violated" {
+				sawViolated = true
+			}
+		}
+	}
+	if !sawCritical || !sawViolated {
+		t.Errorf("journal critical=%v violated=%v, want both (events: %+v)",
+			sawCritical, sawViolated, ring.Events())
+	}
+
+	// Registry: the published report carries the violated verdict — the
+	// exact signal healthExit() in the CLIs maps to a non-zero exit.
+	rep, ok := health.Default().Get(runID)
+	if !ok || rep.Verdict != health.Violated.String() {
+		t.Errorf("health report for %s = %+v ok=%v, want violated", runID, rep, ok)
+	}
+
+	// Metrics: the critical counter moved.
+	critAfter := obs.Default().Counter("spinwave_health_alerts_total",
+		obs.L("rule", health.RuleSaturation), obs.L("severity", "critical")).Value()
+	if critAfter <= critBefore {
+		t.Errorf("critical alert counter %d -> %d, want an increment", critBefore, critAfter)
+	}
+}
+
+// TestHealthyRunVerdict checks a sane run under full monitoring
+// finishes healthy with zero alerts and an intact readout.
+func TestHealthyRunVerdict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micromagnetic integration test")
+	}
+	ring := journal.NewRingSink(128)
+	defer journal.Default().Attach(ring)()
+	m, err := NewMicromagnetic(XOR, MicromagConfig{
+		Spec:   layout.ReducedSpec(),
+		Mat:    material.FeCoB(),
+		Health: health.Config{Enabled: true, AbortOnCritical: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run([]bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no readout")
+	}
+	for _, e := range ring.Events() {
+		if e.Name == "alert" {
+			t.Errorf("healthy run fired alert %+v", e.Fields)
+		}
+		if e.Name == "health.verdict" && e.Fields["verdict"] != "healthy" {
+			t.Errorf("verdict %v, want healthy", e.Fields["verdict"])
+		}
+	}
+}
+
+// TestWorkerInvarianceWithMonitor pins that attaching the health
+// monitor keeps the worker-count bit-identity guarantee: the monitor
+// observes the committed field, never touches it.
+func TestWorkerInvarianceWithMonitor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micromagnetic integration test")
+	}
+	run := func(workers int) []float64 {
+		m, err := NewMicromagnetic(XOR, MicromagConfig{
+			Spec:    layout.ReducedSpec(),
+			Mat:     material.FeCoB(),
+			Workers: workers,
+			Health:  health.Config{Enabled: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		field, _, _, err := m.Snapshot([]bool{true, false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := make([]float64, 0, 3*len(field))
+		for _, v := range field {
+			flat = append(flat, v.X, v.Y, v.Z)
+		}
+		return flat
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) != len(parallel) {
+		t.Fatal("snapshot sizes differ")
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("monitored trajectories diverge at component %d: %g vs %g",
+				i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestHealthExcludedFromFingerprint pins the cache-key contract:
+// enabling monitoring must not split the engine cache (observation
+// only), while DtScale — which changes the trajectory — must.
+func TestHealthExcludedFromFingerprint(t *testing.T) {
+	base := MicromagConfig{Spec: layout.ReducedSpec(), Mat: material.FeCoB()}
+	mk := func(cfg MicromagConfig) string {
+		m, err := NewMicromagnetic(XOR, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, ok := m.Fingerprint()
+		if !ok {
+			t.Fatal("no fingerprint")
+		}
+		return fp
+	}
+	plain := mk(base)
+	withHealth := base
+	withHealth.Health = health.Config{Enabled: true, AbortOnCritical: true}
+	if mk(withHealth) != plain {
+		t.Error("enabling health monitoring changed the fingerprint")
+	}
+	scaled := base
+	scaled.DtScale = 0.5
+	if mk(scaled) == plain {
+		t.Error("DtScale not reflected in the fingerprint")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"spinwave/internal/dsp"
 	"spinwave/internal/excite"
 	"spinwave/internal/grid"
+	"spinwave/internal/health"
 	"spinwave/internal/journal"
 	"spinwave/internal/layout"
 	"spinwave/internal/llg"
@@ -77,6 +78,21 @@ type MicromagConfig struct {
 	// ID. Probes observe the trajectory without altering it, so this
 	// field is excluded from Fingerprint (like Workers).
 	Probes probe.Config
+	// Health configures the numerical health monitor (DESIGN.md §12):
+	// when Enabled, each run attaches a health.Monitor over the material
+	// region, emits alert/health.verdict journal events, and publishes
+	// its report in health.Default() under the run ID. Monitoring
+	// observes the trajectory without altering it — unless
+	// Health.AbortOnCritical stops a run early, in which case the run
+	// fails with an error and the engine never caches it — so this field
+	// is excluded from Fingerprint (like Probes and Workers).
+	Health health.Config
+	// DtScale multiplies the stability-bounded time step (default 1).
+	// Values > 1 push the integrator past its stability bound — the knob
+	// the health-smoke CI target uses to destabilize a run on purpose —
+	// and values < 1 trade speed for accuracy. Unlike the observation
+	// fields it changes the trajectory, so it is part of Fingerprint.
+	DtScale float64
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -101,6 +117,9 @@ func (c MicromagConfig) withDefaults() MicromagConfig {
 	}
 	if c.MaxAlpha == 0 {
 		c.MaxAlpha = 0.5
+	}
+	if c.DtScale == 0 {
+		c.DtScale = 1
 	}
 	return c
 }
@@ -180,7 +199,7 @@ func NewMicromagnetic(kind GateKind, opts ...MicromagOption) (*Micromagnetic, er
 	freq := model.Frequency(k)
 	vg := model.GroupVelocity(k)
 
-	dt := llg.StableDt(mesh, cfg.Mat)
+	dt := cfg.DtScale * llg.StableDt(mesh, cfg.Mat)
 	period := 1 / freq
 	// Longest signal path: generous estimate from the layout bounds.
 	b := l.Bounds()
@@ -331,11 +350,11 @@ func (m *Micromagnetic) Fingerprint() (string, bool) {
 		return "", false
 	}
 	c := m.cfg
-	return hashKey(fmt.Sprintf("micromag/v1|%d|%+v|%+v|cell=%g|drive=%g|ramp=%g|meas=%d|settle=%g|sample=%d|alpha=%g|scheme=%d|T=%g|seed=%d|trim=%g|ref=%t",
+	return hashKey(fmt.Sprintf("micromag/v1|%d|%+v|%+v|cell=%g|drive=%g|ramp=%g|meas=%d|settle=%g|sample=%d|alpha=%g|scheme=%d|T=%g|seed=%d|trim=%g|ref=%t|dts=%g",
 		int(m.kind), c.Spec, c.Mat, c.CellSize, c.DriveField, c.RampPeriods,
 		c.MeasurePeriods, c.SettleFactor, c.SampleEvery, c.MaxAlpha,
 		int(c.Scheme), c.Temperature, c.Seed, c.I3PhaseTrim,
-		c.UseReferenceStepper)), true
+		c.UseReferenceStepper, c.DtScale)), true
 }
 
 // RunSingle excites only the named input at logic 0 and measures the
@@ -478,16 +497,36 @@ func (m *Micromagnetic) run(ctx context.Context, inputs []bool, mute map[string]
 	defer s.Close() // release the stepping pool, if any
 	s.RunID = runID
 
+	// The probe recorder and the health monitor share the solver's one
+	// observer slot through a tee; with a single member the tee is skipped
+	// so the common single-observer path stays direct.
+	var observers llg.TeeObserver
 	if m.cfg.Probes.Enabled {
 		rec, err := m.newRecorder(s, probes)
 		if err != nil {
 			return fail(err)
 		}
-		s.SetObserver(rec)
+		observers = append(observers, rec)
 		probe.Default().Put(runID, rec)
+	}
+	var mon *health.Monitor
+	if m.cfg.Health.Enabled {
+		mon = health.NewMonitor(m.cfg.Health, m.Region, runID,
+			health.WithEvaluator(s.Eval),
+			health.WithDriven(len(s.Eval.Sources) > 0))
+		observers = append(observers, mon)
+		defer mon.Finish()
+	}
+	switch len(observers) {
+	case 0:
+	case 1:
+		s.SetObserver(observers[0])
+	default:
+		s.SetObserver(observers)
 	}
 
 	every := m.cfg.SampleEvery
+	abortPoll := mon != nil && mon.Config().AbortOnCritical
 	transient := obs.StartSpan("micromag.transient", gateL, runL)
 	err = s.RunContext(ctx, m.duration, func(step int) bool {
 		if step%every == 0 {
@@ -495,11 +534,16 @@ func (m *Micromagnetic) run(ctx context.Context, inputs []bool, mute map[string]
 				p.Sample(s.Time, s.M)
 			}
 		}
-		return true
+		return !(abortPoll && mon.Tripped())
 	})
 	transient.End()
 	if err != nil {
 		return fail(fmt.Errorf("core: %s evaluation aborted: %w", m.kind, err))
+	}
+	if mon != nil {
+		if herr := mon.Err(); herr != nil {
+			return fail(fmt.Errorf("core: %s evaluation aborted: %w", m.kind, herr))
+		}
 	}
 	if err := s.CheckFinite(); err != nil {
 		return fail(err)

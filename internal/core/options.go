@@ -2,6 +2,7 @@ package core
 
 import (
 	"spinwave/internal/grid"
+	"spinwave/internal/health"
 	"spinwave/internal/layout"
 	"spinwave/internal/llg"
 	"spinwave/internal/material"
@@ -124,4 +125,22 @@ func WithMeasurePeriods(n int) MicromagOption {
 // cache fingerprint.
 func WithProbes(pc probe.Config) MicromagOption {
 	return micromagOptionFunc(func(c *MicromagConfig) { c.Probes = pc })
+}
+
+// WithHealth configures the numerical health monitor (DESIGN.md §12).
+// Pass health.Config{Enabled: true} for the default rules and
+// thresholds; each run then emits alert/health.verdict journal events
+// and publishes its report in health.Default() under the run ID. Unless
+// the abort policy stops a run, monitoring never alters the trajectory
+// and does not affect the backend's cache fingerprint.
+func WithHealth(hc health.Config) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.Health = hc })
+}
+
+// WithDtScale multiplies the stability-bounded LLG time step (default
+// 1). Values > 1 deliberately destabilize the integrator — the
+// health-smoke knob; values < 1 trade speed for accuracy. DtScale
+// changes the trajectory, so it is part of the cache fingerprint.
+func WithDtScale(s float64) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.DtScale = s })
 }

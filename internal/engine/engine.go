@@ -295,6 +295,23 @@ func (e *Engine) runEval(ctx context.Context, b core.Backend, inputs []bool) (ma
 	return out, err
 }
 
+// Ping verifies the eval pool is serviceable: it acquires and
+// immediately releases one eval slot, returning how long the
+// acquisition waited. A saturated or wedged pool shows up as a long
+// wait or a context error — the signal swserve's deep health check
+// reports without running a real evaluation.
+func (e *Engine) Ping(ctx context.Context) (wait time.Duration, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	if err := e.acquire(ctx, e.evalSlots); err != nil {
+		return time.Since(start), err
+	}
+	<-e.evalSlots
+	return time.Since(start), nil
+}
+
 // acquire takes a slot from the semaphore, counting a saturation wait
 // when none is immediately free, and aborting on context cancellation.
 func (e *Engine) acquire(ctx context.Context, slots chan struct{}) error {

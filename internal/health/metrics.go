@@ -1,0 +1,44 @@
+package health
+
+import (
+	"sync"
+
+	"spinwave/internal/obs"
+)
+
+// Process-wide health metrics in the obs default registry, registered
+// lazily on the first NewMonitor so importing the package alone exports
+// nothing (same pattern as the llg solver metrics). Alert and verdict
+// counters are per-label series created on first use through the
+// registry's get-or-create accessors.
+var (
+	metricsOnce sync.Once
+
+	mChecks      *obs.Counter
+	mLastVerdict *obs.Gauge
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		r.Describe("spinwave_health_checks_total", "health-monitor field sweeps evaluated across all runs")
+		mChecks = r.Counter("spinwave_health_checks_total")
+		r.Describe("spinwave_health_alerts_total", "health alerts fired, by rule and severity")
+		r.Describe("spinwave_health_runs_total", "monitored runs finished, by verdict")
+		r.Describe("spinwave_health_run_verdict", "verdict of the most recently finished monitored run (0 healthy, 1 degraded, 2 violated)")
+		mLastVerdict = r.Gauge("spinwave_health_run_verdict")
+	})
+}
+
+// alertCounter returns the per-rule/severity alert counter, registering
+// the labeled series on first use.
+func alertCounter(rule string, sev Severity) *obs.Counter {
+	return obs.Default().Counter("spinwave_health_alerts_total",
+		obs.L("rule", rule), obs.L("severity", sev.String()))
+}
+
+// verdictCounter returns the per-verdict finished-run counter.
+func verdictCounter(v Verdict) *obs.Counter {
+	return obs.Default().Counter("spinwave_health_runs_total",
+		obs.L("verdict", v.String()))
+}

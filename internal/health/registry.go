@@ -1,0 +1,69 @@
+package health
+
+import (
+	"sync"
+)
+
+// Registry maps run IDs to their frozen health reports so serving
+// layers (swserve's deep health check) and post-mortem tools
+// (tools/swdoctor) can look up a run's verdict after it finishes. It
+// retains a bounded number of runs, evicting the oldest — the same
+// bounded-LRU discipline as the probe registry.
+type Registry struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // insertion order, oldest first
+	reps  map[string]Report
+}
+
+// NewRegistry builds a registry retaining at most capacity runs
+// (capacity < 1 is clamped to 1).
+func NewRegistry(capacity int) *Registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Registry{cap: capacity, reps: make(map[string]Report, capacity)}
+}
+
+var defaultRegistry = NewRegistry(64)
+
+// Default returns the process-wide registry monitored runs publish
+// their reports into at Finish.
+func Default() *Registry { return defaultRegistry }
+
+// Put registers the report under its run ID, evicting the oldest run if
+// the registry is full. Re-putting an existing ID replaces its report
+// without consuming capacity.
+func (g *Registry) Put(rep Report) {
+	if rep.Run == "" {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, exists := g.reps[rep.Run]; !exists {
+		if len(g.order) >= g.cap {
+			oldest := g.order[0]
+			g.order = g.order[1:]
+			delete(g.reps, oldest)
+		}
+		g.order = append(g.order, rep.Run)
+	}
+	g.reps[rep.Run] = rep
+}
+
+// Get returns the report registered under the run ID.
+func (g *Registry) Get(run string) (Report, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep, ok := g.reps[run]
+	return rep, ok
+}
+
+// Runs returns the retained run IDs, oldest first.
+func (g *Registry) Runs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}

@@ -87,6 +87,11 @@ func Default() *Journal { return defaultJournal }
 // code may use it to skip building expensive payloads.
 func (j *Journal) Enabled() bool { return j.n.Load() > 0 }
 
+// Sinks returns the number of attached sinks — surfaced by swserve's
+// deep health check so a journal that silently lost its sinks (or never
+// attached any) is visible from the outside.
+func (j *Journal) Sinks() int { return int(j.n.Load()) }
+
 // Attach adds a sink and returns a detach function that removes exactly
 // that sink again (for deferred cleanup in CLIs and tests).
 func (j *Journal) Attach(s Sink) (detach func()) {

@@ -116,6 +116,52 @@ func TestWriterSinkJSONL(t *testing.T) {
 	}
 }
 
+// failAfterWriter accepts n writes, then fails every one after.
+type failAfterWriter struct {
+	n      int
+	writes int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.n {
+		return 0, fmt.Errorf("disk full")
+	}
+	return len(p), nil
+}
+
+// TestWriterSinkDegradesOnError pins the file-sink failure contract:
+// the first write error latches the sink into a degraded state — no
+// panic, no error surfaced to the emitting run, and no further write
+// attempts against the dead writer.
+func TestWriterSinkDegradesOnError(t *testing.T) {
+	w := &failAfterWriter{n: 1}
+	j := New()
+	s := NewWriterSink(w)
+	defer j.Attach(s)()
+
+	j.Emit("r1", "run.start") // succeeds
+	if s.Err() != nil {
+		t.Fatalf("healthy sink reports error: %v", s.Err())
+	}
+	j.Emit("r1", "run.complete") // fails, degrades the sink
+	if s.Err() == nil {
+		t.Fatal("failed write did not degrade the sink")
+	}
+	j.Emit("r1", "run.extra")
+	j.Emit("r1", "run.more")
+	if w.writes != 2 {
+		t.Errorf("degraded sink attempted %d writes, want 2 (one success, one failure)", w.writes)
+	}
+	// The journal itself stays usable: other sinks still see events.
+	o := &orderSink{}
+	defer j.Attach(o)()
+	j.Emit("r1", "after")
+	if len(o.seqs) != 1 {
+		t.Error("journal delivery broken after a sink degraded")
+	}
+}
+
 func TestRingSink(t *testing.T) {
 	r := NewRingSink(3)
 	for i := 1; i <= 5; i++ {

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"io"
+	"log/slog"
 	"sync"
 )
 
@@ -9,9 +10,16 @@ import (
 // sink behind the -journal CLI flags. Writes are serialized by the
 // journal's delivery mutex; the sink adds its own mutex so it is also
 // safe when shared across journals.
+//
+// Journaling must never fail the run: on the first write error the sink
+// degrades — it logs one warning, latches the error, and drops every
+// subsequent event instead of hammering a dead writer once per solver
+// event (a full disk would otherwise turn each journal emit into a
+// failing syscall).
 type WriterSink struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer
+	err error // first write error; non-nil → sink degraded
 }
 
 // NewWriterSink builds a JSONL sink over w.
@@ -21,8 +29,22 @@ func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
 func (s *WriterSink) Emit(e Event) {
 	line := append(e.MarshalJSONL(), '\n')
 	s.mu.Lock()
-	s.w.Write(line) //nolint:errcheck // journaling must not fail the run
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+		slog.Warn("journal writer sink degraded: dropping further events", "err", err)
+	}
+}
+
+// Err returns the write error that degraded the sink, or nil while it
+// is healthy.
+func (s *WriterSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // RingSink retains the most recent events in a fixed-capacity ring —

@@ -19,3 +19,17 @@ type StepObserver interface {
 // observer installed the run loop pays one nil check per step —
 // observability is free when disabled.
 func (s *Solver) SetObserver(o StepObserver) { s.obs = o }
+
+// TeeObserver fans one step callback out to several observers in slice
+// order — the composition glue that lets a probe recorder and a health
+// monitor share the solver's single observer slot. Ranging over the
+// slice allocates nothing, so a tee preserves each member's
+// allocation-free contract.
+type TeeObserver []StepObserver
+
+// ObserveStep implements StepObserver by forwarding to every member.
+func (t TeeObserver) ObserveStep(step int, time float64, m vec.Field) {
+	for _, o := range t {
+		o.ObserveStep(step, time, m)
+	}
+}

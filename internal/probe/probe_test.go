@@ -194,6 +194,63 @@ func TestSnapshotSpectralAndCSV(t *testing.T) {
 	}
 }
 
+// TestWriteCSVEdgeCases pins the CSV export at the ring boundaries: a
+// configured probe with no samples yet (header only), exactly one
+// sample, and a ring that wrapped (rows limited to the retained window,
+// times still ascending and aligned with the values).
+func TestWriteCSVEdgeCases(t *testing.T) {
+	mk := func(capacity int) *Recorder {
+		r, err := NewRecorder(Config{Stride: 1, EnergyEvery: -1, Capacity: capacity}, nil,
+			[]Point{{Name: "p", Cells: []int{0}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	csv := func(r *Recorder) []string {
+		var sb strings.Builder
+		if err := r.Snapshot("").WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Split(strings.TrimSpace(sb.String()), "\n")
+	}
+
+	// Empty ring: the probe exists, so its columns appear, but there are
+	// no data rows yet.
+	empty := mk(4)
+	lines := csv(empty)
+	if len(lines) != 1 || lines[0] != "t,p.mx,p.my,p.mz" {
+		t.Errorf("empty-ring csv %q, want header only", lines)
+	}
+
+	// Single sample: exactly one data row carrying the sampled values.
+	single := mk(4)
+	single.ObserveStep(0, 2e-12, vec.Field{vec.V(0.25, -0.5, 1)})
+	lines = csv(single)
+	if len(lines) != 2 {
+		t.Fatalf("single-sample csv %q, want header + 1 row", lines)
+	}
+	if lines[1] != "2e-12,0.25,-0.5,1" {
+		t.Errorf("single-sample row %q", lines[1])
+	}
+
+	// Wrap-around: capacity 3, five samples → rows are the retained
+	// window (steps 2,3,4) with ascending times matching the values.
+	wrapped := mk(3)
+	for step := 0; step < 5; step++ {
+		wrapped.ObserveStep(step, float64(step)*1e-12, vec.Field{vec.V(float64(step), 0, 1)})
+	}
+	lines = csv(wrapped)
+	if len(lines) != 4 {
+		t.Fatalf("wrapped csv %q, want header + 3 rows", lines)
+	}
+	for i, want := range []string{"2e-12,2,0,1", "3e-12,3,0,1", "4e-12,4,0,1"} {
+		if lines[i+1] != want {
+			t.Errorf("wrapped row %d = %q, want %q", i, lines[i+1], want)
+		}
+	}
+}
+
 // TestObserveStepAllocates pins the flight-recorder contract: sampling
 // magnetization series AND the energy budget must not allocate, so an
 // attached recorder keeps the fused stepping loop at zero allocs.

@@ -148,6 +148,12 @@ var (
 	// WithProbes attaches the in-situ flight recorder to every run
 	// (DESIGN.md §11); recorders are published via ProbesFor.
 	WithProbes = core.WithProbes
+	// WithHealth attaches the numerical health monitor to every run
+	// (DESIGN.md §12); reports are published via HealthFor.
+	WithHealth = core.WithHealth
+	// WithDtScale multiplies the stability-bounded LLG time step
+	// (default 1; > 1 deliberately destabilizes the integrator).
+	WithDtScale = core.WithDtScale
 )
 
 // NewBehavioral builds the fast phasor backend for a gate.

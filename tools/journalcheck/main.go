@@ -2,9 +2,12 @@
 // journal schema (DESIGN.md §11): every line must be a JSON object with
 // a positive integer "seq", an integer "time_ns", a string "event" (and
 // a string "run" when present); sequence numbers must be strictly
-// increasing over the file; and per run, lifecycle ordering must hold —
+// increasing over the file; per run, lifecycle ordering must hold —
 // no run.settled/run.lockin/run.complete before that run's run.start,
-// and nothing after its run.complete or run.error.
+// and nothing after its run.complete or run.error; and health events
+// (DESIGN.md §12) must carry their required fields — "alert" needs a
+// non-empty "rule" and a "severity" of info/warn/critical, and
+// "health.verdict" needs a "verdict" of healthy/degraded/violated.
 //
 //	go run ./tools/journalcheck journal.jsonl
 //
@@ -94,6 +97,24 @@ func check(f *os.File) (problems []string, lines int, err error) {
 				continue
 			}
 		}
+		// Health events (internal/health) have a schema of their own,
+		// whether or not they carry a run ID; their payload lives in the
+		// nested "fields" object.
+		switch name {
+		case "alert":
+			fields := nestedFields(raw)
+			if rule, ok := stringField(fields, "rule"); !ok || rule == "" {
+				at(`alert missing non-empty string "rule"`)
+			}
+			if sev, ok := stringField(fields, "severity"); !ok || !validSeverity(sev) {
+				at(`alert "severity" must be one of info/warn/critical, got %s`, fields["severity"])
+			}
+		case "health.verdict":
+			fields := nestedFields(raw)
+			if v, ok := stringField(fields, "verdict"); !ok || !validVerdict(v) {
+				at(`health.verdict "verdict" must be one of healthy/degraded/violated, got %s`, fields["verdict"])
+			}
+		}
 		if run == "" {
 			continue // process-level event: no lifecycle to track
 		}
@@ -124,6 +145,30 @@ func check(f *os.File) (problems []string, lines int, err error) {
 		}
 	}
 	return problems, lines, sc.Err()
+}
+
+// nestedFields unpacks the event's "fields" payload object (empty map
+// when absent or malformed — the field checks then report it missing).
+func nestedFields(raw map[string]json.RawMessage) map[string]json.RawMessage {
+	v, ok := raw["fields"]
+	if !ok {
+		return nil
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(v, &fields); err != nil {
+		return nil
+	}
+	return fields
+}
+
+// validSeverity reports whether s is a legal alert severity.
+func validSeverity(s string) bool {
+	return s == "info" || s == "warn" || s == "critical"
+}
+
+// validVerdict reports whether s is a legal run health verdict.
+func validVerdict(s string) bool {
+	return s == "healthy" || s == "degraded" || s == "violated"
 }
 
 // uintField extracts a positive integer field.

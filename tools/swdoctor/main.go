@@ -1,0 +1,279 @@
+// Command swdoctor scores finished runs from their flight-recorder
+// artifacts: the JSONL run journal and, optionally, a probe CSV
+// (DESIGN.md §11–12). It is the post-hoc half of the health monitor —
+// where internal/health watches a run in flight, swdoctor audits what
+// the run left behind.
+//
+//	swdoctor journal.jsonl
+//	swdoctor -probes probes.csv journal.jsonl
+//
+// From the journal it reconstructs each run's lifecycle (run.start →
+// run.complete / run.error), collects its health alerts, and reads the
+// recorded health.verdict. From the probe CSV it independently
+// re-checks every sampled magnetization value for non-finite numbers
+// and the linear-regime amplitude bound. Runs without a recorded
+// verdict (health monitoring was off) get one derived from the
+// evidence: run.error or a critical alert → violated, any other alert
+// → degraded, else healthy.
+//
+// Prints a per-run report and exits non-zero when any run is violated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"spinwave/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swdoctor: ")
+	os.Exit(run())
+}
+
+func run() int {
+	probesPath := flag.String("probes", "", "probe CSV (t,<name>.mx,... rows) to audit alongside the journal")
+	ampMax := flag.Float64("amplitude-max", 0.5, "linear-regime bound on the in-plane probe amplitude")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Print("usage: swdoctor [-probes probes.csv] <journal.jsonl>")
+		return 2
+	}
+
+	runs, order, err := readJournal(flag.Arg(0))
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	var audit *probeAudit
+	if *probesPath != "" {
+		audit, err = auditProbes(*probesPath, *ampMax)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+
+	violated := 0
+	t := report.NewTable("run health report: "+flag.Arg(0),
+		"run", "verdict", "alerts", "worst rule", "lifecycle")
+	for _, id := range order {
+		r := runs[id]
+		verdict, derived := r.verdict()
+		if verdict == "violated" {
+			violated++
+		}
+		note := ""
+		if derived {
+			note = " (derived)"
+		}
+		t.AddRow(id, verdict+note, fmt.Sprintf("%d", len(r.alerts)), r.worstRule(), r.lifecycle())
+	}
+	fmt.Print(t.String())
+
+	if audit != nil {
+		fmt.Printf("probe audit: %d samples, %d probes, max in-plane amplitude %.4g\n",
+			audit.samples, audit.probes, audit.maxAmp)
+		if audit.nonFinite > 0 {
+			fmt.Printf("probe audit: VIOLATED — %d non-finite sample value(s)\n", audit.nonFinite)
+			violated++
+		} else if audit.maxAmp > *ampMax {
+			fmt.Printf("probe audit: degraded — amplitude %.4g exceeds linear-regime bound %.4g\n",
+				audit.maxAmp, *ampMax)
+		}
+	}
+
+	if violated > 0 {
+		fmt.Printf("swdoctor: %d violated finding(s)\n", violated)
+		return 1
+	}
+	fmt.Println("swdoctor: all runs healthy or degraded")
+	return 0
+}
+
+// runRecord accumulates the journal evidence for one run.
+type runRecord struct {
+	started  bool
+	complete bool
+	errored  bool
+	alerts   []alert
+	recorded string // verdict from the health.verdict event, if any
+}
+
+type alert struct {
+	rule     string
+	severity string
+}
+
+// verdict returns the run's verdict and whether it was derived from
+// evidence rather than recorded by the in-flight monitor.
+func (r *runRecord) verdict() (string, bool) {
+	if r.recorded != "" {
+		return r.recorded, false
+	}
+	switch {
+	case r.errored:
+		return "violated", true
+	case r.hasSeverity("critical"):
+		return "violated", true
+	case len(r.alerts) > 0:
+		return "degraded", true
+	default:
+		return "healthy", true
+	}
+}
+
+func (r *runRecord) hasSeverity(sev string) bool {
+	for _, a := range r.alerts {
+		if a.severity == sev {
+			return true
+		}
+	}
+	return false
+}
+
+// worstRule names the rule behind the most severe alert, "-" if none.
+func (r *runRecord) worstRule() string {
+	rank := map[string]int{"info": 1, "warn": 2, "critical": 3}
+	worst, best := "-", 0
+	for _, a := range r.alerts {
+		if rank[a.severity] > best {
+			best, worst = rank[a.severity], a.rule
+		}
+	}
+	return worst
+}
+
+// lifecycle summarizes the run.start → terminal bracket.
+func (r *runRecord) lifecycle() string {
+	switch {
+	case !r.started:
+		return "no run.start"
+	case r.errored:
+		return "run.error"
+	case r.complete:
+		return "complete"
+	default:
+		return "unterminated"
+	}
+}
+
+// readJournal scans a JSONL journal, folding events into per-run
+// records; order preserves first-seen run order for stable output.
+func readJournal(path string) (map[string]*runRecord, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	runs := make(map[string]*runRecord)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var ev struct {
+			Event  string `json:"event"`
+			Run    string `json:"run"`
+			Fields struct {
+				Rule     string `json:"rule"`
+				Severity string `json:"severity"`
+				Verdict  string `json:"verdict"`
+			} `json:"fields"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if ev.Run == "" {
+			continue
+		}
+		r := runs[ev.Run]
+		if r == nil {
+			r = &runRecord{}
+			runs[ev.Run] = r
+			order = append(order, ev.Run)
+		}
+		switch ev.Event {
+		case "run.start":
+			r.started = true
+		case "run.complete":
+			r.complete = true
+		case "run.error":
+			r.errored = true
+		case "alert":
+			r.alerts = append(r.alerts, alert{rule: ev.Fields.Rule, severity: ev.Fields.Severity})
+		case "health.verdict":
+			r.recorded = ev.Fields.Verdict
+		}
+	}
+	return runs, order, sc.Err()
+}
+
+// probeAudit is the independent pass over the probe CSV.
+type probeAudit struct {
+	samples   int
+	probes    int
+	nonFinite int
+	maxAmp    float64 // max in-plane sqrt(mx²+my²) over all probes
+}
+
+// auditProbes re-checks a probe CSV (header t,<name>.mx,<name>.my,
+// <name>.mz,...) for non-finite values and the peak in-plane amplitude.
+func auditProbes(path string, ampMax float64) (*probeAudit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%s: empty file (no header)", path)
+	}
+	header := strings.Split(sc.Text(), ",")
+	if header[0] != "t" {
+		return nil, fmt.Errorf("%s: first column is %q, want t", path, header[0])
+	}
+	if (len(header)-1)%3 != 0 {
+		return nil, fmt.Errorf("%s: %d data columns, want a multiple of 3 (mx/my/mz per probe)", path, len(header)-1)
+	}
+	a := &probeAudit{probes: (len(header) - 1) / 3}
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("%s:%d: %d columns, header has %d", path, line, len(fields), len(header))
+		}
+		a.samples++
+		for p := 0; p < a.probes; p++ {
+			mx, err1 := strconv.ParseFloat(fields[1+3*p], 64)
+			my, err2 := strconv.ParseFloat(fields[2+3*p], 64)
+			mz, err3 := strconv.ParseFloat(fields[3+3*p], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("%s:%d: non-numeric sample", path, line)
+			}
+			if !finite(mx) || !finite(my) || !finite(mz) {
+				a.nonFinite++
+				continue
+			}
+			if amp := math.Sqrt(mx*mx + my*my); amp > a.maxAmp {
+				a.maxAmp = amp
+			}
+		}
+	}
+	return a, sc.Err()
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
