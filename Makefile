@@ -4,7 +4,7 @@ GO ?= go
 # with -short; the margin absorbs run-to-run jitter, not regressions.
 COVER_BASELINE ?= 67.0
 
-.PHONY: all build vet test test-race bench bench-pr3 bench-pr5 bench-compare bench-smoke cover docs-lint journal-smoke health-smoke fuzz clean
+.PHONY: all build vet test test-race bench bench-pr3 bench-pr5 bench-pr6 bench-compare bench-smoke cover docs-lint journal-smoke health-smoke surrogate-smoke fuzz clean
 
 all: build vet test docs-lint
 
@@ -48,6 +48,18 @@ health-smoke:
 	@grep -q '"severity":"critical"' health.jsonl || { echo "FAIL: no critical alert in health.jsonl"; exit 1; }
 	! $(GO) run ./tools/swdoctor health.jsonl
 
+# Surrogate-admission smoke (ISSUE 6): build the linear-superposition
+# surrogate from the real micromagnetic backend (one unit transient per
+# port), push it through the engine's golden-band admission gate, and
+# require a journaled "admitted" verdict. A surrogate that drifts out of
+# the Tables I/II bands flips the verdict to "rejected" and swsim exits
+# non-zero, failing the target before the grep even runs.
+surrogate-smoke:
+	$(GO) run ./cmd/swsim -gate xor -surrogate -journal surrogate.jsonl
+	$(GO) run ./tools/journalcheck surrogate.jsonl
+	@grep -q '"event":"surrogate.admission"' surrogate.jsonl || { echo "FAIL: no admission verdict in surrogate.jsonl"; exit 1; }
+	@grep -q '"verdict":"admitted"' surrogate.jsonl || { echo "FAIL: surrogate was not admitted"; exit 1; }
+
 # Coverage gate: total -short statement coverage must stay at or above
 # COVER_BASELINE (-short skips the minutes-long micromagnetic
 # integration runs; `test` still exercises them). Dev tooling under
@@ -74,17 +86,25 @@ bench:
 bench-pr3:
 	$(GO) run ./cmd/swbench -out BENCH_pr3.json
 
-# Current stepper benchmark artifact (ISSUE 5).
+# PR-5 stepper benchmark artifact (no surrogate section).
 bench-pr5:
-	$(GO) run ./cmd/swbench -out BENCH_pr5.json
+	$(GO) run ./cmd/swbench -surrogate=false -out BENCH_pr5.json
+
+# Current benchmark artifact (ISSUE 6): stepper modes plus the warm
+# linear-superposition surrogate per gate (build cost, admission
+# verdict, per-case speedup over fused-1).
+bench-pr6:
+	$(GO) run ./cmd/swbench -out BENCH_pr6.json
 
 # Regression gate: rerun the benchmark and compare the *normalized*
-# fused-8 throughput (fused-8 steps/s ÷ the same run's reference
-# steps/s) against the committed BENCH_pr3.json baseline ratio, so the
-# gate tracks the fused core's speedup rather than the CI host's
-# absolute speed. Fails on a >15% regression.
+# ratios against the committed BENCH_pr6.json baseline — fused-8
+# steps/s ÷ the same run's reference steps/s for the stepper, and the
+# warm surrogate's per-case speedup over the same run's fused-1 solver
+# — so the gate tracks relative performance rather than the CI host's
+# absolute speed. Fails on a >15% regression, a rejected surrogate, or
+# a warm-surrogate speedup under the 50x floor.
 bench-compare:
-	$(GO) run ./cmd/swbench -quick -out BENCH_quick.json -compare BENCH_pr3.json
+	$(GO) run ./cmd/swbench -quick -out BENCH_quick.json -compare BENCH_pr6.json
 
 # CI smoke variant: XOR only, one case per mode. Exits non-zero if the
 # 8-worker trajectory diverges from serial by even one bit. Writes to a

@@ -1,25 +1,32 @@
 // Command swbench benchmarks the LLG stepping cores and emits
-// BENCH_pr5.json: wall-clock timings of the reference (term-by-term)
+// BENCH_pr6.json: wall-clock timings of the reference (term-by-term)
 // stepper versus the fused tiled core at 1/2/4/8 workers on the paper's
-// XOR and MAJ3 micromagnetic truth tables, plus a bit-identity check of
-// the single-worker and 8-worker magnetization trajectories.
+// XOR and MAJ3 micromagnetic truth tables, a bit-identity check of the
+// single-worker and 8-worker magnetization trajectories, and — per gate
+// — the warm linear-superposition surrogate: build cost (one unit
+// transient per port), admission verdict against the golden bands, and
+// warm per-case evaluation time versus the fused single-worker solver.
 //
-//	swbench                      full benchmark, writes BENCH_pr5.json
+//	swbench                      full benchmark, writes BENCH_pr6.json
 //	swbench -quick               CI smoke variant: XOR only, one case
 //	swbench -out bench.json      choose the output path
-//	swbench -compare BENCH_pr3.json   regression-gate vs a baseline
+//	swbench -surrogate=false     skip the surrogate build/timing section
+//	swbench -compare BENCH_pr6.json   regression-gate vs a baseline
 //
 // The process exits non-zero if the parallel stepper's trajectory
 // diverges from serial by even one bit, or — with -compare — if the
 // fused-8 throughput regressed more than 15% against the baseline
-// file. The comparison is machine-independent: each run's fused-8
-// steps/s is normalized by the same run's reference-stepper steps/s,
-// and the two *ratios* are compared, so a slower CI host does not
-// trip the gate but a slowdown of the fused core relative to its own
-// baseline does.
+// file, if a benchmarked surrogate failed admission, or if the warm
+// surrogate is less than 50x faster per case than the fused
+// single-worker solver. Every gated figure is machine-independent:
+// fused-8 steps/s is normalized by the same run's reference-stepper
+// steps/s and the surrogate speedup is the ratio of two per-case times
+// from the same run, so a slower CI host does not trip the gates but a
+// real slowdown relative to the run's own exact solver does.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +53,29 @@ type modeResult struct {
 	Speedup float64 `json:"speedup_vs_reference"`
 }
 
+// surrogateResult is the warm linear-superposition surrogate section of
+// one gate's benchmark: how much the per-port build cost, whether the
+// superposed truth table passed the golden-band admission gate, and how
+// the warm per-case evaluation time compares to the fused single-worker
+// solver from the same run.
+type surrogateResult struct {
+	// BuildSeconds is the one-off cost of the per-port unit transients.
+	BuildSeconds float64 `json:"build_seconds"`
+	// Admitted reports whether Verify accepted every truth-table row
+	// against the Tables I/II golden bands.
+	Admitted bool `json:"admitted"`
+	// Evals is the number of warm evaluations timed.
+	Evals int `json:"evals"`
+	// SecondsPerCase is the warm surrogate's per-case evaluation time.
+	SecondsPerCase float64 `json:"seconds_per_case"`
+	// MicromagSecondsPerCase is the fused single-worker solver's
+	// per-case time from the same run — the denominator-free half of the
+	// normalized speedup ratio.
+	MicromagSecondsPerCase float64 `json:"micromag_seconds_per_case"`
+	// Speedup is MicromagSecondsPerCase / SecondsPerCase.
+	Speedup float64 `json:"speedup_vs_fused1"`
+}
+
 // gateResult aggregates one gate's benchmark.
 type gateResult struct {
 	Gate  string `json:"gate"`
@@ -58,6 +88,8 @@ type gateResult struct {
 	// TrajectoriesBitIdentical reports whether the final magnetization
 	// of a 1-worker and an 8-worker run matched exactly, cell by cell.
 	TrajectoriesBitIdentical bool `json:"trajectories_bit_identical"`
+	// Surrogate is the warm-surrogate comparison; nil with -surrogate=false.
+	Surrogate *surrogateResult `json:"surrogate,omitempty"`
 }
 
 // benchReport is the BENCH_pr3.json document.
@@ -72,9 +104,10 @@ type benchReport struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("swbench: ")
-	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
 	quick := flag.Bool("quick", false, "CI smoke mode: XOR only, a single case per mode")
-	compare := flag.String("compare", "", "baseline BENCH json to regression-gate against (15% on normalized fused-8 throughput)")
+	surrogateOn := flag.Bool("surrogate", true, "also build and time the warm linear-superposition surrogate per gate")
+	compare := flag.String("compare", "", "baseline BENCH json to regression-gate against (15% on normalized fused-8 throughput; 50x floor on warm-surrogate speedup)")
 	flag.Parse()
 
 	report := benchReport{
@@ -90,7 +123,7 @@ func main() {
 	}
 	ok := true
 	for _, kind := range gates {
-		g, err := benchGate(kind, *quick)
+		g, err := benchGate(kind, *quick, *surrogateOn)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -123,10 +156,29 @@ func main() {
 // fused-8 throughput against the -compare baseline.
 const regressionTolerance = 0.15
 
+// minSurrogateSpeedup is the -compare floor on the warm surrogate's
+// per-case speedup over the fused single-worker solver. The ratio is
+// taken within one run, so the floor is machine-independent; 50x is
+// orders of magnitude below the measured speedup and exists to catch a
+// surrogate that silently started re-running the solver.
+const minSurrogateSpeedup = 50.0
+
+// surrogateRegressionFactor is the allowed drop of the warm-surrogate
+// speedup against the -compare baseline's. Sub-microsecond evaluations
+// jitter far more than solver throughput run to run, so the relative
+// gate is an order of magnitude rather than regressionTolerance — it
+// still catches a superposition loop that grew real per-case work while
+// staying above the absolute 50x floor.
+const surrogateRegressionFactor = 10.0
+
 // compareBaseline gates the report against a baseline BENCH file. For
 // every gate present in both, the fused-8 steps/s normalized by the
 // same run's reference steps/s must not fall more than
-// regressionTolerance below the baseline's ratio.
+// regressionTolerance below the baseline's ratio. Gates that carry a
+// warm-surrogate section are additionally gated on admission and on the
+// minSurrogateSpeedup floor (plus an order-of-magnitude guard against
+// the baseline's surrogate speedup when the baseline has one; older
+// baselines without surrogate data skip only that relative check).
 func compareBaseline(report benchReport, path string) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -142,6 +194,22 @@ func compareBaseline(report benchReport, path string) error {
 		for i := range base.Gates {
 			if base.Gates[i].Gate == g.Gate {
 				bg = &base.Gates[i]
+			}
+		}
+		if sr := g.Surrogate; sr != nil {
+			compared++
+			log.Printf("%s: warm surrogate %.2g us/case, %.0fx fused-1 micromag (build %.1fs, admitted=%v)",
+				g.Gate, sr.SecondsPerCase*1e6, sr.Speedup, sr.BuildSeconds, sr.Admitted)
+			if !sr.Admitted {
+				return fmt.Errorf("FAIL: %s surrogate failed golden-band admission", g.Gate)
+			}
+			if sr.Speedup < minSurrogateSpeedup {
+				return fmt.Errorf("FAIL: %s warm-surrogate speedup %.1fx is below the %.0fx floor over fused-1 micromag",
+					g.Gate, sr.Speedup, minSurrogateSpeedup)
+			}
+			if bg != nil && bg.Surrogate != nil && sr.Speedup < bg.Surrogate.Speedup/surrogateRegressionFactor {
+				return fmt.Errorf("FAIL: %s warm-surrogate speedup %.0fx fell more than %.0fx below baseline %.0fx (%s)",
+					g.Gate, sr.Speedup, surrogateRegressionFactor, bg.Surrogate.Speedup, path)
 			}
 		}
 		if bg == nil {
@@ -160,9 +228,9 @@ func compareBaseline(report benchReport, path string) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("compare baseline %s: no comparable gates (need reference and fused-8 modes in both)", path)
+		return fmt.Errorf("compare baseline %s: no comparable figures (need reference and fused-8 modes in both, or a surrogate section)", path)
 	}
-	log.Printf("compare: %d gate(s) within %.0f%% of %s", compared, regressionTolerance*100, path)
+	log.Printf("compare: %d figure(s) passed the gates against %s", compared, path)
 	return nil
 }
 
@@ -215,7 +283,7 @@ func benchCases(kind spinwave.GateKind, quick bool) [][]bool {
 	return cases
 }
 
-func benchGate(kind spinwave.GateKind, quick bool) (*gateResult, error) {
+func benchGate(kind spinwave.GateKind, quick, surrogateOn bool) (*gateResult, error) {
 	cases := benchCases(kind, quick)
 	probe, err := newBackend(kind, 1, false)
 	if err != nil {
@@ -244,7 +312,7 @@ func benchGate(kind spinwave.GateKind, quick bool) (*gateResult, error) {
 	if quick {
 		modes = []mode{{"reference", 1, true}, {"fused", 1, false}, {"fused", 8, false}}
 	}
-	var refSeconds float64
+	var refSeconds, fused1Seconds float64
 	for _, md := range modes {
 		m, err := newBackend(kind, md.workers, md.reference)
 		if err != nil {
@@ -259,6 +327,9 @@ func benchGate(kind spinwave.GateKind, quick bool) (*gateResult, error) {
 		secs := time.Since(start).Seconds()
 		if md.reference {
 			refSeconds = secs
+		}
+		if md.name == "fused" && md.workers == 1 {
+			fused1Seconds = secs
 		}
 		r := modeResult{
 			Name:        md.name,
@@ -286,7 +357,72 @@ func benchGate(kind spinwave.GateKind, quick bool) (*gateResult, error) {
 	} else {
 		log.Printf("%s: DIVERGENCE between 1-worker and 8-worker trajectories", g.Gate)
 	}
+
+	if surrogateOn {
+		sr, err := benchSurrogate(kind, fused1Seconds/float64(len(cases)))
+		if err != nil {
+			return nil, fmt.Errorf("%s surrogate: %w", g.Gate, err)
+		}
+		g.Surrogate = sr
+		log.Printf("%s: surrogate built in %.1fs, admitted=%v, warm eval %.2g us/case — %.0fx fused-1",
+			g.Gate, sr.BuildSeconds, sr.Admitted, sr.SecondsPerCase*1e6, sr.Speedup)
+	}
 	return g, nil
+}
+
+// surrogateTimingFloor is the minimum wall-clock spent timing warm
+// surrogate evaluations, so the per-case figure averages over many
+// thousands of O(microsecond) calls instead of one noisy sample.
+const surrogateTimingFloor = 200 * time.Millisecond
+
+// benchSurrogate builds the linear-superposition surrogate from a fused
+// single-worker micromagnetic backend (one unit transient per port),
+// records its golden-band admission verdict, and times warm evaluations
+// over the gate's full truth table. fused1PerCase is the exact solver's
+// per-case time from the same run; the reported speedup is the ratio of
+// the two per-case times, so it is machine-independent.
+func benchSurrogate(kind spinwave.GateKind, fused1PerCase float64) (*surrogateResult, error) {
+	m, err := newBackend(kind, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	// Majority structures need the I3 phase trim before any table can
+	// pass the golden bands — the same calibration every exact-table
+	// consumer (swsim, swtables, the golden tests) performs.
+	if kind != spinwave.XOR {
+		if _, err := m.CalibrateI3(); err != nil {
+			return nil, err
+		}
+	}
+	model, err := spinwave.BuildSurrogate(context.Background(), m)
+	if err != nil {
+		return nil, err
+	}
+	sr := &surrogateResult{
+		BuildSeconds:           model.BuildSeconds(),
+		Admitted:               model.Verify() == nil,
+		MicromagSecondsPerCase: fused1PerCase,
+	}
+	// Warm timing always sweeps the full truth table (quick mode trims
+	// the solver modes, not this microsecond-scale loop).
+	cases := benchCases(kind, false)
+	start := time.Now()
+	for time.Since(start) < surrogateTimingFloor {
+		for _, in := range cases {
+			if _, err := model.Eval(in); err != nil {
+				return nil, err
+			}
+			sr.Evals++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if sr.Evals > 0 {
+		sr.SecondsPerCase = elapsed / float64(sr.Evals)
+	}
+	if sr.SecondsPerCase > 0 && fused1PerCase > 0 {
+		sr.Speedup = fused1PerCase / sr.SecondsPerCase
+	}
+	return sr, nil
 }
 
 // trajectoriesIdentical runs one full transient at 1 and 8 workers and

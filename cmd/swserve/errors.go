@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"spinwave"
+)
+
+// Unified error envelope. Every /v1 endpoint answers failures with
+//
+//	{"error": {"code": "...", "message": "...", "retryable": bool}}
+//
+// so clients branch on the stable machine-readable code (and the
+// retryable hint), never on message text. The mapping from the library's
+// sentinel errors to codes lives in classify — one place, used by every
+// handler.
+
+// Stable error codes of the v1 API.
+const (
+	codeBadRequest           = "bad_request"
+	codeUnknownGate          = "unknown_gate"
+	codeMethodNotAllowed     = "method_not_allowed"
+	codeNotFound             = "not_found"
+	codeDraining             = "draining"
+	codeDeadline             = "deadline"
+	codeCancelled            = "cancelled"
+	codeSurrogateUnavailable = "surrogate_unavailable"
+	codeHealthAbort          = "health_abort"
+	codeInternal             = "internal"
+)
+
+// apiError is the envelope payload.
+type apiError struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// errorEnvelope is the failure response body of every /v1 endpoint.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// classify maps an evaluation or request error onto the envelope code,
+// HTTP status and retryable hint via the package sentinels.
+func classify(err error) (status int, code string, retryable bool) {
+	switch {
+	case errors.Is(err, spinwave.ErrUnknownGate):
+		return http.StatusBadRequest, codeUnknownGate, false
+	case errors.Is(err, spinwave.ErrBadInputCount),
+		errors.Is(err, spinwave.ErrUnknownComponent):
+		return http.StatusBadRequest, codeBadRequest, false
+	case errors.Is(err, spinwave.ErrSurrogateUnavailable):
+		// Retryable: a model may be admitted (or re-admitted) later.
+		return http.StatusServiceUnavailable, codeSurrogateUnavailable, true
+	case errors.Is(err, spinwave.ErrHealthAbort):
+		return http.StatusInternalServerError, codeHealthAbort, false
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, codeDeadline, true
+	case errors.Is(err, context.Canceled):
+		return 499, codeCancelled, false // client closed request
+	default:
+		return http.StatusInternalServerError, codeInternal, false
+	}
+}
+
+// fail answers with the envelope, deriving status/code/retryable from
+// the error's sentinel chain.
+func (s *server) fail(w http.ResponseWriter, err error) {
+	status, code, retryable := classify(err)
+	s.failAs(w, status, code, retryable, err.Error())
+}
+
+// badRequest answers a 400 with code bad_request.
+func (s *server) badRequest(w http.ResponseWriter, err error) {
+	s.failAs(w, http.StatusBadRequest, codeBadRequest, false, err.Error())
+}
+
+// failAs writes the envelope verbatim; use fail/badRequest unless the
+// status or code cannot be derived from an error value.
+func (s *server) failAs(w http.ResponseWriter, status int, code string, retryable bool, message string) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: apiError{ //nolint:errcheck
+		Code: code, Message: message, Retryable: retryable,
+	}})
+}

@@ -113,6 +113,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// blind.
 	resp["journal_sinks"] = journal.Default().Sinks()
 
+	// Surrogate admission state: a rejected, failed or stale startup
+	// surrogate means "surrogate"-mode traffic the operator configured
+	// would 503, so the instance is not ready.
+	if entries := s.surrogateSnapshot(); len(entries) > 0 {
+		ok := s.surrogateHealthy()
+		resp["surrogate"] = map[string]any{"ok": ok, "models": entries}
+		if !ok {
+			healthy = false
+		}
+	}
+
 	if !healthy {
 		resp["status"] = "unhealthy"
 		w.Header().Set("Content-Type", "application/json")

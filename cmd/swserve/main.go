@@ -6,8 +6,11 @@
 //
 //	POST /v1/eval     evaluate one input case or a batch of cases
 //	POST /v1/table    evaluate a full truth table (paper Tables I/II)
+//	GET  /v1/spec     machine-readable API description (endpoints,
+//	                  gates, modes, error codes, build info)
 //	GET  /v1/healthz  liveness probe (build info, uptime, drain state;
-//	                  ?deep=1 adds a behavioral canary eval + pool ping)
+//	                  ?deep=1 adds a behavioral canary eval + pool ping
+//	                  and the surrogate admission state)
 //	GET  /v1/slo      rolling-window SLO state with burn rates
 //	GET  /v1/runs                 run IDs with retained probe data
 //	GET  /v1/runs/{id}/events     NDJSON live tail of the run journal
@@ -16,18 +19,27 @@
 //	GET  /debug/vars  expvar metrics (engine + server counters)
 //	GET  /debug/pprof/*  runtime profiles (only with -pprof)
 //
+// /v1/eval and /v1/table are POST-only (anything else answers 405 with
+// an Allow header) and accept a "mode" field selecting the serving
+// tiers: "behavioral" or "micromag" pin the exact solver, "auto" serves
+// the cheapest tier that can answer (memory cache, disk store, admitted
+// superposition surrogate, full recompute), "surrogate" serves
+// exclusively from an admitted surrogate model. Responses carry the
+// tier that answered ("source") and the backend fingerprint. Failures
+// on every /v1 endpoint use one envelope:
+// {"error":{"code","message","retryable"}}.
+//
 // All evaluations run through one shared concurrent engine, so repeated
 // requests for the same (gate, spec, material, inputs) are served from
-// its LRU cache and identical in-flight requests are coalesced. Each
-// request gets a deadline (the smaller of -timeout and the request's
-// own timeout_ms); SIGINT/SIGTERM drains in-flight requests before
-// exiting.
+// its result store (LRU, plus the -store disk tier) and identical
+// in-flight requests are coalesced. Each request gets a deadline (the
+// smaller of -timeout and the request's own timeout_ms);
+// SIGINT/SIGTERM drains in-flight requests before exiting.
 package main
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -42,6 +54,7 @@ import (
 	"time"
 
 	"spinwave"
+	"spinwave/internal/core"
 	"spinwave/internal/journal"
 )
 
@@ -60,6 +73,9 @@ func main() {
 	sloWindow := flag.Duration("slo-window", defaultSLOWindow, "rolling SLO window")
 	sloObjective := flag.Float64("slo-objective", defaultSLOObjective, "SLO good-fraction objective in percent (availability and latency)")
 	sloLatency := flag.Duration("slo-latency", defaultSLOLatency, "SLO latency threshold (responses slower than this burn the latency budget)")
+	storeDir := flag.String("store", "", "disk-backed result store directory (persists expensive readouts across restarts; empty disables)")
+	surrogateGates := flag.String("surrogate", "", "comma-separated gates to build superposition surrogates for at startup (e.g. xor,maj3)")
+	surrogateBackend := flag.String("surrogate-backend", "micromag", "backend the startup surrogates are built from (micromag or behavioral)")
 	flag.Parse()
 
 	var opts []spinwave.EngineOption
@@ -67,12 +83,26 @@ func main() {
 		opts = append(opts, spinwave.WithEngineWorkers(*workers))
 	}
 	opts = append(opts, spinwave.WithEngineCacheSize(*cacheSize))
+	if *storeDir != "" {
+		store, err := spinwave.OpenDiskStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, spinwave.WithEngineDiskStore(store))
+	}
 	srv := newServer(spinwave.NewEngine(opts...), *timeout)
 	defer srv.close()
 	srv.maxBatch = *maxBatch
 	srv.pprofOn = *pprofOn
 	srv.slo = newSLOTracker(*sloWindow, *sloObjective, *sloLatency)
 	srv.publishVars()
+	if *surrogateGates != "" {
+		// Build and gate the surrogates before accepting traffic, so a
+		// "surrogate"-mode request never races the admission verdict.
+		if err := srv.initSurrogates(context.Background(), *surrogateGates, *surrogateBackend); err != nil {
+			log.Printf("surrogate: %v (serving exact tiers only; deep health degraded)", err)
+		}
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 
@@ -121,10 +151,12 @@ type server struct {
 	heartbeat     time.Duration
 	detachJournal func()
 
-	// SLO tracker (slo.go) and deep-health canary cache (health.go).
-	slo     *sloTracker
-	canary  canaryState
-	started time.Time
+	// SLO tracker (slo.go), deep-health canary cache (health.go), and
+	// surrogate admission ledger (surrogate.go).
+	slo       *sloTracker
+	canary    canaryState
+	started   time.Time
+	surrogate surrogateLedger
 
 	requests  atomic.Int64
 	errors    atomic.Int64
@@ -155,6 +187,7 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/eval", s.withMetrics("/v1/eval", s.handleEval))
 	mux.HandleFunc("/v1/table", s.withMetrics("/v1/table", s.handleTable))
+	mux.HandleFunc("GET /v1/spec", s.withMetrics("/v1/spec", s.handleSpec))
 	mux.HandleFunc("/v1/healthz", s.withMetrics("/v1/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /v1/slo", s.withMetrics("/v1/slo", s.handleSLO))
 	mux.HandleFunc("/metrics", s.withMetrics("/metrics", s.handleMetrics))
@@ -196,13 +229,20 @@ func (s *server) publishVars() {
 	})
 }
 
-// backendRequest is the backend selection common to eval and table
-// requests. Omitted fields default to the paper's configuration.
+// backendRequest is the backend and serving-mode selection common to
+// eval and table requests. Omitted fields default to the paper's
+// configuration.
 type backendRequest struct {
-	Gate     string `json:"gate"`     // maj3, maj3single, xor, maj5
-	Backend  string `json:"backend"`  // behavioral (default) or micromag
-	Spec     string `json:"spec"`     // paper (default), reduced, paper-micromag
-	Material string `json:"material"` // fecob (default), yig, permalloy
+	Gate string `json:"gate"` // maj3, maj3single, xor, maj5
+	// Mode selects the serving tiers: "behavioral" or "micromag" pin
+	// the exact solver; "auto" answers from the cheapest tier (cache,
+	// disk, admitted surrogate, recompute); "surrogate" serves only
+	// from an admitted surrogate model. Empty keeps the legacy
+	// contract: the backend field picks the solver, exact tiers only.
+	Mode     string `json:"mode,omitempty"`
+	Backend  string `json:"backend,omitempty"`  // behavioral (default) or micromag
+	Spec     string `json:"spec,omitempty"`     // paper (default), reduced, paper-micromag
+	Material string `json:"material,omitempty"` // fecob (default), yig, permalloy
 	// TimeoutMS caps this request's evaluation time; the effective
 	// deadline is min(TimeoutMS, the server's -timeout flag).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -217,21 +257,40 @@ type evalRequest struct {
 type caseResponse struct {
 	Inputs  []bool                      `json:"inputs"`
 	Outputs map[string]spinwave.Readout `json:"outputs"`
+	// Source is the result-store tier that answered this case: cache,
+	// disk, surrogate, micromag or behavioral.
+	Source string `json:"source,omitempty"`
 	// Run is the journal/probe run ID assigned to this case — the ID to
 	// tail at /v1/runs/{id}/events or fetch at /v1/runs/{id}/probes.
 	Run string `json:"run,omitempty"`
 }
 
 type evalResponse struct {
-	Gate    string         `json:"gate"`
-	Backend string         `json:"backend"`
-	Results []caseResponse `json:"results"`
+	Gate    string `json:"gate"`
+	Backend string `json:"backend"`
+	// Mode echoes the effective serving mode of the request.
+	Mode string `json:"mode"`
+	// Fingerprint is the canonical model fingerprint the results are
+	// keyed under (empty for unfingerprintable backends).
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	Results     []caseResponse `json:"results"`
 }
 
 type tableRequest struct {
 	backendRequest
 	Derived  string `json:"derived,omitempty"`  // and, or, nand, nor (MAJ3 backends)
 	Inverted bool   `json:"inverted,omitempty"` // XNOR decoding for XOR tables
+}
+
+// tableResponse is the truth table inline (unchanged wire shape) plus
+// the serving-mode metadata of the redesigned contract.
+type tableResponse struct {
+	*spinwave.TruthTable
+	Mode string `json:"mode"`
+	// Source is the aggregate tier of the table's rows ("mixed" when
+	// cases were answered by different tiers).
+	Source      string `json:"source,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
@@ -245,40 +304,50 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 		cases = append([][]bool{req.Inputs}, cases...)
 	}
 	if len(cases) == 0 {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("need inputs or cases"))
+		s.badRequest(w, fmt.Errorf("need inputs or cases"))
 		return
 	}
 	if len(cases) > s.maxBatch {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d cases exceeds the limit of %d", len(cases), s.maxBatch))
+		s.badRequest(w, fmt.Errorf("batch of %d cases exceeds the limit of %d", len(cases), s.maxBatch))
 		return
 	}
 	if !s.validTimeout(w, req.TimeoutMS) {
 		return
 	}
-	b, err := buildBackend(req.backendRequest)
+	engMode, modeLabel, breq, err := resolveMode(req.backendRequest)
 	if err != nil {
-		s.fail(w, statusFor(err), err)
+		s.badRequest(w, err)
+		return
+	}
+	b, err := buildBackend(breq)
+	if err != nil {
+		s.fail(w, err)
 		return
 	}
 	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
 	defer cancel()
-	resp := evalResponse{Gate: b.Kind().String(), Backend: b.Name(), Results: make([]caseResponse, len(cases))}
+	resp := evalResponse{Gate: b.Kind().String(), Backend: b.Name(), Mode: modeLabel,
+		Results: make([]caseResponse, len(cases))}
+	fps := make([]string, len(cases))
 	err = s.eng.Map(ctx, len(cases), func(ctx context.Context, i int) error {
 		// Mint the run ID here (rather than letting the engine do it) so
 		// the response can tell the client which ID to tail or fetch
 		// probes for.
 		runID := spinwave.NewRunID()
-		out, err := s.eng.Eval(spinwave.WithRunID(ctx, runID), b, cases[i])
+		res, err := s.eng.EvalTiered(spinwave.WithRunID(ctx, runID), b, cases[i], engMode)
 		if err != nil {
 			return err
 		}
-		resp.Results[i] = caseResponse{Inputs: cases[i], Outputs: out, Run: runID}
+		resp.Results[i] = caseResponse{Inputs: cases[i], Outputs: res.Readouts,
+			Source: string(res.Source), Run: runID}
+		fps[i] = res.Fingerprint
 		return nil
 	})
 	if err != nil {
-		s.fail(w, statusFor(err), err)
+		s.fail(w, err)
 		return
 	}
+	resp.Fingerprint = fps[0]
 	s.evalCases.Add(int64(len(cases)))
 	s.reply(w, resp)
 }
@@ -292,48 +361,57 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	if !s.validTimeout(w, req.TimeoutMS) {
 		return
 	}
-	b, err := buildBackend(req.backendRequest)
+	engMode, modeLabel, breq, err := resolveMode(req.backendRequest)
 	if err != nil {
-		s.fail(w, statusFor(err), err)
+		s.badRequest(w, err)
+		return
+	}
+	b, err := buildBackend(breq)
+	if err != nil {
+		s.fail(w, err)
 		return
 	}
 	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
 	defer cancel()
 	var tt *spinwave.TruthTable
+	var src spinwave.EvalSource
 	switch {
 	case req.Derived != "":
 		d, derr := parseDerived(req.Derived)
 		if derr != nil {
-			s.fail(w, http.StatusBadRequest, derr)
+			s.fail(w, derr)
 			return
 		}
 		if b.Kind() == spinwave.XOR {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("derived gates need a MAJ3-family backend, not xor"))
+			s.badRequest(w, fmt.Errorf("derived gates need a MAJ3-family backend, not xor"))
 			return
 		}
-		tt, err = s.eng.DerivedTable(ctx, b, d)
+		tt, src, err = s.eng.DerivedTableTiered(ctx, b, d, engMode)
 	case b.Kind() == spinwave.XOR:
-		tt, err = s.eng.XORTable(ctx, b, req.Inverted)
+		tt, src, err = s.eng.XORTableTiered(ctx, b, req.Inverted, engMode)
 	default:
-		tt, err = s.eng.MajorityTable(ctx, b)
+		tt, src, err = s.eng.MajorityTableTiered(ctx, b, engMode)
 	}
 	if err != nil {
-		s.fail(w, statusFor(err), err)
+		s.fail(w, err)
 		return
 	}
 	s.tables.Add(1)
-	s.reply(w, tt)
+	s.reply(w, tableResponse{TruthTable: tt, Mode: modeLabel,
+		Source: string(src), Fingerprint: backendFingerprint(b)})
 }
 
 func (s *server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		w.Header().Set("Allow", http.MethodPost)
+		s.failAs(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, false,
+			fmt.Sprintf("%s requires POST, got %s", r.URL.Path, r.Method))
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.badRequest(w, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	return true
@@ -343,7 +421,7 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 // reports whether the request may proceed.
 func (s *server) validTimeout(w http.ResponseWriter, timeoutMS int64) bool {
 	if timeoutMS < 0 || timeoutMS > maxTimeoutMS {
-		s.fail(w, http.StatusBadRequest,
+		s.badRequest(w,
 			fmt.Errorf("timeout_ms %d out of range [0, %d]", timeoutMS, maxTimeoutMS))
 		return false
 	}
@@ -371,28 +449,61 @@ func (s *server) reply(w http.ResponseWriter, v any) {
 	}
 }
 
-func (s *server) fail(w http.ResponseWriter, code int, err error) {
-	s.errors.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+// resolveMode validates the requested serving mode against the legacy
+// backend field and returns the engine mode, the mode label echoed in
+// responses, and the backend request with the implied solver filled in.
+func resolveMode(req backendRequest) (spinwave.EvalMode, string, backendRequest, error) {
+	mode := strings.ToLower(req.Mode)
+	be := strings.ToLower(req.Backend)
+	conflict := func() error {
+		return fmt.Errorf("mode %q conflicts with backend %q", req.Mode, req.Backend)
+	}
+	switch mode {
+	case "":
+		// Legacy contract: the backend field picks the solver; exact
+		// tiers only. The echoed mode names the effective solver.
+		label := "behavioral"
+		if be == "micromag" || be == "micromagnetic" {
+			label = "micromag"
+		}
+		return spinwave.EvalModeDirect, label, req, nil
+	case "behavioral":
+		if be != "" && be != "behavioral" {
+			return "", "", req, conflict()
+		}
+		req.Backend = "behavioral"
+		return spinwave.EvalModeDirect, "behavioral", req, nil
+	case "micromag", "micromagnetic":
+		if be != "" && be != "micromag" && be != "micromagnetic" {
+			return "", "", req, conflict()
+		}
+		req.Backend = "micromag"
+		return spinwave.EvalModeDirect, "micromag", req, nil
+	case "auto", "surrogate":
+		// The backend field picks the base model identity (default
+		// micromag — the solver the surrogate tier exists to replace);
+		// the tiers decide who actually answers.
+		if be == "" {
+			req.Backend = "micromag"
+		}
+		if mode == "auto" {
+			return spinwave.EvalModeAuto, "auto", req, nil
+		}
+		return spinwave.EvalModeSurrogateOnly, "surrogate", req, nil
+	default:
+		return "", "", req, fmt.Errorf("unknown mode %q (want auto, surrogate, micromag or behavioral)", req.Mode)
+	}
 }
 
-// statusFor maps evaluation errors to HTTP statuses via the package
-// sentinels.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, spinwave.ErrUnknownGate),
-		errors.Is(err, spinwave.ErrBadInputCount),
-		errors.Is(err, spinwave.ErrUnknownComponent):
-		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return 499 // client closed request
-	default:
-		return http.StatusInternalServerError
+// backendFingerprint returns the backend's canonical fingerprint, empty
+// when it has none.
+func backendFingerprint(b spinwave.Backend) string {
+	if fper, ok := b.(core.Fingerprinter); ok {
+		if fp, ok := fper.Fingerprint(); ok {
+			return fp
+		}
 	}
+	return ""
 }
 
 // stepWorkers is the per-transient LLG stepping worker count applied to

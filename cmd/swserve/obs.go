@@ -89,14 +89,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.Default().WritePrometheus(w) //nolint:errcheck
 }
 
-// refuseDraining answers 503 with a Retry-After when the server is
-// draining after SIGTERM; reports whether it did.
+// refuseDraining answers a 503 draining envelope with a Retry-After
+// when the server is draining after SIGTERM; reports whether it did.
 func (s *server) refuseDraining(w http.ResponseWriter) bool {
 	if !s.draining.Load() {
 		return false
 	}
 	w.Header().Set("Retry-After", "5")
-	http.Error(w, "server is draining", http.StatusServiceUnavailable)
+	s.failAs(w, http.StatusServiceUnavailable, codeDraining, true, "server is draining")
 	return true
 }
 

@@ -11,8 +11,8 @@ import (
 )
 
 // TestRequestValidation covers the decode/validation error paths: every
-// malformed request must come back as a JSON error body with the right
-// status code, never a 500 or a hang.
+// malformed request must come back as the JSON error envelope with the
+// right status and stable code, never a 500 or a hang.
 func TestRequestValidation(t *testing.T) {
 	srv, ts := newTestServer(t)
 	srv.maxBatch = 4
@@ -27,21 +27,22 @@ func TestRequestValidation(t *testing.T) {
 		path    string
 		body    string
 		code    int
+		errCode string
 		errLike string
 	}{
-		{"malformed json", "/v1/eval", `{"gate": "xor",`, http.StatusBadRequest, "bad request body"},
-		{"wrong type", "/v1/eval", `{"gate": 7}`, http.StatusBadRequest, "bad request body"},
-		{"unknown field", "/v1/eval", `{"gate": "xor", "bogus": 1}`, http.StatusBadRequest, "bad request body"},
-		{"empty eval", "/v1/eval", `{"gate": "xor"}`, http.StatusBadRequest, "need inputs or cases"},
+		{"malformed json", "/v1/eval", `{"gate": "xor",`, http.StatusBadRequest, codeBadRequest, "bad request body"},
+		{"wrong type", "/v1/eval", `{"gate": 7}`, http.StatusBadRequest, codeBadRequest, "bad request body"},
+		{"unknown field", "/v1/eval", `{"gate": "xor", "bogus": 1}`, http.StatusBadRequest, codeBadRequest, "bad request body"},
+		{"empty eval", "/v1/eval", `{"gate": "xor"}`, http.StatusBadRequest, codeBadRequest, "need inputs or cases"},
 		{"oversized batch", "/v1/eval", mustJSON(t, map[string]any{"gate": "xor", "cases": bigBatch}),
-			http.StatusBadRequest, "exceeds the limit of 4"},
+			http.StatusBadRequest, codeBadRequest, "exceeds the limit of 4"},
 		{"negative timeout", "/v1/eval", `{"gate": "xor", "inputs": [true, false], "timeout_ms": -5}`,
-			http.StatusBadRequest, "timeout_ms"},
+			http.StatusBadRequest, codeBadRequest, "timeout_ms"},
 		{"absurd timeout", "/v1/table", `{"gate": "xor", "timeout_ms": 999999999999}`,
-			http.StatusBadRequest, "timeout_ms"},
-		{"zero timeout runs", "/v1/table", `{"gate": "xor", "timeout_ms": 0}`, http.StatusOK, ""},
+			http.StatusBadRequest, codeBadRequest, "timeout_ms"},
+		{"zero timeout runs", "/v1/table", `{"gate": "xor", "timeout_ms": 0}`, http.StatusOK, "", ""},
 		{"tiny timeout expires", "/v1/table", `{"gate": "xor", "backend": "micromag", "timeout_ms": 1}`,
-			http.StatusGatewayTimeout, ""},
+			http.StatusGatewayTimeout, codeDeadline, ""},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
@@ -59,20 +60,29 @@ func TestRequestValidation(t *testing.T) {
 			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 				t.Errorf("error content-type %q, want application/json", ct)
 			}
-			var e struct {
-				Error string `json:"error"`
+			e := decodeEnvelope(t, body)
+			if e.Code != tc.errCode {
+				t.Errorf("error code %q, want %q (%s)", e.Code, tc.errCode, body)
 			}
-			if err := json.Unmarshal(body, &e); err != nil {
-				t.Fatalf("error body is not JSON: %s", body)
-			}
-			if e.Error == "" {
-				t.Fatalf("error body missing error field: %s", body)
-			}
-			if tc.errLike != "" && !strings.Contains(e.Error, tc.errLike) {
-				t.Errorf("error %q does not mention %q", e.Error, tc.errLike)
+			if tc.errLike != "" && !strings.Contains(e.Message, tc.errLike) {
+				t.Errorf("error %q does not mention %q", e.Message, tc.errLike)
 			}
 		})
 	}
+}
+
+// decodeEnvelope parses the unified error envelope, failing the test on
+// any shape deviation (missing error object, empty code or message).
+func decodeEnvelope(t *testing.T, body []byte) apiError {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not the envelope: %s", body)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", body)
+	}
+	return env.Error
 }
 
 // newHTTPTestServer serves srv.routes() on a fresh listener, picking up

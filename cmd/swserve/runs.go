@@ -60,12 +60,12 @@ func (s *server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	id := r.PathValue("id")
 	if id == "" {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("missing run id"))
+		s.badRequest(w, fmt.Errorf("missing run id"))
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		s.fail(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		s.failAs(w, http.StatusInternalServerError, codeInternal, false, "streaming unsupported")
 		return
 	}
 	// Subscribe before replaying so no event falls between ring and hub;
@@ -133,7 +133,8 @@ func (s *server) handleRunProbes(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, ok := spinwave.ProbesFor(id)
 	if !ok {
-		s.fail(w, http.StatusNotFound, fmt.Errorf("no probe data for run %q (probes enabled with -probe?)", id))
+		s.failAs(w, http.StatusNotFound, codeNotFound, false,
+			fmt.Sprintf("no probe data for run %q (probes enabled with -probe?)", id))
 		return
 	}
 	snap := rec.Snapshot(id)

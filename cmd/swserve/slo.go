@@ -186,9 +186,18 @@ func (t *sloTracker) report() sloReport {
 	}
 }
 
+// sloResponse is the GET /v1/slo body: the rolling-window report plus
+// the surrogate admission ledger (a degraded surrogate is an SLO
+// concern — configured "surrogate"-mode traffic would burn the
+// availability budget with 503s).
+type sloResponse struct {
+	sloReport
+	Surrogate []surrogateEntry `json:"surrogate,omitempty"`
+}
+
 // handleSLO serves the rolling-window SLO state. Like /metrics it stays
 // readable while draining: burn rates are exactly what an operator
 // wants to see from a terminating instance.
 func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
-	s.reply(w, s.slo.report())
+	s.reply(w, sloResponse{sloReport: s.slo.report(), Surrogate: s.surrogateSnapshot()})
 }

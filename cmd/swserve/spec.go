@@ -1,0 +1,85 @@
+package main
+
+import (
+	"net/http"
+
+	"spinwave"
+)
+
+// GET /v1/spec: a machine-readable description of the v1 API — the
+// endpoints, the vocabulary of every enum-like request field (gates,
+// modes, backends, specs, materials, error codes, sources) and the
+// server's build identity. Clients and tooling discover the contract
+// here instead of hard-coding it.
+
+// endpointSpec describes one route.
+type endpointSpec struct {
+	Method      string `json:"method"`
+	Path        string `json:"path"`
+	Description string `json:"description"`
+}
+
+// specResponse is the GET /v1/spec body.
+type specResponse struct {
+	Service     string `json:"service"`
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision"`
+
+	Endpoints []endpointSpec `json:"endpoints"`
+
+	Gates      []string `json:"gates"`
+	Modes      []string `json:"modes"`
+	Backends   []string `json:"backends"`
+	Specs      []string `json:"specs"`
+	Materials  []string `json:"materials"`
+	Derived    []string `json:"derived"`
+	Sources    []string `json:"sources"`
+	ErrorCodes []string `json:"error_codes"`
+
+	MaxBatch         int   `json:"max_batch"`
+	DefaultTimeoutMS int64 `json:"default_timeout_ms"`
+	MaxTimeoutMS     int64 `json:"max_timeout_ms"`
+}
+
+// handleSpec serves the API description. Read-only and cheap, so (like
+// /metrics) it stays available while draining.
+func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	goVersion, revision := buildVersion()
+	s.reply(w, specResponse{
+		Service:     "swserve",
+		GoVersion:   goVersion,
+		VCSRevision: revision,
+		Endpoints: []endpointSpec{
+			{"POST", "/v1/eval", "evaluate one input case or a batch of cases"},
+			{"POST", "/v1/table", "evaluate a full truth table (paper Tables I/II)"},
+			{"GET", "/v1/spec", "this API description"},
+			{"GET", "/v1/healthz", "liveness probe; ?deep=1 adds canary, pool and surrogate state"},
+			{"GET", "/v1/slo", "rolling-window SLO state with burn rates"},
+			{"GET", "/v1/runs", "run IDs with retained probe data"},
+			{"GET", "/v1/runs/{id}/events", "NDJSON live tail of the run journal"},
+			{"GET", "/v1/runs/{id}/probes", "probe time-series (JSON, ?format=csv)"},
+			{"GET", "/metrics", "Prometheus text exposition"},
+			{"GET", "/debug/vars", "expvar counters"},
+		},
+		Gates: []string{"maj3", "maj3single", "xor", "maj5"},
+		Modes: []string{"auto", "surrogate", "micromag", "behavioral"},
+		// The materials list mirrors spinwave.MaterialByName's presets.
+		Backends:  []string{"behavioral", "micromag"},
+		Specs:     []string{"paper", "paper-micromag", "reduced"},
+		Materials: []string{"fecob", "yig", "permalloy"},
+		Derived:   []string{"and", "or", "nand", "nor"},
+		Sources: []string{
+			string(spinwave.EvalSourceCache), string(spinwave.EvalSourceDisk),
+			string(spinwave.EvalSourceSurrogate), string(spinwave.EvalSourceMicromag),
+			string(spinwave.EvalSourceBehavioral), "mixed",
+		},
+		ErrorCodes: []string{
+			codeBadRequest, codeUnknownGate, codeMethodNotAllowed, codeNotFound,
+			codeDraining, codeDeadline, codeCancelled, codeSurrogateUnavailable,
+			codeHealthAbort, codeInternal,
+		},
+		MaxBatch:         s.maxBatch,
+		DefaultTimeoutMS: s.defaultTimeout.Milliseconds(),
+		MaxTimeoutMS:     maxTimeoutMS,
+	})
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -48,6 +49,7 @@ func run() int {
 	demo := flag.String("demo", "", "run a demo: interference")
 	stats := flag.Bool("stats", false, "print a timing/metrics summary to stderr when done")
 	workers := flag.Int("workers", 0, "LLG stepping workers per transient (0/1 = serial; trajectories are bit-identical)")
+	surrogateMode := flag.Bool("surrogate", false, "build the linear-superposition surrogate from the configured backend, run the admission gate, and print its truth table (exit 1 on rejection)")
 	flag.Parse()
 
 	if *stats {
@@ -107,6 +109,9 @@ func run() int {
 		fmt.Printf("I3 phase trim: %.3f rad\n", trim)
 	}
 
+	if *surrogateMode {
+		return runSurrogate(m)
+	}
 	if *inputs == "" {
 		runTruthTable(kind, m)
 	} else {
@@ -165,6 +170,36 @@ func parseInputs(kind spinwave.GateKind, s string) ([]bool, error) {
 		}
 	}
 	return in, nil
+}
+
+// runSurrogate builds the linear-superposition surrogate from the
+// micromagnetic backend (one unit transient per input port), runs it
+// through the engine's admission gate — the verdict lands in the
+// journal as a surrogate.admission event — and prints the surrogate's
+// superposed truth table. Exits non-zero when the gate rejects the
+// model, so CI smoke jobs fail loudly on a surrogate that drifted out
+// of the golden bands.
+func runSurrogate(m *spinwave.Micromagnetic) int {
+	model, err := spinwave.BuildSurrogate(context.Background(), m)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Printf("surrogate: %d port transients in %.1f s\n", model.Ports(), model.BuildSeconds())
+	eng := spinwave.NewEngine()
+	if err := eng.AdmitSurrogate(model); err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Printf("surrogate admitted (base fingerprint %s)\n", model.BaseFingerprint())
+	tt, err := model.Table()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Print(spinwave.FormatTruthTable(tt))
+	fmt.Printf("fan-out mismatch |O1-O2|: %.4f, all correct: %v\n", tt.FanOutMatched(), tt.AllCorrect())
+	return healthExit()
 }
 
 func runTruthTable(kind spinwave.GateKind, m *spinwave.Micromagnetic) {

@@ -38,6 +38,59 @@ func WithEngineWorkers(n int) EngineOption { return engine.WithWorkers(n) }
 // readouts; 0 disables caching.
 func WithEngineCacheSize(n int) EngineOption { return engine.WithCacheSize(n) }
 
+// Tiered result-store re-exports: an engine answers each request from
+// the cheapest tier that can — in-memory LRU, disk-backed persistent
+// store, admitted linear-superposition surrogate, exact recompute — and
+// every result reports which tier produced it.
+type (
+	// EvalMode selects which tiers an evaluation may be served from
+	// (EvalModeAuto, EvalModeDirect, EvalModeSurrogateOnly).
+	EvalMode = engine.Mode
+	// EvalSource identifies the tier that produced a result.
+	EvalSource = engine.Source
+	// EvalResult is a tiered evaluation outcome: readouts plus the tier
+	// and backend fingerprint they came from.
+	EvalResult = engine.EvalResult
+	// DiskStore is the persistent tier of the result store: one atomic,
+	// corruption-tolerant JSON entry per evaluated case.
+	DiskStore = engine.DiskStore
+)
+
+// Eval-mode and source constants; see internal/engine for tier order.
+const (
+	// EvalModeDirect serves from memory → disk → exact recompute.
+	EvalModeDirect = engine.ModeDirect
+	// EvalModeAuto additionally tries an admitted surrogate before
+	// falling back to exact recompute.
+	EvalModeAuto = engine.ModeAuto
+	// EvalModeSurrogateOnly serves exclusively from an admitted
+	// surrogate, failing with ErrSurrogateUnavailable otherwise.
+	EvalModeSurrogateOnly = engine.ModeSurrogateOnly
+
+	// EvalSourceCache marks a result served from the in-memory LRU.
+	EvalSourceCache = engine.SourceCache
+	// EvalSourceDisk marks a result served from the persistent store.
+	EvalSourceDisk = engine.SourceDisk
+	// EvalSourceSurrogate marks a result superposed by a surrogate.
+	EvalSourceSurrogate = engine.SourceSurrogate
+	// EvalSourceMicromag marks a full micromagnetic recompute.
+	EvalSourceMicromag = engine.SourceMicromag
+	// EvalSourceBehavioral marks a behavioral-model recompute.
+	EvalSourceBehavioral = engine.SourceBehavioral
+)
+
+// ErrSurrogateUnavailable reports a surrogate-only evaluation with no
+// admitted surrogate model for the backend. Match with errors.Is.
+var ErrSurrogateUnavailable = engine.ErrSurrogateUnavailable
+
+// OpenDiskStore opens (creating if needed) a disk-backed result store
+// rooted at dir; attach it to an engine with WithEngineDiskStore.
+func OpenDiskStore(dir string) (*DiskStore, error) { return engine.OpenDiskStore(dir) }
+
+// WithEngineDiskStore attaches a persistent result store to the engine;
+// persisted entries warm the in-memory cache at construction.
+func WithEngineDiskStore(d *DiskStore) EngineOption { return engine.WithDiskStore(d) }
+
 var (
 	defaultEngineOnce sync.Once
 	defaultEngine     *Engine

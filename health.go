@@ -32,6 +32,11 @@ const (
 	VerdictViolated = health.Violated
 )
 
+// ErrHealthAbort is the sentinel wrapped by evaluation errors when the
+// numerical health monitor aborted the run on a critical alert
+// (HealthConfig.AbortOnCritical). Match with errors.Is.
+var ErrHealthAbort = health.ErrAborted
+
 // HealthFor returns the health report published by a monitored run (see
 // WithHealth), or false if the run is unknown or was not monitored.
 func HealthFor(runID string) (HealthReport, bool) { return health.Default().Get(runID) }

@@ -177,6 +177,41 @@ func (b *Behavioral) RunContext(ctx context.Context, inputs []bool) (map[string]
 	return res, nil
 }
 
+// RunSingle drives only the named input at logic 0 and measures the
+// outputs; the other transducers are switched off (zero drive). This is
+// the behavioral counterpart of Micromagnetic.RunSingle — the unit
+// response the linear-superposition surrogate is built from.
+func (b *Behavioral) RunSingle(name string) (map[string]detect.Readout, error) {
+	return b.RunSingleContext(context.Background(), name)
+}
+
+// RunSingleContext is RunSingle with context support (checked up front;
+// the phasor evaluation is microseconds long).
+func (b *Behavioral) RunSingleContext(ctx context.Context, name string) (map[string]detect.Readout, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	found := false
+	for _, n := range b.kind.InputNames() {
+		if n == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: %w: %s has no input %q", ErrUnknownComponent, b.kind, name)
+	}
+	out, err := b.Net.Evaluate(map[string]complex128{name: phasor.Drive(false)})
+	if err != nil {
+		return nil, err
+	}
+	res := make(map[string]detect.Readout, len(out))
+	for n, v := range out {
+		res[n] = detect.Readout{Probe: n, Amplitude: cabs(v), Phase: cphase(v)}
+	}
+	return res, nil
+}
+
 // Fingerprint implements Fingerprinter: a canonical hash of the gate
 // kind, geometry, material, and phasor-network tuning.
 func (b *Behavioral) Fingerprint() (string, bool) {

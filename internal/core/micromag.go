@@ -358,9 +358,16 @@ func (m *Micromagnetic) Fingerprint() (string, bool) {
 }
 
 // RunSingle excites only the named input at logic 0 and measures the
-// outputs; the other transducers are absent. Used for path calibration
-// and transmission diagnostics.
+// outputs; the other transducers are absent. Used for path calibration,
+// transmission diagnostics and building the superposition surrogate.
 func (m *Micromagnetic) RunSingle(name string) (map[string]detect.Readout, error) {
+	return m.RunSingleContext(context.Background(), name)
+}
+
+// RunSingleContext is RunSingle with cancellation: the context is polled
+// before every integrator step, so an expired context aborts the
+// transient within one step.
+func (m *Micromagnetic) RunSingleContext(ctx context.Context, name string) (map[string]detect.Readout, error) {
 	names := m.kind.InputNames()
 	mute := make(map[string]bool, len(names))
 	found := false
@@ -374,7 +381,7 @@ func (m *Micromagnetic) RunSingle(name string) (map[string]detect.Readout, error
 	if !found {
 		return nil, fmt.Errorf("core: %w: %s has no input %q", ErrUnknownComponent, m.kind, name)
 	}
-	return m.run(context.Background(), make([]bool, len(names)), mute)
+	return m.run(ctx, make([]bool, len(names)), mute)
 }
 
 // RunBackground simulates with every antenna muted — only the thermal

@@ -73,6 +73,23 @@ type Readout struct {
 	Phase     float64 // phase in (−π, π]
 }
 
+// Phasor returns the readout as a complex amplitude A·e^(iφ) — the
+// linear-superposition representation the surrogate model stores and
+// sums (a lock-in measurement at fixed frequency is exactly one phasor).
+func (r Readout) Phasor() complex128 {
+	return complex(r.Amplitude*math.Cos(r.Phase), r.Amplitude*math.Sin(r.Phase))
+}
+
+// FromPhasor converts a complex amplitude back into a Readout for the
+// named probe, the inverse of Phasor.
+func FromPhasor(probe string, v complex128) Readout {
+	return Readout{
+		Probe:     probe,
+		Amplitude: math.Hypot(real(v), imag(v)),
+		Phase:     math.Atan2(imag(v), real(v)),
+	}
+}
+
 // LockIn analyzes the final window of the probe's mx trace at frequency f.
 // The window covers the last `periods` full drive periods (at least one
 // sample). It returns an error when fewer samples than one period are

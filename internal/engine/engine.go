@@ -40,6 +40,12 @@ type Options struct {
 	// CacheSize is the maximum number of memoized case readouts
 	// (default 4096; 0 disables the cache).
 	CacheSize int
+	// Disk is the persistent tier of the result store (nil disables it).
+	Disk *DiskStore
+	// PersistThreshold is the minimum evaluation cost before a result is
+	// written to the disk tier (default 50ms): micromag transients always
+	// persist, microsecond behavioral evals never pay the IO.
+	PersistThreshold time.Duration
 }
 
 // Option mutates Options.
@@ -51,33 +57,56 @@ func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 // WithCacheSize sets the LRU capacity in entries; 0 disables caching.
 func WithCacheSize(n int) Option { return func(o *Options) { o.CacheSize = n } }
 
+// WithDiskStore attaches a persistent result store; entries found on
+// disk warm the in-memory cache at construction.
+func WithDiskStore(d *DiskStore) Option { return func(o *Options) { o.Disk = d } }
+
+// WithPersistThreshold sets the minimum evaluation cost before a result
+// is persisted to disk (0 persists everything).
+func WithPersistThreshold(d time.Duration) Option {
+	return func(o *Options) { o.PersistThreshold = d }
+}
+
 // Engine is a concurrent gate-evaluation engine. The zero value is not
 // usable; construct with New. An Engine is safe for concurrent use.
 type Engine struct {
-	workers   int
-	evalSlots chan struct{}
-	taskSlots chan struct{}
-	cache     *lruCache // nil when caching is disabled
-	flight    group
+	workers    int
+	evalSlots  chan struct{}
+	taskSlots  chan struct{}
+	cache      *lruCache // nil when caching is disabled
+	flight     group
+	disk       *DiskStore // nil when the persistent tier is disabled
+	persistMin time.Duration
+
+	surrMu     sync.RWMutex
+	surrogates map[string]Surrogate // admitted models by base fingerprint
 
 	// Counters, exported via Stats for expvar publication.
-	requests  atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	deduped   atomic.Int64
-	evals     atomic.Int64
-	evalErrs  atomic.Int64
-	inFlight  atomic.Int64
-	satWaits  atomic.Int64
-	latNanos  atomic.Int64
-	latCount  atomic.Int64
-	cancelled atomic.Int64
-	evicted   atomic.Int64
+	requests      atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	deduped       atomic.Int64
+	evals         atomic.Int64
+	evalErrs      atomic.Int64
+	inFlight      atomic.Int64
+	satWaits      atomic.Int64
+	latNanos      atomic.Int64
+	latCount      atomic.Int64
+	cancelled     atomic.Int64
+	evicted       atomic.Int64
+	diskHits      atomic.Int64
+	diskMisses    atomic.Int64
+	diskWrites    atomic.Int64
+	diskWriteErrs atomic.Int64
+	warmed        atomic.Int64
+	surrEvals     atomic.Int64
+	surrAdmitted  atomic.Int64
+	surrRejected  atomic.Int64
 }
 
 // New builds an engine with the given options.
 func New(opts ...Option) *Engine {
-	o := Options{Workers: runtime.NumCPU(), CacheSize: 4096}
+	o := Options{Workers: runtime.NumCPU(), CacheSize: 4096, PersistThreshold: 50 * time.Millisecond}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -86,13 +115,16 @@ func New(opts ...Option) *Engine {
 	}
 	initMetrics()
 	e := &Engine{
-		workers:   o.Workers,
-		evalSlots: make(chan struct{}, o.Workers),
-		taskSlots: make(chan struct{}, o.Workers),
+		workers:    o.Workers,
+		evalSlots:  make(chan struct{}, o.Workers),
+		taskSlots:  make(chan struct{}, o.Workers),
+		disk:       o.Disk,
+		persistMin: o.PersistThreshold,
 	}
 	if o.CacheSize > 0 {
 		e.cache = newLRUCache(o.CacheSize)
 	}
+	e.warmFromDisk()
 	return e
 }
 
@@ -115,6 +147,18 @@ type Stats struct {
 	EvalNanos       int64 // cumulative wall-clock spent in evaluations
 	EvalCount       int64 // evaluations timed (for mean latency)
 	CacheEvictions  int64 // readouts evicted from the LRU at capacity
+
+	DiskHits        int64 // evaluations served from the persistent disk tier
+	DiskMisses      int64 // disk-tier lookups that fell through
+	DiskEntries     int   // entries currently on disk (0 when the tier is off)
+	DiskWrites      int64 // results persisted to disk
+	DiskWriteErrors int64 // failed disk persists (served result unaffected)
+	Warmed          int64 // disk entries loaded into the LRU at construction
+
+	SurrogateEvals    int64 // evaluations answered by superposition
+	SurrogateAdmitted int64 // surrogate models that passed the admission gate
+	SurrogateRejected int64 // surrogate models rejected by the admission gate
+	SurrogateModels   int   // admitted models currently registered
 }
 
 // MeanLatency returns the average evaluation wall-clock time.
@@ -141,10 +185,26 @@ func (e *Engine) Stats() Stats {
 		EvalNanos:       e.latNanos.Load(),
 		EvalCount:       e.latCount.Load(),
 		CacheEvictions:  e.evicted.Load(),
+
+		DiskHits:        e.diskHits.Load(),
+		DiskMisses:      e.diskMisses.Load(),
+		DiskWrites:      e.diskWrites.Load(),
+		DiskWriteErrors: e.diskWriteErrs.Load(),
+		Warmed:          e.warmed.Load(),
+
+		SurrogateEvals:    e.surrEvals.Load(),
+		SurrogateAdmitted: e.surrAdmitted.Load(),
+		SurrogateRejected: e.surrRejected.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEntries = e.cache.len()
 	}
+	if e.disk != nil {
+		s.DiskEntries = e.disk.Len()
+	}
+	e.surrMu.RLock()
+	s.SurrogateModels = len(e.surrogates)
+	e.surrMu.RUnlock()
 	return s
 }
 
@@ -179,59 +239,17 @@ func bitString(inputs []bool) string {
 }
 
 // Eval evaluates one input case of the backend through the worker pool.
-// Identical requests are served from the LRU cache when the backend is
+// Identical requests are served from the result store (in-memory LRU,
+// then the disk tier when one is attached) when the backend is
 // fingerprintable; identical in-flight requests are coalesced onto one
-// evaluation. The returned map is the caller's to keep.
+// evaluation. Eval is exact-only — the surrogate tier requires
+// EvalTiered with ModeAuto. The returned map is the caller's to keep.
 func (e *Engine) Eval(ctx context.Context, b core.Backend, inputs []bool) (map[string]detect.Readout, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	e.requests.Add(1)
-	mRequests.Inc()
-	key, cacheable := evalKey(b, inputs)
-	if !cacheable {
-		return e.runEval(ctx, b, inputs)
-	}
-	j := journal.Default()
-	if e.cache != nil {
-		if v, ok := e.cache.get(key); ok {
-			e.hits.Add(1)
-			mCacheHits.Inc()
-			if j.Enabled() {
-				j.Emit(journal.RunID(ctx), "engine.cache",
-					journal.F("result", "hit"), journal.F("key", key))
-			}
-			return cloneReadouts(v), nil
-		}
-		e.misses.Add(1)
-		mCacheMisses.Inc()
-		if j.Enabled() {
-			j.Emit(journal.RunID(ctx), "engine.cache",
-				journal.F("result", "miss"), journal.F("key", key))
-		}
-	}
-	v, err, shared := e.flight.do(ctx, key, func() (map[string]detect.Readout, error) {
-		out, err := e.runEval(ctx, b, inputs)
-		if err == nil && e.cache != nil {
-			if n := e.cache.put(key, out); n > 0 {
-				e.evicted.Add(n)
-				mCacheEvictions.Add(n)
-			}
-		}
-		return out, err
-	})
-	if shared {
-		e.deduped.Add(1)
-		mCoalesced.Inc()
-		if j.Enabled() {
-			j.Emit(journal.RunID(ctx), "engine.cache",
-				journal.F("result", "coalesced"), journal.F("key", key))
-		}
-	}
+	res, err := e.EvalTiered(ctx, b, inputs, ModeDirect)
 	if err != nil {
 		return nil, err
 	}
-	return cloneReadouts(v), nil
+	return res.Readouts, nil
 }
 
 // runEval acquires an eval slot and runs the case with context support.

@@ -28,6 +28,17 @@ var (
 	mQueueSeconds   *obs.Histogram
 	mTasks          *obs.Counter
 	mTaskSeconds    *obs.Histogram
+
+	mDiskHits           *obs.Counter
+	mDiskMisses         *obs.Counter
+	mDiskWrites         *obs.Counter
+	mDiskWriteErrs      *obs.Counter
+	mDiskSeconds        *obs.Histogram
+	mWarmed             *obs.Counter
+	mSurrogateEvals     *obs.Counter
+	mSurrogateSeconds   *obs.Histogram
+	mAdmissionsOK       *obs.Counter
+	mAdmissionsRejected *obs.Counter
 )
 
 func initMetrics() {
@@ -59,5 +70,22 @@ func initMetrics() {
 		mTasks = r.Counter("spinwave_engine_tasks_total")
 		r.Describe("spinwave_engine_task_seconds", "wall-clock latency of one coarse task")
 		mTaskSeconds = r.Histogram("spinwave_engine_task_seconds", nil)
+		r.Describe("spinwave_engine_disk_lookups_total", "persistent-tier lookups by result")
+		mDiskHits = r.Counter("spinwave_engine_disk_lookups_total", obs.L("result", "hit"))
+		mDiskMisses = r.Counter("spinwave_engine_disk_lookups_total", obs.L("result", "miss"))
+		r.Describe("spinwave_engine_disk_writes_total", "results persisted to the disk tier by outcome")
+		mDiskWrites = r.Counter("spinwave_engine_disk_writes_total", obs.L("result", "ok"))
+		mDiskWriteErrs = r.Counter("spinwave_engine_disk_writes_total", obs.L("result", "error"))
+		r.Describe("spinwave_engine_disk_seconds", "disk-tier IO latency (reads and writes)")
+		mDiskSeconds = r.Histogram("spinwave_engine_disk_seconds", nil)
+		r.Describe("spinwave_engine_warmed_total", "disk entries loaded into the LRU at engine construction")
+		mWarmed = r.Counter("spinwave_engine_warmed_total")
+		r.Describe("spinwave_engine_surrogate_evals_total", "evaluations answered by the superposition surrogate tier")
+		mSurrogateEvals = r.Counter("spinwave_engine_surrogate_evals_total")
+		r.Describe("spinwave_engine_surrogate_seconds", "wall-clock latency of one surrogate evaluation")
+		mSurrogateSeconds = r.Histogram("spinwave_engine_surrogate_seconds", nil)
+		r.Describe("spinwave_engine_surrogate_admissions_total", "surrogate admission-gate verdicts")
+		mAdmissionsOK = r.Counter("spinwave_engine_surrogate_admissions_total", obs.L("verdict", "admitted"))
+		mAdmissionsRejected = r.Counter("spinwave_engine_surrogate_admissions_total", obs.L("verdict", "rejected"))
 	})
 }

@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spinwave/internal/core"
+	"spinwave/internal/detect"
+)
+
+func testReadouts() map[string]detect.Readout {
+	return map[string]detect.Readout{
+		"O1": {Probe: "O1", Amplitude: 0.5, Phase: 1.25},
+		"O2": {Probe: "O2", Amplitude: 0.5, Phase: 1.25},
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	ds, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "fake/rt/10"
+	if _, ok := ds.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	want := testReadouts()
+	if err := ds.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ds.Get(key)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Fatalf("readout %s = %+v, want %+v", name, got[name], w)
+		}
+	}
+	if n := ds.Len(); n != 1 {
+		t.Fatalf("Len() = %d, want 1", n)
+	}
+}
+
+// TestDiskStoreCorruptionTolerant: a truncated or garbage entry file
+// must read as a miss (and be skipped by Each), never crash or surface
+// bogus readouts — the store's contract with unclean shutdowns.
+func TestDiskStoreCorruptionTolerant(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "fake/corrupt/01"
+	if err := ds.Put(key, testReadouts()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("glob %v, err %v — want exactly one entry file", entries, err)
+	}
+	// Truncate mid-JSON, as a crash during a non-atomic write would.
+	if err := os.WriteFile(entries[0], []byte(`{"version":1,"key":"fake/corrupt/01","readou`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds.Get(key); ok {
+		t.Fatal("Get returned a hit from a truncated entry")
+	}
+	seen := 0
+	ds.Each(func(string, map[string]detect.Readout) bool { seen++; return true })
+	if seen != 0 {
+		t.Fatalf("Each yielded %d corrupt entries, want 0", seen)
+	}
+	// A key whose stored payload was written under a different key (hash
+	// collision or hand-copied file) must also miss.
+	if err := ds.Put("fake/other/11", testReadouts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds.Get("fake/other/11"); !ok {
+		t.Fatal("intact entry must still hit after a corrupt sibling")
+	}
+}
+
+// TestTieredDiskHitAndWarming: results persisted by one engine must be
+// served by the next — from disk directly when the memory tier is off,
+// and from the warmed LRU when it is on.
+func TestTieredDiskHitAndWarming(t *testing.T) {
+	ds, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	in := []bool{true, false}
+	b := newFakeXOR("disk", 0)
+
+	// PersistThreshold 0: even the instant fake evaluation persists.
+	e1 := New(WithWorkers(2), WithDiskStore(ds), WithPersistThreshold(0))
+	res, err := e1.EvalTiered(ctx, b, in, ModeDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != Source("fake") {
+		t.Fatalf("first eval source %q, want computed (fake)", res.Source)
+	}
+	if s := e1.Stats(); s.DiskWrites != 1 || s.DiskEntries != 1 {
+		t.Fatalf("disk writes %d entries %d, want 1/1", s.DiskWrites, s.DiskEntries)
+	}
+
+	// No memory tier: the persistent tier must answer without recompute.
+	e2 := New(WithWorkers(2), WithDiskStore(ds), WithCacheSize(0))
+	res, err = e2.EvalTiered(ctx, b, in, ModeDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceDisk {
+		t.Fatalf("restart eval source %q, want %q", res.Source, SourceDisk)
+	}
+	if got := b.runs.Load(); got != 1 {
+		t.Fatalf("backend ran %d times, want 1 (disk hit must not recompute)", got)
+	}
+
+	// Memory tier on: construction warms the LRU from disk, so the first
+	// request is already a cache hit.
+	e3 := New(WithWorkers(2), WithDiskStore(ds))
+	if s := e3.Stats(); s.Warmed != 1 {
+		t.Fatalf("warmed %d entries, want 1", s.Warmed)
+	}
+	res, err = e3.EvalTiered(ctx, b, in, ModeDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceCache {
+		t.Fatalf("warmed eval source %q, want %q", res.Source, SourceCache)
+	}
+}
+
+// TestPersistThresholdSkipsCheapEvals: a microsecond evaluation under
+// the default 50ms threshold must not touch the disk tier.
+func TestPersistThresholdSkipsCheapEvals(t *testing.T) {
+	ds, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(WithWorkers(2), WithDiskStore(ds))
+	if _, err := e.EvalTiered(context.Background(), newFakeXOR("cheap", 0), []bool{false, true}, ModeDirect); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.DiskWrites != 0 || s.DiskEntries != 0 {
+		t.Fatalf("cheap eval persisted (%d writes, %d entries), want none", s.DiskWrites, s.DiskEntries)
+	}
+}
+
+// fakeSurrogate implements the engine's Surrogate interface with a
+// controllable verdict and eval counter.
+type fakeSurrogate struct {
+	fp        string
+	verifyErr error
+	evals     int
+}
+
+func (f *fakeSurrogate) Kind() core.GateKind     { return core.XOR }
+func (f *fakeSurrogate) BaseFingerprint() string { return f.fp }
+func (f *fakeSurrogate) Verify() error           { return f.verifyErr }
+func (f *fakeSurrogate) Eval([]bool) (map[string]detect.Readout, error) {
+	f.evals++
+	return map[string]detect.Readout{"O1": {Probe: "O1", Amplitude: 0.25}}, nil
+}
+
+// TestAdmissionGate: a model failing Verify must not be registered (and
+// must not displace a previously admitted model), with both verdicts
+// counted.
+func TestAdmissionGate(t *testing.T) {
+	e := New(WithWorkers(1))
+	good := &fakeSurrogate{fp: "fake/adm"}
+	if err := e.AdmitSurrogate(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := &fakeSurrogate{fp: "fake/adm", verifyErr: fmt.Errorf("band violation")}
+	if err := e.AdmitSurrogate(bad); err == nil {
+		t.Fatal("rejected model was admitted")
+	}
+	if s, ok := e.SurrogateFor("fake/adm"); !ok || s != Surrogate(good) {
+		t.Fatal("rejected model displaced the previously admitted one")
+	}
+	st := e.Stats()
+	if st.SurrogateAdmitted != 1 || st.SurrogateRejected != 1 || st.SurrogateModels != 1 {
+		t.Fatalf("admission stats %+v, want 1 admitted / 1 rejected / 1 model", st)
+	}
+	e.DropSurrogate("fake/adm")
+	if _, ok := e.SurrogateFor("fake/adm"); ok {
+		t.Fatal("DropSurrogate left the model registered")
+	}
+}
+
+// TestTieredSurrogateDispatch pins the tier semantics around the
+// surrogate: auto mode serves superposition on a store miss, the
+// surrogate answer is never memoized under the backend's key, exact
+// results still outrank the surrogate, and surrogate-only mode fails
+// with the sentinel when no model is admitted.
+func TestTieredSurrogateDispatch(t *testing.T) {
+	ctx := context.Background()
+	in := []bool{true, true}
+	b := newFakeXOR("sur", 0)
+	e := New(WithWorkers(2))
+
+	// No admitted model: surrogate-only fails with the sentinel; auto
+	// falls through to exact compute.
+	if _, err := e.EvalTiered(ctx, b, in, ModeSurrogateOnly); !errors.Is(err, ErrSurrogateUnavailable) {
+		t.Fatalf("surrogate-only without a model: err = %v, want ErrSurrogateUnavailable", err)
+	}
+	res, err := e.EvalTiered(ctx, b, []bool{false, true}, ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != Source("fake") || b.runs.Load() != 1 {
+		t.Fatalf("auto without a model: source %q after %d runs, want exact compute", res.Source, b.runs.Load())
+	}
+
+	sur := &fakeSurrogate{fp: "fake/sur"}
+	if err := e.AdmitSurrogate(sur); err != nil {
+		t.Fatal(err)
+	}
+
+	// Auto on a cold key: the surrogate answers, the backend does not run,
+	// and nothing is cached under the backend's key.
+	res, err = e.EvalTiered(ctx, b, in, ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceSurrogate || sur.evals != 1 || b.runs.Load() != 1 {
+		t.Fatalf("auto with model: source %q, surrogate evals %d, backend runs %d", res.Source, sur.evals, b.runs.Load())
+	}
+	res, err = e.EvalTiered(ctx, b, in, ModeDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source == SourceCache || b.runs.Load() != 2 {
+		t.Fatalf("direct after surrogate answer: source %q, runs %d — superposed values leaked into the exact store",
+			res.Source, b.runs.Load())
+	}
+
+	// The exact result is now cached, and cache beats surrogate in auto.
+	res, err = e.EvalTiered(ctx, b, in, ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceCache || sur.evals != 1 {
+		t.Fatalf("auto after exact compute: source %q (surrogate evals %d), want cache hit", res.Source, sur.evals)
+	}
+
+	// Surrogate-only always superposes, even with a cached exact result.
+	res, err = e.EvalTiered(ctx, b, in, ModeSurrogateOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceSurrogate || sur.evals != 2 {
+		t.Fatalf("surrogate-only: source %q, surrogate evals %d", res.Source, sur.evals)
+	}
+	if res.Fingerprint != "fake/sur" {
+		t.Fatalf("surrogate-only fingerprint %q, want the base fingerprint", res.Fingerprint)
+	}
+
+	if _, err := e.EvalTiered(ctx, b, in, Mode("warp")); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if s := e.Stats(); s.SurrogateEvals != 2 {
+		t.Fatalf("SurrogateEvals = %d, want 2", s.SurrogateEvals)
+	}
+}
+
+// TestEvalDelegatesToTiered: the classic Eval API must keep its exact
+// cache semantics on top of the tiered path.
+func TestEvalDelegatesToTiered(t *testing.T) {
+	e := New(WithWorkers(2))
+	b := newFakeXOR("delegate", 0)
+	sur := &fakeSurrogate{fp: "fake/delegate"}
+	if err := e.AdmitSurrogate(sur); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Eval(context.Background(), b, []bool{true, false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.runs.Load(); got != 1 {
+		t.Fatalf("backend ran %d times, want 1 (miss then cache hits)", got)
+	}
+	if sur.evals != 0 {
+		t.Fatalf("Eval consulted the surrogate %d times; the direct path must not", sur.evals)
+	}
+}

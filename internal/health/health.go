@@ -53,6 +53,7 @@ package health
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
@@ -563,8 +564,13 @@ func (m *Monitor) watch() {
 // loop's abort poll when AbortOnCritical is set (one atomic load).
 func (m *Monitor) Tripped() bool { return m.tripped.Load() }
 
+// ErrAborted is the sentinel wrapped by every abort error a Monitor
+// returns under AbortOnCritical, so callers (and HTTP error mappers)
+// can classify a health abort with errors.Is without string matching.
+var ErrAborted = errors.New("health: run aborted by critical alert")
+
 // Err returns the abort error when a critical alert fired under
-// AbortOnCritical, else nil.
+// AbortOnCritical, else nil. The error wraps ErrAborted.
 func (m *Monitor) Err() error {
 	if !m.cfg.AbortOnCritical || !m.tripped.Load() {
 		return nil
@@ -573,11 +579,11 @@ func (m *Monitor) Err() error {
 	defer m.mu.Unlock()
 	for _, a := range m.alerts {
 		if a.Severity == Critical {
-			return fmt.Errorf("health: run %s aborted by critical %s alert at step %d: %s",
-				m.runID, a.Rule, a.Step, a.Message)
+			return fmt.Errorf("%w: run %s, critical %s alert at step %d: %s",
+				ErrAborted, m.runID, a.Rule, a.Step, a.Message)
 		}
 	}
-	return fmt.Errorf("health: run %s aborted by critical alert", m.runID)
+	return fmt.Errorf("%w: run %s", ErrAborted, m.runID)
 }
 
 // Verdict aggregates the alerts fired so far into the run verdict.

@@ -1,0 +1,49 @@
+package spinwave
+
+import (
+	"context"
+
+	"spinwave/internal/core"
+	"spinwave/internal/surrogate"
+)
+
+// Surrogate re-exports: the linear-superposition surrogate model runs
+// one solver transient per input port (that port at logic 0, the others
+// muted), stores the per-detector unit phasors, and answers arbitrary
+// input cases as the phase-signed sum of the stored responses —
+// micromagnetic-grade truth tables at microsecond latency. A model is
+// only served after its full truth table passes the paper's golden
+// tolerance bands (Engine.AdmitSurrogate). See internal/surrogate.
+type (
+	// SurrogateModel is an immutable superposition surrogate for one
+	// (backend fingerprint, gate kind); it implements Backend.
+	SurrogateModel = surrogate.Model
+	// SurrogatePortResponse is one input port's unit response: detector
+	// name to complex amplitude when only that port drives at logic 0.
+	SurrogatePortResponse = surrogate.PortResponse
+	// SurrogateSource is a backend that can excite one input port in
+	// isolation — the build primitive (both built-in backends qualify).
+	SurrogateSource = surrogate.UnitRunner
+)
+
+// BuildSurrogate measures one unit transient per input port of src and
+// assembles the surrogate model. src must be canonically fingerprintable
+// (the model is keyed by that identity). The per-port transients are the
+// entire build cost; every later evaluation is a phasor sum.
+func BuildSurrogate(ctx context.Context, src SurrogateSource) (*SurrogateModel, error) {
+	return surrogate.Build(ctx, src)
+}
+
+// NewSurrogateFromPorts assembles a surrogate from pre-measured unit
+// responses (one per input of kind, in InputNames order), for replaying
+// persisted or externally measured port responses.
+func NewSurrogateFromPorts(kind GateKind, baseFingerprint, sourceBackend string, ports []SurrogatePortResponse) (*SurrogateModel, error) {
+	return surrogate.FromPorts(kind, baseFingerprint, sourceBackend, ports)
+}
+
+// statically assert the surrogate model plugs into the evaluation
+// engine's admission gate and backend plumbing.
+var (
+	_ Backend            = (*SurrogateModel)(nil)
+	_ core.Fingerprinter = (*SurrogateModel)(nil)
+)
