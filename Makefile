@@ -1,10 +1,10 @@
 GO ?= go
 
-# Statement-coverage floor for `make cover` (percent). Measured 69.3%
+# Statement-coverage floor for `make cover` (percent). Measured 70.6%
 # with -short; the margin absorbs run-to-run jitter, not regressions.
-COVER_BASELINE ?= 67.0
+COVER_BASELINE ?= 69.0
 
-.PHONY: all build vet test test-race bench bench-pr3 bench-pr5 bench-pr6 bench-compare bench-smoke cover docs-lint journal-smoke health-smoke surrogate-smoke fuzz clean
+.PHONY: all build vet test test-race bench bench-pr3 bench-pr5 bench-pr6 bench-compare bench-smoke cover docs-lint journal-smoke health-smoke surrogate-smoke fleet-smoke fuzz clean
 
 all: build vet test docs-lint
 
@@ -22,13 +22,13 @@ test:
 # tiled LLG solver and its worker pool, the frequency-parallel gates
 # and the metrics registry.
 test-race:
-	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./internal/health/ ./cmd/swserve/
+	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./internal/health/ ./internal/fleet/ ./internal/fleet/faults/ ./cmd/swserve/ ./cmd/swworker/
 
 # Godoc coverage gate (ISSUE 3): every exported identifier in the LLG
 # core, the field evaluator, the gate backends, the flight-recorder
 # packages and the root package must carry a doc comment.
 docs-lint:
-	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal ./internal/health
+	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal ./internal/health ./internal/fleet
 
 # Flight-recorder smoke (ISSUE 4): a short probed XOR case writing the
 # JSONL journal and Chrome trace, then schema-validating the journal.
@@ -71,9 +71,24 @@ cover:
 		if (t+0 < b+0) { printf "FAIL: coverage %.1f%% below baseline %.1f%%\n", t, b; exit 1 } \
 		printf "coverage %.1f%% (baseline %.1f%%)\n", t, b }'
 
-# Fuzz the OVF parser beyond its checked-in seeds.
+# Fleet smoke (ISSUE 7): build the real swserve + swworker binaries,
+# boot a coordinator with a 2s lease and two workers, submit the full
+# XOR table sharded one case per job, SIGKILL whichever worker holds a
+# job mid-case, and require the survivor to complete the table through
+# lease expiry and requeue. The journal must validate and must contain
+# both a claim and a requeue event — the durable-queue recovery story,
+# end to end on the shipped entrypoints.
+fleet-smoke:
+	$(GO) run ./tools/fleetsmoke -journal fleet.jsonl
+	$(GO) run ./tools/journalcheck fleet.jsonl
+	@grep -q '"event":"fleet.claim"' fleet.jsonl || { echo "FAIL: no fleet.claim in fleet.jsonl"; exit 1; }
+	@grep -q '"event":"fleet.requeue"' fleet.jsonl || { echo "FAIL: no fleet.requeue in fleet.jsonl"; exit 1; }
+
+# Fuzz the OVF parser and the fleet job-file parser beyond their
+# checked-in seeds.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzOVFRead -fuzztime 30s ./internal/ovf/
+	$(GO) test -run '^$$' -fuzz FuzzJobFile -fuzztime 30s ./internal/fleet/
 
 # Quick benchmark set; the serial-vs-engine micromagnetic comparison is
 # BenchmarkXORTableMicromag_{Serial,Engine8,EngineWarm}.

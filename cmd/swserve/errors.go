@@ -29,6 +29,7 @@ const (
 	codeCancelled            = "cancelled"
 	codeSurrogateUnavailable = "surrogate_unavailable"
 	codeHealthAbort          = "health_abort"
+	codeStaleClaim           = "stale_claim"
 	codeInternal             = "internal"
 )
 

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"spinwave"
+	"spinwave/internal/core"
+	"spinwave/internal/detect"
+	"spinwave/internal/fleet"
+)
+
+// Fleet surface (-fleet-queue): swserve doubles as the fleet
+// coordinator. Clients submit work at POST /v1/fleet/jobs and poll
+// GET /v1/fleet/jobs/{id}; workers (cmd/swworker) talk to the
+// worker-facing endpoints (register/claim/heartbeat/results). All of
+// them answer failures with the v1 error envelope. The drain rules are
+// asymmetric on purpose: submission, registration and claims refuse
+// while draining (no new work enters a dying coordinator), but
+// heartbeats and result posts stay open so in-flight compute is not
+// lost at shutdown.
+
+// initFleet opens the durable queue at dir and mounts the coordinator
+// on the server. shard is the default cases-per-job split applied to
+// submissions that do not pick their own.
+func (s *server) initFleet(dir string, shard int, opts ...fleet.QueueOption) error {
+	q, err := fleet.OpenQueue(dir, opts...)
+	if err != nil {
+		return err
+	}
+	s.fleet = fleet.NewCoordinator(q)
+	s.fleetShard = shard
+	return nil
+}
+
+// fleetEnabled reports whether the fleet surface is mounted; handlers
+// answer 404 otherwise (the routes only exist when enabled, but tests
+// may call handlers directly).
+func (s *server) fleetEnabled() bool { return s.fleet != nil }
+
+// fleetRoutes mounts the fleet endpoints on mux.
+func (s *server) fleetRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/fleet/jobs", s.withMetrics("/v1/fleet/jobs", s.handleFleetSubmit))
+	mux.HandleFunc("GET /v1/fleet/jobs/{id}", s.withMetrics("/v1/fleet/jobs/id", s.handleFleetStatus))
+	mux.HandleFunc("GET /v1/fleet/workers", s.withMetrics("/v1/fleet/workers", s.handleFleetWorkers))
+	mux.HandleFunc("POST /v1/fleet/register", s.withMetrics("/v1/fleet/register", s.handleFleetRegister))
+	mux.HandleFunc("POST /v1/fleet/claim", s.withMetrics("/v1/fleet/claim", s.handleFleetClaim))
+	mux.HandleFunc("POST /v1/fleet/heartbeat", s.withMetrics("/v1/fleet/heartbeat", s.handleFleetHeartbeat))
+	mux.HandleFunc("POST /v1/fleet/results", s.withMetrics("/v1/fleet/results", s.handleFleetResults))
+}
+
+// fleetJobsRequest is the client-facing submission body: the usual
+// backend selection plus either explicit cases or table=true (the
+// gate's full truth table). Shard picks cases-per-job; 0 takes the
+// server's -fleet-shard default.
+type fleetJobsRequest struct {
+	backendRequest
+	Cases    [][]bool `json:"cases,omitempty"`
+	Table    bool     `json:"table,omitempty"`
+	Inverted bool     `json:"inverted,omitempty"` // XNOR decoding for XOR tables
+	Shard    int      `json:"shard,omitempty"`
+}
+
+// fleetStatusResponse is the request status plus, for completed table
+// requests, the decoded truth table (same shape as POST /v1/table).
+type fleetStatusResponse struct {
+	*fleet.RequestStatus
+	Table *spinwave.TruthTable `json:"table,omitempty"`
+}
+
+// fleetNotFound answers the envelope 404 for unknown fleet IDs.
+func (s *server) fleetNotFound(w http.ResponseWriter, err error) {
+	s.failAs(w, http.StatusNotFound, codeNotFound, false, err.Error())
+}
+
+func (s *server) handleFleetSubmit(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.refuseDraining(w) {
+		return
+	}
+	var req fleetJobsRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	engMode, _, breq, err := resolveMode(req.backendRequest)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	kind, err := parseGate(breq.Gate)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// Validate the rest of the vocabulary eagerly, so a typo fails the
+	// submission instead of burning worker attempts.
+	if _, err := parseSpec(breq.Spec, spinwave.PaperSpec()); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if breq.Material != "" {
+		if _, err := spinwave.MaterialByName(breq.Material); err != nil {
+			s.fail(w, fmt.Errorf("%w: material %q", spinwave.ErrUnknownComponent, breq.Material))
+			return
+		}
+	}
+	cases := req.Cases
+	if req.Table {
+		if len(cases) > 0 {
+			s.badRequest(w, fmt.Errorf("table and cases are mutually exclusive"))
+			return
+		}
+		cases = core.EnumerateInputs(kind.NumInputs())
+	}
+	if len(cases) == 0 {
+		s.badRequest(w, fmt.Errorf("need cases or table=true"))
+		return
+	}
+	for i, c := range cases {
+		if len(c) != kind.NumInputs() {
+			s.badRequest(w, fmt.Errorf("case %d has %d inputs, %s needs %d", i, len(c), kind, kind.NumInputs()))
+			return
+		}
+	}
+	shard := req.Shard
+	if shard <= 0 {
+		shard = s.fleetShard
+	}
+	spec := fleet.JobSpec{
+		Gate:     breq.Gate,
+		Backend:  breq.Backend,
+		Spec:     breq.Spec,
+		Material: breq.Material,
+		Mode:     string(engMode),
+		Table:    req.Table,
+		Inverted: req.Inverted,
+	}
+	st, err := s.fleet.Submit(spec, cases, shard)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	s.reply(w, fleetStatusResponse{RequestStatus: st})
+}
+
+func (s *server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	st, err := s.fleet.Status(r.PathValue("id"))
+	if err != nil {
+		s.fleetNotFound(w, err)
+		return
+	}
+	resp := fleetStatusResponse{RequestStatus: st}
+	if st.State == fleet.RequestComplete && st.Spec.Table {
+		if tt, err := assembleFleetTable(st); err == nil {
+			resp.Table = tt
+		} else {
+			s.fail(w, fmt.Errorf("assembling fleet table for %s: %w", st.ID, err))
+			return
+		}
+	}
+	s.reply(w, resp)
+}
+
+func (s *server) handleFleetWorkers(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.reply(w, map[string]any{
+		"workers":  s.fleet.Workers(),
+		"snapshot": s.fleet.Snapshot(),
+	})
+}
+
+func (s *server) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.refuseDraining(w) {
+		return
+	}
+	var req fleet.RegisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	id, err := s.fleet.Register(req.Worker, req.Host, req.PID)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	lease := s.fleet.Queue().Lease()
+	s.reply(w, fleet.RegisterResponse{
+		Worker:      id,
+		LeaseMS:     lease.Milliseconds(),
+		PollMS:      (lease / 10).Milliseconds(),
+		HeartbeatMS: (lease / 3).Milliseconds(),
+	})
+}
+
+func (s *server) handleFleetClaim(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.refuseDraining(w) {
+		return
+	}
+	var req fleet.ClaimRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		s.badRequest(w, fmt.Errorf("claim needs a worker id"))
+		return
+	}
+	job, err := s.fleet.Claim(req.Worker)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if job == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.reply(w, job)
+}
+
+// handleFleetHeartbeat stays open while draining: a worker mid-job must
+// keep its lease alive so the result it is about to post lands.
+func (s *server) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req fleet.HeartbeatRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.fleet.Heartbeat(req.Worker, req.Job, req.Health); err != nil {
+		switch {
+		case errors.Is(err, fleet.ErrStaleClaim):
+			s.failAs(w, http.StatusConflict, codeStaleClaim, false, err.Error())
+		case errors.Is(err, fleet.ErrNoSuchJob):
+			s.fleetNotFound(w, err)
+		default:
+			s.fail(w, err)
+		}
+		return
+	}
+	s.reply(w, map[string]string{"status": "ok"})
+}
+
+// handleFleetResults stays open while draining: refusing a computed
+// result at shutdown is the one loss leases cannot repair.
+func (s *server) handleFleetResults(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req fleet.ResultRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	applied, err := s.fleet.IngestResult(req.Worker, req.Job, req.Fingerprint, req.Results, req.Error)
+	if err != nil {
+		if errors.Is(err, fleet.ErrNoSuchJob) {
+			s.fleetNotFound(w, err)
+		} else {
+			s.badRequest(w, err)
+		}
+		return
+	}
+	status := fleet.JobDone
+	if j, ok := s.fleet.Queue().Get(req.Job); ok {
+		status = j.Status
+	}
+	s.reply(w, fleet.ResultResponse{Applied: applied, Status: status})
+}
+
+// assembleFleetTable decodes a completed table request's merged case
+// outcomes into the paper's truth table (Table I for majority gates,
+// Table II for XOR/XNOR), exactly as POST /v1/table would have. The
+// coordinator's results arrive in submission order — EnumerateInputs
+// order — so row 0 is the all-zeros normalization reference.
+func assembleFleetTable(st *fleet.RequestStatus) (*spinwave.TruthTable, error) {
+	kind, err := parseGate(st.Spec.Gate)
+	if err != nil {
+		return nil, err
+	}
+	readouts := make([]map[string]detect.Readout, len(st.Results))
+	for i, out := range st.Results {
+		readouts[i] = out.Outputs
+	}
+	if len(readouts) == 0 {
+		return nil, fmt.Errorf("no merged results")
+	}
+	backendName := st.Spec.Backend
+	if backendName == "" {
+		backendName = "behavioral"
+	}
+	if kind == spinwave.XOR {
+		return core.AssembleXORTable(backendName, st.Spec.Inverted, readouts[0], readouts)
+	}
+	return core.AssembleMajorityTable(kind, backendName, readouts[0], readouts)
+}
+
+// fleetHealth is the deep-healthz fleet section: queue stats, worker
+// counts, and the durability probe (the queue directory must still
+// accept atomic writes). An unwritable queue marks the instance
+// unhealthy — it can hand out work but cannot record any outcome.
+func (s *server) fleetHealth() (section map[string]any, healthy bool) {
+	snap := s.fleet.Snapshot()
+	section = map[string]any{
+		"queue":             snap.Queue,
+		"workers":           snap.Workers,
+		"workers_lost":      snap.WorkersLost,
+		"requests":          snap.Requests,
+		"requests_complete": snap.RequestsComplete,
+		"duplicate_results": snap.DuplicateResults,
+	}
+	healthy = true
+	if err := s.fleet.Queue().WritableProbe(); err != nil {
+		section["error"] = err.Error()
+		healthy = false
+	}
+	return section, healthy
+}

@@ -113,6 +113,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// blind.
 	resp["journal_sinks"] = journal.Default().Sinks()
 
+	// Fleet coordinator state: queue counts, worker liveness, and the
+	// queue-directory durability probe. An unwritable queue means no
+	// outcome can be recorded, so the instance is not ready.
+	if s.fleetEnabled() {
+		section, ok := s.fleetHealth()
+		resp["fleet"] = section
+		if !ok {
+			healthy = false
+		}
+	}
+
 	// Surrogate admission state: a rejected, failed or stale startup
 	// surrogate means "surrogate"-mode traffic the operator configured
 	// would 503, so the instance is not ready.

@@ -44,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,6 +56,7 @@ import (
 
 	"spinwave"
 	"spinwave/internal/core"
+	"spinwave/internal/fleet"
 	"spinwave/internal/journal"
 )
 
@@ -76,6 +78,10 @@ func main() {
 	storeDir := flag.String("store", "", "disk-backed result store directory (persists expensive readouts across restarts; empty disables)")
 	surrogateGates := flag.String("surrogate", "", "comma-separated gates to build superposition surrogates for at startup (e.g. xor,maj3)")
 	surrogateBackend := flag.String("surrogate-backend", "micromag", "backend the startup surrogates are built from (micromag or behavioral)")
+	fleetQueue := flag.String("fleet-queue", "", "durable fleet job-queue directory; enables the coordinator and the /v1/fleet endpoints")
+	fleetLease := flag.Duration("fleet-lease", fleet.DefaultLease, "fleet claim lease; a worker silent this long loses its job to a peer")
+	fleetShard := flag.Int("fleet-shard", 4, "default cases per fleet job (submissions may pick their own shard)")
+	journalFile := flag.String("journal", "", "append journal events as JSONL to this file (fleet.*, alert, run lifecycle)")
 	flag.Parse()
 
 	var opts []spinwave.EngineOption
@@ -96,6 +102,16 @@ func main() {
 	srv.pprofOn = *pprofOn
 	srv.slo = newSLOTracker(*sloWindow, *sloObjective, *sloLatency)
 	srv.publishVars()
+	if *journalFile != "" {
+		// Attach before anything emits, so fleet/alert events from queue
+		// recovery land in the file too.
+		f, err := os.OpenFile(*journalFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		defer journal.Default().Attach(journal.NewWriterSink(f))()
+	}
 	if *surrogateGates != "" {
 		// Build and gate the surrogates before accepting traffic, so a
 		// "surrogate"-mode request never races the admission verdict.
@@ -104,13 +120,29 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *fleetQueue != "" {
+		if err := srv.initFleet(*fleetQueue, *fleetShard, fleet.WithLease(*fleetLease)); err != nil {
+			log.Fatal(err)
+		}
+		// Background lease sweeper: recovery must not depend on a worker
+		// happening to poll.
+		go srv.fleet.Run(ctx, 0)
+	}
+
+	httpSrv := &http.Server{Handler: srv.routes()}
+
+	// Listen explicitly (rather than ListenAndServe) so -addr :0 works
+	// and the log line names the actual port — the fleet smoke harness
+	// parses it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers)", *addr, srv.eng.Workers())
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s (%d workers)", ln.Addr(), srv.eng.Workers())
 
 	select {
 	case err := <-errc:
@@ -158,6 +190,10 @@ type server struct {
 	started   time.Time
 	surrogate surrogateLedger
 
+	// Fleet coordinator (fleet.go); nil unless -fleet-queue is set.
+	fleet      *fleet.Coordinator
+	fleetShard int
+
 	requests  atomic.Int64
 	errors    atomic.Int64
 	evalCases atomic.Int64
@@ -195,6 +231,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/runs", s.withMetrics("/v1/runs", s.handleRuns))
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.withMetrics("/v1/runs/events", s.handleRunEvents))
 	mux.HandleFunc("GET /v1/runs/{id}/probes", s.withMetrics("/v1/runs/probes", s.handleRunProbes))
+	if s.fleetEnabled() {
+		s.fleetRoutes(mux)
+	}
 	if s.pprofOn {
 		registerPprof(mux)
 	}

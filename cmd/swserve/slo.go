@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"spinwave/internal/fleet"
 	"spinwave/internal/obs"
 )
 
@@ -193,11 +194,20 @@ func (t *sloTracker) report() sloReport {
 type sloResponse struct {
 	sloReport
 	Surrogate []surrogateEntry `json:"surrogate,omitempty"`
+	// Fleet is the coordinator snapshot (queue depth, lost workers,
+	// duplicate results) — the fleet's own budget signals — present only
+	// when the fleet surface is enabled.
+	Fleet *fleet.Snapshot `json:"fleet,omitempty"`
 }
 
 // handleSLO serves the rolling-window SLO state. Like /metrics it stays
 // readable while draining: burn rates are exactly what an operator
 // wants to see from a terminating instance.
 func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
-	s.reply(w, sloResponse{sloReport: s.slo.report(), Surrogate: s.surrogateSnapshot()})
+	resp := sloResponse{sloReport: s.slo.report(), Surrogate: s.surrogateSnapshot()}
+	if s.fleetEnabled() {
+		snap := s.fleet.Snapshot()
+		resp.Fleet = &snap
+	}
+	s.reply(w, resp)
 }

@@ -45,22 +45,34 @@ type specResponse struct {
 // /metrics) it stays available while draining.
 func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	goVersion, revision := buildVersion()
+	endpoints := []endpointSpec{
+		{"POST", "/v1/eval", "evaluate one input case or a batch of cases"},
+		{"POST", "/v1/table", "evaluate a full truth table (paper Tables I/II)"},
+		{"GET", "/v1/spec", "this API description"},
+		{"GET", "/v1/healthz", "liveness probe; ?deep=1 adds canary, pool, fleet and surrogate state"},
+		{"GET", "/v1/slo", "rolling-window SLO state with burn rates"},
+		{"GET", "/v1/runs", "run IDs with retained probe data"},
+		{"GET", "/v1/runs/{id}/events", "NDJSON live tail of the run journal"},
+		{"GET", "/v1/runs/{id}/probes", "probe time-series (JSON, ?format=csv)"},
+		{"GET", "/metrics", "Prometheus text exposition"},
+		{"GET", "/debug/vars", "expvar counters"},
+	}
+	if s.fleetEnabled() {
+		endpoints = append(endpoints,
+			endpointSpec{"POST", "/v1/fleet/jobs", "submit cases or a truth table to the worker fleet"},
+			endpointSpec{"GET", "/v1/fleet/jobs/{id}", "fleet request status (merged results, decoded table)"},
+			endpointSpec{"GET", "/v1/fleet/workers", "registered workers with liveness and node health"},
+			endpointSpec{"POST", "/v1/fleet/register", "worker: register with the coordinator"},
+			endpointSpec{"POST", "/v1/fleet/claim", "worker: claim the next job (204 when idle)"},
+			endpointSpec{"POST", "/v1/fleet/heartbeat", "worker: extend a job lease, report node health"},
+			endpointSpec{"POST", "/v1/fleet/results", "worker: post a job's results (idempotent)"},
+		)
+	}
 	s.reply(w, specResponse{
 		Service:     "swserve",
 		GoVersion:   goVersion,
 		VCSRevision: revision,
-		Endpoints: []endpointSpec{
-			{"POST", "/v1/eval", "evaluate one input case or a batch of cases"},
-			{"POST", "/v1/table", "evaluate a full truth table (paper Tables I/II)"},
-			{"GET", "/v1/spec", "this API description"},
-			{"GET", "/v1/healthz", "liveness probe; ?deep=1 adds canary, pool and surrogate state"},
-			{"GET", "/v1/slo", "rolling-window SLO state with burn rates"},
-			{"GET", "/v1/runs", "run IDs with retained probe data"},
-			{"GET", "/v1/runs/{id}/events", "NDJSON live tail of the run journal"},
-			{"GET", "/v1/runs/{id}/probes", "probe time-series (JSON, ?format=csv)"},
-			{"GET", "/metrics", "Prometheus text exposition"},
-			{"GET", "/debug/vars", "expvar counters"},
-		},
+		Endpoints:   endpoints,
 		Gates: []string{"maj3", "maj3single", "xor", "maj5"},
 		Modes: []string{"auto", "surrogate", "micromag", "behavioral"},
 		// The materials list mirrors spinwave.MaterialByName's presets.
@@ -76,7 +88,7 @@ func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		ErrorCodes: []string{
 			codeBadRequest, codeUnknownGate, codeMethodNotAllowed, codeNotFound,
 			codeDraining, codeDeadline, codeCancelled, codeSurrogateUnavailable,
-			codeHealthAbort, codeInternal,
+			codeHealthAbort, codeStaleClaim, codeInternal,
 		},
 		MaxBatch:         s.maxBatch,
 		DefaultTimeoutMS: s.defaultTimeout.Milliseconds(),

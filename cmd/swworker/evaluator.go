@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"spinwave"
+	"spinwave/internal/fleet"
+)
+
+// newEvaluator adapts the tiered engine to the fleet.Evaluator
+// interface: each job's spec is resolved to a backend + serving mode
+// with the same vocabulary as the swserve /v1 API, and every case runs
+// through the engine so the node's cache/disk/surrogate tiers answer
+// before its solver does.
+func newEvaluator(eng *spinwave.Engine) fleet.Evaluator {
+	return fleet.EvaluatorFunc(func(ctx context.Context, spec fleet.JobSpec, cases [][]bool) (string, []fleet.CaseOutcome, error) {
+		b, mode, err := buildBackend(spec)
+		if err != nil {
+			return "", nil, err
+		}
+		out := make([]fleet.CaseOutcome, len(cases))
+		var fp string
+		for i, c := range cases {
+			res, err := eng.EvalTiered(ctx, b, c, mode)
+			if err != nil {
+				return "", nil, err
+			}
+			out[i] = fleet.CaseOutcome{Inputs: c, Outputs: res.Readouts, Source: string(res.Source)}
+			fp = res.Fingerprint
+		}
+		return fp, out, nil
+	})
+}
+
+// buildBackend resolves a job spec to a spinwave backend and engine
+// serving mode. The vocabulary matches the swserve API: gate
+// (xor/maj3/maj3single/maj5), backend (behavioral/micromag), spec
+// (paper/paper-micromag/reduced), material (fecob/yig/permalloy), mode
+// (direct/auto/surrogate, empty = direct).
+func buildBackend(spec fleet.JobSpec) (spinwave.Backend, spinwave.EvalMode, error) {
+	var kind spinwave.GateKind
+	switch strings.ToLower(spec.Gate) {
+	case "maj3", "majority":
+		kind = spinwave.MAJ3
+	case "maj3single", "maj3-single":
+		kind = spinwave.MAJ3Single
+	case "xor":
+		kind = spinwave.XOR
+	case "maj5":
+		kind = spinwave.MAJ5
+	default:
+		return nil, "", fmt.Errorf("swworker: unknown gate %q", spec.Gate)
+	}
+
+	var mode spinwave.EvalMode
+	switch strings.ToLower(spec.Mode) {
+	case "", "direct":
+		mode = spinwave.EvalModeDirect
+	case "auto":
+		mode = spinwave.EvalModeAuto
+	case "surrogate":
+		mode = spinwave.EvalModeSurrogateOnly
+	default:
+		return nil, "", fmt.Errorf("swworker: unknown mode %q (want direct, auto or surrogate)", spec.Mode)
+	}
+
+	mat := spinwave.FeCoB()
+	if spec.Material != "" {
+		var err error
+		if mat, err = spinwave.MaterialByName(spec.Material); err != nil {
+			return nil, "", fmt.Errorf("swworker: material %q: %w", spec.Material, err)
+		}
+	}
+
+	switch strings.ToLower(spec.Backend) {
+	case "", "behavioral":
+		s, err := parseSpec(spec.Spec, spinwave.PaperSpec())
+		if err != nil {
+			return nil, "", err
+		}
+		b, err := spinwave.NewBehavioral(kind, s, mat)
+		return b, mode, err
+	case "micromag", "micromagnetic":
+		s, err := parseSpec(spec.Spec, spinwave.ReducedSpec())
+		if err != nil {
+			return nil, "", err
+		}
+		b, err := spinwave.NewMicromagnetic(kind,
+			spinwave.WithSpec(s), spinwave.WithMaterial(mat))
+		return b, mode, err
+	default:
+		return nil, "", fmt.Errorf("swworker: unknown backend %q (want behavioral or micromag)", spec.Backend)
+	}
+}
+
+func parseSpec(name string, fallback spinwave.Spec) (spinwave.Spec, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return fallback, nil
+	case "paper":
+		return spinwave.PaperSpec(), nil
+	case "paper-micromag":
+		return spinwave.PaperMicromagSpec(), nil
+	case "reduced":
+		return spinwave.ReducedSpec(), nil
+	default:
+		return spinwave.Spec{}, fmt.Errorf("swworker: unknown spec %q (want paper, paper-micromag or reduced)", name)
+	}
+}

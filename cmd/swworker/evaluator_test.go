@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"spinwave"
+	"spinwave/internal/fleet"
+)
+
+func TestBuildBackendVocabulary(t *testing.T) {
+	good := []fleet.JobSpec{
+		{Gate: "xor"},
+		{Gate: "XOR", Backend: "behavioral", Spec: "paper", Material: "fecob", Mode: "direct"},
+		{Gate: "maj3", Mode: "auto"},
+		{Gate: "majority"},
+		{Gate: "maj3single"},
+		{Gate: "maj3-single"},
+		{Gate: "maj5", Spec: "paper"},
+		{Gate: "xor", Backend: "micromag", Spec: "reduced"},
+		{Gate: "xor", Backend: "micromagnetic", Spec: "paper-micromag"},
+	}
+	for _, spec := range good {
+		if _, _, err := buildBackend(spec); err != nil {
+			t.Errorf("buildBackend(%+v) = %v, want ok", spec, err)
+		}
+	}
+
+	bad := []struct {
+		spec fleet.JobSpec
+		want string
+	}{
+		{fleet.JobSpec{Gate: "nand"}, "unknown gate"},
+		{fleet.JobSpec{Gate: ""}, "unknown gate"},
+		{fleet.JobSpec{Gate: "xor", Mode: "psychic"}, "unknown mode"},
+		{fleet.JobSpec{Gate: "xor", Backend: "quantum"}, "unknown backend"},
+		{fleet.JobSpec{Gate: "xor", Spec: "imaginary"}, "unknown spec"},
+		{fleet.JobSpec{Gate: "xor", Material: "unobtainium"}, "material"},
+	}
+	for _, tc := range bad {
+		_, _, err := buildBackend(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("buildBackend(%+v) = %v, want error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestBuildBackendModes(t *testing.T) {
+	for spec, want := range map[string]spinwave.EvalMode{
+		"":          spinwave.EvalModeDirect,
+		"direct":    spinwave.EvalModeDirect,
+		"auto":      spinwave.EvalModeAuto,
+		"surrogate": spinwave.EvalModeSurrogateOnly,
+	} {
+		_, mode, err := buildBackend(fleet.JobSpec{Gate: "xor", Mode: spec})
+		if err != nil {
+			t.Fatalf("mode %q: %v", spec, err)
+		}
+		if mode != want {
+			t.Errorf("mode %q resolved to %q, want %q", spec, mode, want)
+		}
+	}
+}
+
+func TestEvaluatorEvaluatesCases(t *testing.T) {
+	eng := spinwave.NewEngine(spinwave.WithEngineWorkers(2))
+	ev := newEvaluator(eng)
+
+	cases := [][]bool{{false, false}, {true, false}}
+	fp, results, err := ev.Evaluate(context.Background(), fleet.JobSpec{Gate: "xor"}, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == "" {
+		t.Error("empty fingerprint")
+	}
+	if len(results) != len(cases) {
+		t.Fatalf("%d results for %d cases", len(results), len(cases))
+	}
+	for i, r := range results {
+		if len(r.Outputs) == 0 {
+			t.Errorf("case %d has no readouts", i)
+		}
+		if r.Source == "" {
+			t.Errorf("case %d has no source tier", i)
+		}
+		for b, in := range r.Inputs {
+			if in != cases[i][b] {
+				t.Errorf("case %d echoes inputs %v, want %v", i, r.Inputs, cases[i])
+			}
+		}
+	}
+
+	// Same spec, bad gate: the evaluator surfaces the resolution error.
+	if _, _, err := ev.Evaluate(context.Background(), fleet.JobSpec{Gate: "bogus"}, cases); err == nil {
+		t.Error("bogus gate evaluated without error")
+	}
+}
+
+func TestNodeHealthShape(t *testing.T) {
+	eng := spinwave.NewEngine(spinwave.WithEngineWorkers(1))
+	h := nodeHealth(eng)
+	if h["engine"] == nil {
+		t.Error("node health missing engine stats")
+	}
+	if pid, ok := h["pid"].(int); !ok || pid <= 0 {
+		t.Errorf("node health pid = %v", h["pid"])
+	}
+	if h["time"] == "" {
+		t.Error("node health missing timestamp")
+	}
+}

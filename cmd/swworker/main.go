@@ -1,0 +1,82 @@
+// Command swworker is the fleet worker: it registers with a
+// coordinator (swserve started with -fleet-queue), polls for jobs,
+// evaluates their cases through its own tiered engine — so the memory
+// cache, disk store, and admitted surrogates apply per node — and posts
+// results plus node health back over HTTP.
+//
+//	swworker -coordinator http://127.0.0.1:8080 -workers 8 -store /var/lib/spinwave
+//
+// The worker is stateless beyond its engine tiers: kill it at any
+// moment and the coordinator's lease expiry requeues whatever it held;
+// restart it and it re-registers under a fresh (or the -id pinned) name.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spinwave"
+	"spinwave/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swworker: ")
+	coordinator := flag.String("coordinator", "http://127.0.0.1:8080", "coordinator base URL (swserve with -fleet-queue)")
+	id := flag.String("id", "", "worker ID to register under (empty = coordinator-assigned)")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = NumCPU)")
+	cacheSize := flag.Int("cache", 4096, "engine LRU capacity in cached case readouts (0 disables)")
+	storeDir := flag.String("store", "", "disk-backed result store directory (per-node tier; empty disables)")
+	poll := flag.Duration("poll", 0, "idle re-poll interval (0 = coordinator-suggested)")
+	caseDelay := flag.Duration("case-delay", 0, "artificial per-case delay (test/smoke aid: makes mid-job kills reliable)")
+	flag.Parse()
+
+	var opts []spinwave.EngineOption
+	if *workers > 0 {
+		opts = append(opts, spinwave.WithEngineWorkers(*workers))
+	}
+	opts = append(opts, spinwave.WithEngineCacheSize(*cacheSize))
+	if *storeDir != "" {
+		store, err := spinwave.OpenDiskStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, spinwave.WithEngineDiskStore(store))
+	}
+	eng := spinwave.NewEngine(opts...)
+
+	w := &fleet.Worker{
+		BaseURL:   *coordinator,
+		Eval:      newEvaluator(eng),
+		ID:        *id,
+		Poll:      *poll,
+		CaseDelay: *caseDelay,
+		Health:    func() map[string]any { return nodeHealth(eng) },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("worker starting, coordinator %s", *coordinator)
+	err := w.Run(ctx)
+	log.Printf("worker %s stopping after %d jobs: %v", w.ID, w.JobsDone(), err)
+	if ctx.Err() == nil && err != nil {
+		os.Exit(1)
+	}
+}
+
+// nodeHealth is the per-node health snapshot attached to heartbeats:
+// the engine tier statistics (cache/disk/surrogate hits, evaluations,
+// coalesced calls) the coordinator forwards to /v1/fleet/workers and
+// deep healthz.
+func nodeHealth(eng *spinwave.Engine) map[string]any {
+	return map[string]any{
+		"engine": eng.Stats(),
+		"pid":    os.Getpid(),
+		"time":   time.Now().UTC().Format(time.RFC3339),
+	}
+}

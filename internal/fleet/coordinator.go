@@ -1,0 +1,479 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spinwave/internal/journal"
+)
+
+// Coordinator shards evaluation requests into queued jobs, tracks the
+// worker pool, and merges ingested results back into per-request
+// answers. It is a thin, restartable layer over the durable Queue: on
+// construction it rebuilds every request (including merged results of
+// already-done jobs) from the job files alone, so losing the coordinator
+// process never loses fleet state. Safe for concurrent use.
+type Coordinator struct {
+	q     *Queue
+	clock Clock
+
+	mu       sync.Mutex
+	requests map[string]*request
+	workers  map[string]*workerState
+
+	dupResults atomic.Int64
+}
+
+// request is the in-memory aggregation of one submitted request.
+type request struct {
+	id          string
+	spec        JobSpec
+	cases       [][]bool
+	jobIDs      []string
+	submittedNS int64
+	// merged holds accepted case outcomes keyed by
+	// fingerprint + "/" + bitString(inputs) — the idempotency key of
+	// result ingestion. A batch repeating a case shares one slot, and
+	// requeue-race duplicates land on an existing key and are dropped.
+	merged      map[string]CaseOutcome
+	fingerprint string
+	completedAt int64 // Unix ns of the ingest that completed the request
+}
+
+// workerState tracks one registered worker.
+type workerState struct {
+	id         string
+	host       string
+	pid        int
+	registered time.Time
+	lastSeen   time.Time
+	done       int64
+	failed     int64
+	health     map[string]any
+}
+
+// RequestState is the aggregate lifecycle state of a fleet request.
+type RequestState string
+
+// Request lifecycle states.
+const (
+	// RequestPending means no case has a result yet.
+	RequestPending RequestState = "pending"
+	// RequestRunning means some, not all, cases have results.
+	RequestRunning RequestState = "running"
+	// RequestComplete means every case has exactly one merged result.
+	RequestComplete RequestState = "complete"
+	// RequestFailed means a job exhausted its attempts; the request
+	// cannot complete.
+	RequestFailed RequestState = "failed"
+)
+
+// JobStatusBrief is one job's state inside a RequestStatus.
+type JobStatusBrief struct {
+	ID       string    `json:"id"`
+	Status   JobStatus `json:"status"`
+	Worker   string    `json:"worker,omitempty"`
+	Attempts int       `json:"attempts"`
+	Cases    int       `json:"cases"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// RequestStatus is the externally visible state of one request.
+type RequestStatus struct {
+	ID          string           `json:"request_id"`
+	State       RequestState     `json:"state"`
+	Spec        JobSpec          `json:"spec"`
+	CasesTotal  int              `json:"cases_total"`
+	CasesDone   int              `json:"cases_done"`
+	Jobs        []JobStatusBrief `json:"jobs"`
+	Fingerprint string           `json:"fingerprint,omitempty"`
+	// Results holds one outcome per submitted case, in submission order,
+	// populated only when State is complete.
+	Results []CaseOutcome `json:"results,omitempty"`
+}
+
+// WorkerStatus is the externally visible state of one worker.
+type WorkerStatus struct {
+	ID         string `json:"id"`
+	Host       string `json:"host,omitempty"`
+	PID        int    `json:"pid,omitempty"`
+	State      string `json:"state"` // active, idle, lost
+	LastSeenMS int64  `json:"last_seen_ms"`
+	ActiveJobs int    `json:"active_jobs"`
+	Done       int64  `json:"done"`
+	Failed     int64  `json:"failed"`
+	// Health is the worker's self-reported node health (engine stats,
+	// store tiers), forwarded verbatim from its last heartbeat.
+	Health map[string]any `json:"health,omitempty"`
+}
+
+// Snapshot is the fleet state surfaced to deep healthz and /v1/slo.
+type Snapshot struct {
+	Queue            QueueStats `json:"queue"`
+	Workers          int        `json:"workers"`
+	WorkersLost      int        `json:"workers_lost"`
+	Requests         int        `json:"requests"`
+	RequestsComplete int        `json:"requests_complete"`
+	DuplicateResults int64      `json:"duplicate_results"`
+}
+
+// NewCoordinator builds a coordinator over the queue, rebuilding request
+// state from the queue's job files (grouped by their request field).
+func NewCoordinator(q *Queue) *Coordinator {
+	c := &Coordinator{
+		q:        q,
+		clock:    q.clock,
+		requests: make(map[string]*request),
+		workers:  make(map[string]*workerState),
+	}
+	for _, j := range q.Jobs() {
+		if j.Request == "" {
+			continue
+		}
+		r := c.requests[j.Request]
+		if r == nil {
+			r = &request{id: j.Request, spec: j.Spec, merged: make(map[string]CaseOutcome),
+				submittedNS: j.SubmittedNS}
+			c.requests[j.Request] = r
+		}
+		r.jobIDs = append(r.jobIDs, j.ID)
+		r.cases = append(r.cases, j.Cases...)
+		if j.Status == JobDone {
+			r.fingerprint = j.Fingerprint
+			for _, out := range j.Results {
+				r.merged[resultKey(j.Fingerprint, out.Inputs)] = out
+			}
+		}
+	}
+	return c
+}
+
+// Queue returns the coordinator's underlying durable queue.
+func (c *Coordinator) Queue() *Queue { return c.q }
+
+// resultKey is the idempotency key of one case result.
+func resultKey(fingerprint string, inputs []bool) string {
+	return fingerprint + "/" + bitString(inputs)
+}
+
+// Submit shards the cases into jobs of at most shard cases each (shard
+// < 1 selects one job per request) and queues them under a fresh
+// request ID.
+func (c *Coordinator) Submit(spec JobSpec, cases [][]bool, shard int) (*RequestStatus, error) {
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("fleet: request needs at least one case")
+	}
+	if shard < 1 || shard > len(cases) {
+		shard = len(cases)
+	}
+	reqID := "q" + randomHex(8)
+	r := &request{id: reqID, spec: spec, cases: cases,
+		merged: make(map[string]CaseOutcome), submittedNS: c.clock.Now().UnixNano()}
+	var jobs []*Job
+	for i := 0; i < len(cases); i += shard {
+		end := i + shard
+		if end > len(cases) {
+			end = len(cases)
+		}
+		jobs = append(jobs, &Job{
+			ID:      fmt.Sprintf("%s-%03d", reqID, len(jobs)),
+			Request: reqID,
+			Spec:    spec,
+			Cases:   cases[i:end],
+		})
+	}
+	for _, j := range jobs {
+		if err := c.q.Submit(j); err != nil {
+			return nil, err
+		}
+		r.jobIDs = append(r.jobIDs, j.ID)
+	}
+	c.mu.Lock()
+	c.requests[reqID] = r
+	c.mu.Unlock()
+	mRequests.Inc()
+	if jd := journal.Default(); jd.Enabled() {
+		jd.Emit("", "fleet.request",
+			journal.F("request", reqID),
+			journal.F("status", "submitted"),
+			journal.F("gate", spec.Gate),
+			journal.F("cases", len(cases)),
+			journal.F("jobs", len(jobs)))
+	}
+	return c.Status(reqID)
+}
+
+// Status reports the aggregate state of a request. The error is
+// ErrNoSuchJob-wrapped for unknown IDs.
+func (c *Coordinator) Status(reqID string) (*RequestStatus, error) {
+	c.mu.Lock()
+	r, ok := c.requests[reqID]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: request %s", ErrNoSuchJob, reqID)
+	}
+	st := &RequestStatus{ID: r.id, Spec: r.spec}
+	anyFailed := false
+	for _, jid := range r.jobIDs {
+		j, ok := c.q.Get(jid)
+		if !ok {
+			continue
+		}
+		st.Jobs = append(st.Jobs, JobStatusBrief{ID: j.ID, Status: j.Status,
+			Worker: j.Worker, Attempts: j.Attempts, Cases: len(j.Cases), Error: j.Error})
+		if j.Status == JobFailed {
+			anyFailed = true
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st.CasesTotal = len(r.cases)
+	st.Fingerprint = r.fingerprint
+	done := 0
+	for _, in := range r.cases {
+		if _, ok := r.merged[resultKey(r.fingerprint, in)]; ok {
+			done++
+		}
+	}
+	st.CasesDone = done
+	switch {
+	case anyFailed:
+		st.State = RequestFailed
+	case done == len(r.cases):
+		st.State = RequestComplete
+		st.Results = make([]CaseOutcome, len(r.cases))
+		for i, in := range r.cases {
+			st.Results[i] = r.merged[resultKey(r.fingerprint, in)]
+		}
+	case done == 0:
+		st.State = RequestPending
+	default:
+		st.State = RequestRunning
+	}
+	return st, nil
+}
+
+// Requests lists every tracked request ID, newest first.
+func (c *Coordinator) Requests() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.requests))
+	for id := range c.requests {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return c.requests[ids[a]].submittedNS > c.requests[ids[b]].submittedNS
+	})
+	return ids
+}
+
+// Register adds (or refreshes) a worker, assigning an ID when the
+// worker did not bring one.
+func (c *Coordinator) Register(workerID, host string, pid int) (string, error) {
+	if workerID == "" {
+		workerID = "w" + randomHex(6)
+	}
+	if !validID(workerID) {
+		return "", fmt.Errorf("fleet: worker id %q: want 1-64 chars of [a-zA-Z0-9._-]", workerID)
+	}
+	now := c.clock.Now()
+	c.mu.Lock()
+	w := c.workers[workerID]
+	if w == nil {
+		w = &workerState{id: workerID, registered: now}
+		c.workers[workerID] = w
+		mWorkersSeen.Inc()
+	}
+	w.host = host
+	w.pid = pid
+	w.lastSeen = now
+	c.mu.Unlock()
+	if jd := journal.Default(); jd.Enabled() {
+		jd.Emit("", "fleet.worker",
+			journal.F("worker", workerID),
+			journal.F("status", "registered"),
+			journal.F("host", host))
+	}
+	return workerID, nil
+}
+
+// Claim hands the next job to the worker (nil when the queue is idle)
+// and refreshes the worker's liveness.
+func (c *Coordinator) Claim(workerID string) (*Job, error) {
+	c.touch(workerID, nil)
+	return c.q.Claim(workerID)
+}
+
+// Heartbeat extends the worker's lease on a job and records the
+// worker's self-reported health snapshot.
+func (c *Coordinator) Heartbeat(workerID, jobID string, health map[string]any) error {
+	c.touch(workerID, health)
+	return c.q.Heartbeat(jobID, workerID)
+}
+
+// IngestResult applies one job's outcome. An evalErr fails the job
+// (requeue or terminal); otherwise the results are completed on the
+// queue and merged into the parent request under (fingerprint, inputs)
+// keys. Duplicate posts report applied=false and are counted, never
+// double-applied.
+func (c *Coordinator) IngestResult(workerID, jobID, fingerprint string, results []CaseOutcome, evalErr string) (applied bool, err error) {
+	c.touch(workerID, nil)
+	if evalErr != "" {
+		c.mu.Lock()
+		if w := c.workers[workerID]; w != nil {
+			w.failed++
+		}
+		c.mu.Unlock()
+		return false, c.q.Fail(jobID, workerID, evalErr)
+	}
+	applied, err = c.q.Complete(jobID, workerID, fingerprint, results)
+	if err != nil {
+		return false, err
+	}
+	if !applied {
+		c.dupResults.Add(1)
+		return false, nil
+	}
+	c.mu.Lock()
+	if w := c.workers[workerID]; w != nil {
+		w.done++
+	}
+	j, _ := c.q.Get(jobID)
+	var completedReq string
+	var completedCases int
+	if j != nil && j.Request != "" {
+		if r := c.requests[j.Request]; r != nil {
+			r.fingerprint = fingerprint
+			for _, out := range results {
+				key := resultKey(fingerprint, out.Inputs)
+				if _, dup := r.merged[key]; dup {
+					c.dupResults.Add(1)
+					mResultsDuplicate.Inc()
+					continue
+				}
+				r.merged[key] = out
+			}
+			done := 0
+			for _, in := range r.cases {
+				if _, ok := r.merged[resultKey(r.fingerprint, in)]; ok {
+					done++
+				}
+			}
+			if done == len(r.cases) && r.completedAt == 0 {
+				r.completedAt = c.clock.Now().UnixNano()
+				completedReq = r.id
+				completedCases = len(r.cases)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if completedReq != "" {
+		mRequestsComplete.Inc()
+		if jd := journal.Default(); jd.Enabled() {
+			jd.Emit("", "fleet.request",
+				journal.F("request", completedReq),
+				journal.F("status", "complete"),
+				journal.F("cases", completedCases))
+		}
+	}
+	return true, nil
+}
+
+// touch refreshes a worker's liveness (and health snapshot, when given).
+func (c *Coordinator) touch(workerID string, health map[string]any) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	if w := c.workers[workerID]; w != nil {
+		w.lastSeen = now
+		if health != nil {
+			w.health = health
+		}
+	}
+	c.mu.Unlock()
+}
+
+// lostAfter is how stale a worker's lastSeen may be before it is
+// reported lost: long enough to ride out one missed heartbeat, short
+// enough that a SIGKILLed worker shows up quickly.
+func (c *Coordinator) lostAfter() time.Duration { return 3 * c.q.Lease() }
+
+// Workers reports every registered worker, sorted by ID.
+func (c *Coordinator) Workers() []WorkerStatus {
+	now := c.clock.Now()
+	active := make(map[string]int)
+	for _, j := range c.q.Jobs() {
+		if j.Status == JobClaimed {
+			active[j.Worker]++
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws := WorkerStatus{
+			ID: w.id, Host: w.host, PID: w.pid,
+			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+			ActiveJobs: active[w.id],
+			Done:       w.done, Failed: w.failed,
+			Health: w.health,
+		}
+		switch {
+		case now.Sub(w.lastSeen) > c.lostAfter():
+			ws.State = "lost"
+		case ws.ActiveJobs > 0:
+			ws.State = "active"
+		default:
+			ws.State = "idle"
+		}
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Snapshot summarizes fleet state for deep healthz and /v1/slo.
+func (c *Coordinator) Snapshot() Snapshot {
+	s := Snapshot{Queue: c.q.Stats(), DuplicateResults: c.dupResults.Load()}
+	for _, w := range c.Workers() {
+		s.Workers++
+		if w.State == "lost" {
+			s.WorkersLost++
+		}
+	}
+	c.mu.Lock()
+	s.Requests = len(c.requests)
+	for _, r := range c.requests {
+		if r.completedAt != 0 {
+			s.RequestsComplete++
+		}
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// Run sweeps expired leases periodically until ctx is cancelled — the
+// background recovery loop swserve starts alongside the HTTP surface.
+// (Claims also sweep lazily, so tests driving a fake clock need no
+// ticker.)
+func (c *Coordinator) Run(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = c.q.Lease() / 4
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.q.Sweep()
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"spinwave/internal/fleet/faults"
+)
+
+func newTestCoordinator(t *testing.T, opts ...QueueOption) *Coordinator {
+	t.Helper()
+	q, err := OpenQueue(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCoordinator(q)
+}
+
+func xorCases() [][]bool {
+	return [][]bool{{false, false}, {true, false}, {false, true}, {true, true}}
+}
+
+func TestCoordinatorShardsSubmission(t *testing.T) {
+	c := newTestCoordinator(t)
+	st, err := c.Submit(JobSpec{Gate: "xor"}, xorCases(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Jobs) != 4 {
+		t.Fatalf("shard=1 produced %d jobs, want 4", len(st.Jobs))
+	}
+	if st.State != RequestPending || st.CasesTotal != 4 || st.CasesDone != 0 {
+		t.Fatalf("fresh request = %+v", st)
+	}
+
+	// Uneven shard: 4 cases at 3 per job → 2 jobs.
+	st2, err := c.Submit(JobSpec{Gate: "xor"}, xorCases(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Jobs) != 2 || st2.Jobs[0].Cases != 3 || st2.Jobs[1].Cases != 1 {
+		t.Fatalf("shard=3 jobs = %+v", st2.Jobs)
+	}
+}
+
+// drain claims and completes every pending job as the given worker.
+func drain(t *testing.T, c *Coordinator, workerID, fp string) {
+	t.Helper()
+	for {
+		j, err := c.Claim(workerID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j == nil {
+			return
+		}
+		if _, err := c.IngestResult(workerID, j.ID, fp, testOutcomes(j.Cases), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCoordinatorMergesShardedResults(t *testing.T) {
+	c := newTestCoordinator(t)
+	if _, err := c.Register("w1", "host", 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Submit(JobSpec{Gate: "xor"}, xorCases(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, c, "w1", "fp")
+	got, err := c.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != RequestComplete || got.CasesDone != 4 {
+		t.Fatalf("after drain: %s, %d/4 done", got.State, got.CasesDone)
+	}
+	// Results come back in submission (enumeration) order regardless of
+	// completion order.
+	if len(got.Results) != 4 {
+		t.Fatalf("Results = %d, want 4", len(got.Results))
+	}
+	for i, want := range xorCases() {
+		if bitString(got.Results[i].Inputs) != bitString(want) {
+			t.Fatalf("result %d is for %s, want %s", i, bitString(got.Results[i].Inputs), bitString(want))
+		}
+	}
+	snap := c.Snapshot()
+	if snap.RequestsComplete != 1 || snap.DuplicateResults != 0 {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+}
+
+func TestCoordinatorDuplicateIngestIsIdempotent(t *testing.T) {
+	c := newTestCoordinator(t)
+	st, err := c.Submit(JobSpec{Gate: "xor"}, xorCases(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Claim("w1")
+	if err != nil || j == nil {
+		t.Fatalf("Claim = %v, %v", j, err)
+	}
+	res := testOutcomes(j.Cases)
+	applied, err := c.IngestResult("w1", j.ID, "fp", res, "")
+	if err != nil || !applied {
+		t.Fatalf("first ingest = %v, %v", applied, err)
+	}
+	// The retried post is dropped, the request stays complete with
+	// exactly one result per case.
+	applied, err = c.IngestResult("w1", j.ID, "fp", res, "")
+	if err != nil || applied {
+		t.Fatalf("duplicate ingest = %v, %v; want false, nil", applied, err)
+	}
+	got, _ := c.Status(st.ID)
+	if got.State != RequestComplete || len(got.Results) != 4 {
+		t.Fatalf("after duplicate: %s, %d results", got.State, len(got.Results))
+	}
+	if c.Snapshot().DuplicateResults == 0 {
+		t.Fatal("duplicate not counted")
+	}
+}
+
+func TestCoordinatorRequeueOnLostWorker(t *testing.T) {
+	clock := faults.NewClock(time.Unix(2000, 0))
+	c := newTestCoordinator(t, WithClock(clock), WithLease(5*time.Second))
+	st, err := c.Submit(JobSpec{Gate: "xor"}, xorCases(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("w1", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Claim("w1")
+	if err != nil || j == nil {
+		t.Fatalf("Claim = %v, %v", j, err)
+	}
+	// w1 dies: no heartbeats, lease expires.
+	clock.Advance(6 * time.Second)
+	c.Queue().Sweep()
+
+	// w1 is reported lost once lastSeen exceeds 3x lease.
+	clock.Advance(10 * time.Second)
+	for _, w := range c.Workers() {
+		if w.ID == "w1" && w.State != "lost" {
+			t.Fatalf("w1 state = %s, want lost", w.State)
+		}
+	}
+
+	// The peer picks the job up and the request completes normally.
+	if _, err := c.Register("w2", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.Claim("w2")
+	if err != nil || j2 == nil || j2.ID != j.ID {
+		t.Fatalf("peer Claim = %v, %v", j2, err)
+	}
+	if _, err := c.IngestResult("w2", j2.ID, "fp", testOutcomes(j2.Cases), ""); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Status(st.ID)
+	if got.State != RequestComplete {
+		t.Fatalf("after peer completion: %s", got.State)
+	}
+	if c.Snapshot().WorkersLost != 1 {
+		t.Fatalf("WorkersLost = %d, want 1", c.Snapshot().WorkersLost)
+	}
+}
+
+func TestCoordinatorEvalErrorRequeuesThenFails(t *testing.T) {
+	c := newTestCoordinator(t, WithMaxAttempts(2))
+	st, err := c.Submit(JobSpec{Gate: "xor"}, xorCases(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		j, err := c.Claim("w1")
+		if err != nil || j == nil {
+			t.Fatalf("claim %d = %v, %v", i, j, err)
+		}
+		if _, err := c.IngestResult("w1", j.ID, "", nil, "solver exploded"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := c.Status(st.ID)
+	if got.State != RequestFailed {
+		t.Fatalf("after exhausted attempts: %s", got.State)
+	}
+}
+
+func TestCoordinatorRebuildsFromQueue(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(q)
+	st, err := c.Submit(JobSpec{Gate: "xor", Table: true}, xorCases(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete one of the two shards, then "restart" the coordinator.
+	j, err := c.Claim("w1")
+	if err != nil || j == nil {
+		t.Fatalf("Claim = %v, %v", j, err)
+	}
+	if _, err := c.IngestResult("w1", j.ID, "fp", testOutcomes(j.Cases), ""); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCoordinator(q2)
+	got, err := c2.Status(st.ID)
+	if err != nil {
+		t.Fatalf("rebuilt coordinator lost the request: %v", err)
+	}
+	if got.State != RequestRunning || got.CasesDone != 2 || got.CasesTotal != 4 {
+		t.Fatalf("rebuilt request = %s, %d/%d", got.State, got.CasesDone, got.CasesTotal)
+	}
+	// Finishing the second shard on the rebuilt coordinator completes
+	// the request with all four results.
+	drain(t, c2, "w2", "fp")
+	got, _ = c2.Status(st.ID)
+	if got.State != RequestComplete || len(got.Results) != 4 {
+		t.Fatalf("rebuilt completion = %s, %d results", got.State, len(got.Results))
+	}
+}
+
+func TestCoordinatorStatusUnknown(t *testing.T) {
+	c := newTestCoordinator(t)
+	if _, err := c.Status("nope"); err == nil {
+		t.Fatal("Status of unknown request succeeded")
+	}
+}

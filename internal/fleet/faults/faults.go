@@ -1,0 +1,207 @@
+// Package faults is the deterministic failure-injection harness for the
+// fleet: a fake clock that freezes heartbeats and expires leases on
+// demand, an http.RoundTripper that drops, delays, or duplicates calls
+// by counted rules, and a file corruptor for queue-poisoning tests.
+// Everything is deterministic — rules fire on exact match counts, the
+// clock only moves when advanced — so the fault tests prove invariants
+// ("no result lost, none double-applied") rather than race the wall
+// clock.
+package faults
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock is a manually advanced clock implementing fleet.Clock. The zero
+// value is not ready; use NewClock.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock returns a clock frozen at start.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the frozen time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time. This
+// is how a test expires a lease: freeze the worker's heartbeats (the
+// clock never moves on its own) and advance past the lease.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Rule matches HTTP calls and injects one fault. A rule fires on calls
+// whose method and path match; Skip calls pass through first, then
+// Count calls take the fault (Count 0 means every matching call).
+type Rule struct {
+	// Method matches the request method exactly; empty matches all.
+	Method string
+	// PathContains matches requests whose URL path contains it; empty
+	// matches all.
+	PathContains string
+	// Skip lets this many matching calls through before the fault fires.
+	Skip int
+	// Count bounds how many calls take the fault; 0 means unlimited.
+	Count int
+
+	// Drop fails the call with a transport error (the response never
+	// reaches the client; the server side still ran if Before is false).
+	Drop bool
+	// DropBefore drops the call before it reaches the server — the
+	// request is never delivered (models a connect failure rather than a
+	// lost response).
+	DropBefore bool
+	// Delay stalls the call before delivery.
+	Delay time.Duration
+	// Duplicate sends the request twice, returning the second response —
+	// the retry-storm fault that idempotent ingestion must absorb.
+	Duplicate bool
+
+	matched int // calls that matched (including skipped)
+	fired   int // calls that took the fault
+}
+
+// droppedError is the transport error a Drop rule produces.
+type droppedError struct{ path string }
+
+func (e droppedError) Error() string { return "faults: dropped call to " + e.path }
+
+// Transport is an http.RoundTripper that applies the first matching
+// rule to each call, then forwards over the underlying transport. Safe
+// for concurrent use.
+type Transport struct {
+	// Under is the real transport; nil means http.DefaultTransport.
+	Under http.RoundTripper
+
+	mu    sync.Mutex
+	rules []*Rule
+}
+
+// Add installs a rule and returns it (the pointer is how tests read
+// Fired afterwards).
+func (t *Transport) Add(r *Rule) *Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules, r)
+	return r
+}
+
+// Fired reports how many calls took this rule's fault.
+func (r *Rule) Fired() int { return r.fired }
+
+// match reports whether the rule applies to this call and, if so,
+// whether the fault fires (vs. the call passing through).
+func (t *Transport) match(req *http.Request) *Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.rules {
+		if r.Method != "" && r.Method != req.Method {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(req.URL.Path, r.PathContains) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.Skip {
+			return nil
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			return nil
+		}
+		r.fired++
+		return r
+	}
+	return nil
+}
+
+func (t *Transport) under() http.RoundTripper {
+	if t.Under != nil {
+		return t.Under
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := t.match(req)
+	if r == nil {
+		return t.under().RoundTrip(req)
+	}
+	if r.DropBefore {
+		return nil, droppedError{req.URL.Path}
+	}
+	if r.Delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(r.Delay):
+		}
+	}
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		req.Body = io.NopCloser(strings.NewReader(string(body)))
+	}
+	resp, err := t.under().RoundTrip(req)
+	if r.Drop {
+		// The server processed the call; the client never hears back.
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, droppedError{req.URL.Path}
+	}
+	if err != nil || !r.Duplicate {
+		return resp, err
+	}
+	// Duplicate: replay the same request and return the second response.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	again := req.Clone(req.Context())
+	if body != nil {
+		again.Body = io.NopCloser(strings.NewReader(string(body)))
+	}
+	return t.under().RoundTrip(again)
+}
+
+// Corrupt overwrites the tail of a file with garbage, producing the
+// torn/poisoned queue file the quarantine path must absorb. The file
+// stays parseable as "something", just not as a valid job.
+func Corrupt(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	garbage := []byte("\x00{{garbage")
+	off := info.Size() / 2
+	if _, err := f.WriteAt(garbage, off); err != nil {
+		return err
+	}
+	return f.Truncate(off + int64(len(garbage)))
+}

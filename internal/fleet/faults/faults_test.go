@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClockAdvances(t *testing.T) {
+	c := NewClock(time.Unix(100, 0))
+	if got := c.Now(); !got.Equal(time.Unix(100, 0)) {
+		t.Fatalf("Now = %v", got)
+	}
+	// Frozen: two reads without Advance are identical.
+	if !c.Now().Equal(c.Now()) {
+		t.Fatal("clock moved on its own")
+	}
+	c.Advance(5 * time.Second)
+	if got := c.Now(); !got.Equal(time.Unix(105, 0)) {
+		t.Fatalf("after Advance: %v", got)
+	}
+}
+
+// newFaultServer counts requests per path and echoes "ok".
+func newFaultServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		io.WriteString(w, "ok")     //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestTransportDrop(t *testing.T) {
+	var hits atomic.Int64
+	ts := newFaultServer(t, &hits)
+	tr := &Transport{}
+	tr.Add(&Rule{PathContains: "/results", Count: 1, Drop: true})
+	client := &http.Client{Transport: tr}
+
+	// First matching call: delivered to the server, response dropped.
+	if _, err := client.Post(ts.URL+"/results", "", strings.NewReader("x")); err == nil {
+		t.Fatal("dropped call returned no error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hits = %d, want 1 (Drop loses the response, not the request)", hits.Load())
+	}
+	// Count exhausted: the retry goes through.
+	resp, err := client.Post(ts.URL+"/results", "", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("server hits = %d, want 2", hits.Load())
+	}
+}
+
+func TestTransportDropBefore(t *testing.T) {
+	var hits atomic.Int64
+	ts := newFaultServer(t, &hits)
+	tr := &Transport{}
+	rule := tr.Add(&Rule{Count: 1, DropBefore: true})
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(ts.URL + "/claim"); err == nil {
+		t.Fatal("drop-before call returned no error")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server hits = %d, want 0 (DropBefore never delivers)", hits.Load())
+	}
+	if rule.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", rule.Fired())
+	}
+}
+
+func TestTransportDuplicate(t *testing.T) {
+	var hits atomic.Int64
+	ts := newFaultServer(t, &hits)
+	tr := &Transport{}
+	tr.Add(&Rule{PathContains: "/results", Count: 1, Duplicate: true})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Post(ts.URL+"/results", "application/json", strings.NewReader(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("duplicate final response = %q", body)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server hits = %d, want 2 (request sent twice)", hits.Load())
+	}
+}
+
+func TestTransportSkipAndMatchOrder(t *testing.T) {
+	var hits atomic.Int64
+	ts := newFaultServer(t, &hits)
+	tr := &Transport{}
+	rule := tr.Add(&Rule{Method: http.MethodPost, Skip: 2, Count: 1, DropBefore: true})
+	client := &http.Client{Transport: tr}
+
+	for i := 0; i < 2; i++ {
+		resp, err := client.Post(ts.URL, "", strings.NewReader("x"))
+		if err != nil {
+			t.Fatalf("skipped call %d failed: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if _, err := client.Post(ts.URL, "", strings.NewReader("x")); err == nil {
+		t.Fatal("third call should have dropped")
+	}
+	// GETs never match the POST rule.
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rule.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", rule.Fired())
+	}
+}
+
+func TestTransportDelay(t *testing.T) {
+	var hits atomic.Int64
+	ts := newFaultServer(t, &hits)
+	tr := &Transport{}
+	tr.Add(&Rule{Count: 1, Delay: 50 * time.Millisecond})
+	client := &http.Client{Transport: tr}
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("delayed call returned in %v", elapsed)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(path, []byte(`{"spec":{"gate":"xor"},"cases":[[true,false]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Corrupt(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), "garbage") {
+		t.Fatalf("file not corrupted: %q", buf)
+	}
+}

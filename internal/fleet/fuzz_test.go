@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJobFile drives the hand-writable job-file parser: any input must
+// either be rejected or produce a normalized job that (a) satisfies its
+// own invariants and (b) round-trips through marshal → reparse to an
+// equivalent job. The parser guards the queue's scan path, where one
+// poisoned file must never crash the coordinator.
+func FuzzJobFile(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"spec":{"gate":"xor"},"cases":[[true,false]]}`),
+		[]byte(`{"id":"j1","request":"q1","spec":{"gate":"maj3","backend":"micromag","mode":"auto"},"cases":[[false,false,false],[true,true,true]],"status":"pending"}`),
+		[]byte(`{"version":1,"id":"q1-000","spec":{"gate":"xor","table":true},"cases":[[false,false]],"status":"done","worker":"w1","attempts":1,"fingerprint":"fp","results":[{"inputs":[false,false],"outputs":{"O1":{"Probe":"O1","Amplitude":1,"Phase":0}},"source":"behavioral"}]}`),
+		[]byte(`{"spec":{"gate":"maj5"},"cases":[[true,false,true,false,true]],"max_attempts":5,"lease_until_unix_ns":123,"submitted_unix_ns":456}`),
+		[]byte(`{}`),
+		[]byte(`{"spec":{"gate":"xor"},"cases":[]}`),
+		[]byte(`{"spec":{"gate":"xor"},"cases":[[true],[true,false]]}`),
+		[]byte(`{"version":99,"spec":{"gate":"xor"},"cases":[[true,false]]}`),
+		[]byte(`{"id":"../evil","spec":{"gate":"xor"},"cases":[[true,false]]}`),
+		[]byte(`{"spec":{"gate":"xor"},"cases":[[true,false]]}garbage`),
+		[]byte(`not json at all`),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := ParseJobFile(data)
+		if err != nil {
+			if j != nil {
+				t.Fatal("error with non-nil job")
+			}
+			return
+		}
+		// Accepted jobs satisfy the normalized invariants.
+		if j.Version != jobFileVersion {
+			t.Fatalf("version %d not normalized", j.Version)
+		}
+		if j.ID != "" && !validID(j.ID) {
+			t.Fatalf("invalid id %q accepted", j.ID)
+		}
+		if len(j.Cases) == 0 || len(j.Cases) > maxJobCases {
+			t.Fatalf("case count %d out of bounds", len(j.Cases))
+		}
+		w := len(j.Cases[0])
+		if w == 0 || w > maxJobInputs {
+			t.Fatalf("case width %d out of bounds", w)
+		}
+		for _, c := range j.Cases {
+			if len(c) != w {
+				t.Fatal("ragged cases accepted")
+			}
+		}
+		switch j.Status {
+		case JobPending, JobClaimed, JobDone, JobFailed:
+		default:
+			t.Fatalf("status %q out of vocabulary", j.Status)
+		}
+		if j.MaxAttempts < 1 || j.Attempts < 0 {
+			t.Fatalf("attempts %d/%d not normalized", j.Attempts, j.MaxAttempts)
+		}
+
+		// Round-trip: the queue persists jobs with json.Marshal and
+		// trusts ParseJobFile on restart, so marshal → parse must accept
+		// and preserve every normalized job.
+		buf, err := json.Marshal(j)
+		if err != nil {
+			t.Fatalf("marshal of accepted job: %v", err)
+		}
+		j2, err := ParseJobFile(buf)
+		if err != nil {
+			t.Fatalf("reparse of marshaled job: %v (file %s)", err, buf)
+		}
+		buf2, err := json.Marshal(j2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("round-trip not stable:\n %s\n %s", buf, buf2)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"sync"
+
+	"spinwave/internal/obs"
+)
+
+// Process-wide fleet metrics in the obs default registry, registered
+// lazily on the first queue/coordinator so an importing program that
+// never runs a fleet exports nothing. They are workload totals shared by
+// every queue in the process; the per-instance view stays available
+// through Queue.Stats and Coordinator.Snapshot.
+var (
+	metricsOnce sync.Once
+
+	mJobsSubmitted    *obs.Counter
+	mJobsCompleted    *obs.Counter
+	mJobsFailed       *obs.Counter
+	mClaims           *obs.Counter
+	mRequeues         *obs.Counter
+	mResultsDuplicate *obs.Counter
+	mQuarantined      *obs.Counter
+	mRequests         *obs.Counter
+	mRequestsComplete *obs.Counter
+	mWorkersSeen      *obs.Counter
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		r.Describe("spinwave_fleet_jobs_total", "fleet jobs by lifecycle outcome")
+		mJobsSubmitted = r.Counter("spinwave_fleet_jobs_total", obs.L("status", "submitted"))
+		mJobsCompleted = r.Counter("spinwave_fleet_jobs_total", obs.L("status", "done"))
+		mJobsFailed = r.Counter("spinwave_fleet_jobs_total", obs.L("status", "failed"))
+		r.Describe("spinwave_fleet_claims_total", "job claims handed to workers (attempts)")
+		mClaims = r.Counter("spinwave_fleet_claims_total")
+		r.Describe("spinwave_fleet_requeues_total", "jobs requeued after a lease expired (worker lost)")
+		mRequeues = r.Counter("spinwave_fleet_requeues_total")
+		r.Describe("spinwave_fleet_duplicate_results_total", "result posts dropped by idempotent ingestion (requeue races, retries, stale workers)")
+		mResultsDuplicate = r.Counter("spinwave_fleet_duplicate_results_total")
+		r.Describe("spinwave_fleet_quarantined_total", "defective queue files quarantined at scan")
+		mQuarantined = r.Counter("spinwave_fleet_quarantined_total")
+		r.Describe("spinwave_fleet_requests_total", "fleet requests by lifecycle outcome")
+		mRequests = r.Counter("spinwave_fleet_requests_total", obs.L("status", "submitted"))
+		mRequestsComplete = r.Counter("spinwave_fleet_requests_total", obs.L("status", "complete"))
+		r.Describe("spinwave_fleet_workers_registered_total", "worker registrations accepted")
+		mWorkersSeen = r.Counter("spinwave_fleet_workers_registered_total")
+	})
+}

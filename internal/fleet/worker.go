@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"spinwave/internal/journal"
+)
+
+// Evaluator turns one job's cases into outcomes. cmd/swworker supplies
+// one built on the spinwave facade and tiered engine; tests supply
+// fakes. The fingerprint is the canonical backend fingerprint shared by
+// every case of the job (empty when the backend has none).
+type Evaluator interface {
+	Evaluate(ctx context.Context, spec JobSpec, cases [][]bool) (fingerprint string, results []CaseOutcome, err error)
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(ctx context.Context, spec JobSpec, cases [][]bool) (string, []CaseOutcome, error)
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(ctx context.Context, spec JobSpec, cases [][]bool) (string, []CaseOutcome, error) {
+	return f(ctx, spec, cases)
+}
+
+// Worker is the fleet client loop: register, poll for claims, evaluate
+// under a heartbeat, post results. It is deliberately tolerant — any
+// individual HTTP call may fail (or be dropped/delayed/duplicated by
+// the faults harness) and the loop carries on; the queue's leases and
+// idempotent ingestion make that safe.
+type Worker struct {
+	// BaseURL is the coordinator's base URL (e.g. http://127.0.0.1:8080).
+	BaseURL string
+	// Client is the HTTP client; nil means a default client. The faults
+	// harness injects its Transport here.
+	Client *http.Client
+	// Eval evaluates claimed jobs. Required.
+	Eval Evaluator
+	// ID is the worker's preferred ID; empty asks the coordinator to
+	// assign one. Updated to the assigned ID after registration.
+	ID string
+	// Poll is the idle re-poll interval (default 500ms).
+	Poll time.Duration
+	// CaseDelay stretches each case's evaluation, so tests and the smoke
+	// harness can reliably kill a worker mid-job.
+	CaseDelay time.Duration
+	// Health reports the node's health snapshot attached to heartbeats
+	// (engine stats, store tiers); nil omits it.
+	Health func() map[string]any
+	// OnClaim, when set, observes every claimed job before evaluation —
+	// the failure-injection hook used to kill a worker mid-job.
+	OnClaim func(*Job)
+
+	heartbeat time.Duration
+	jobs      int
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+// post sends one JSON call and decodes the response body into out (when
+// out is non-nil and the status is 200). A 204 returns (204, nil).
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	buf, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return resp.StatusCode, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("fleet: %s: %s: %s", path, resp.Status, truncate(body, 200))
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fleet: %s: decode: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// register announces the worker, retrying until ctx ends.
+func (w *Worker) register(ctx context.Context) error {
+	host, _ := os.Hostname()
+	for {
+		var resp RegisterResponse
+		_, err := w.post(ctx, "/v1/fleet/register", RegisterRequest{
+			Worker: w.ID, Host: host, PID: os.Getpid(),
+		}, &resp)
+		if err == nil {
+			w.ID = resp.Worker
+			if resp.HeartbeatMS > 0 {
+				w.heartbeat = time.Duration(resp.HeartbeatMS) * time.Millisecond
+			}
+			if w.Poll <= 0 && resp.PollMS > 0 {
+				w.Poll = time.Duration(resp.PollMS) * time.Millisecond
+			}
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(w.pollInterval()):
+		}
+	}
+}
+
+func (w *Worker) pollInterval() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+func (w *Worker) heartbeatInterval() time.Duration {
+	if w.heartbeat > 0 {
+		return w.heartbeat
+	}
+	return DefaultLease / 3
+}
+
+// Run registers the worker and drains the queue until ctx is cancelled.
+// It returns ctx.Err() on shutdown, or the registration error when the
+// coordinator never became reachable.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Eval == nil {
+		return fmt.Errorf("fleet: worker needs an Evaluator")
+	}
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		job, ok := w.claim(ctx)
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.pollInterval()):
+			}
+			continue
+		}
+		w.serve(ctx, job)
+	}
+}
+
+// claim asks for one job; false means idle (or a transient error, which
+// the caller treats the same — wait and re-poll).
+func (w *Worker) claim(ctx context.Context) (*Job, bool) {
+	var job Job
+	status, err := w.post(ctx, "/v1/fleet/claim", ClaimRequest{Worker: w.ID}, &job)
+	if err != nil || status != http.StatusOK {
+		return nil, false
+	}
+	return &job, true
+}
+
+// serve evaluates one claimed job under a heartbeat and posts its
+// outcome. A stale-claim heartbeat response cancels the evaluation (the
+// coordinator requeued the job — a peer owns it now); the result post
+// retries a few times because losing a computed result is the one
+// failure leases cannot repair.
+func (w *Worker) serve(ctx context.Context, job *Job) {
+	if w.OnClaim != nil {
+		w.OnClaim(job)
+	}
+	evalCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(w.heartbeatInterval())
+		defer t.Stop()
+		for {
+			select {
+			case <-evalCtx.Done():
+				return
+			case <-t.C:
+				var health map[string]any
+				if w.Health != nil {
+					health = w.Health()
+				}
+				// post reports an error for any non-200, so the conflict is
+				// detected on the status code alone.
+				status, _ := w.post(evalCtx, "/v1/fleet/heartbeat", HeartbeatRequest{
+					Worker: w.ID, Job: job.ID, Health: health,
+				}, nil)
+				if status == http.StatusConflict {
+					cancel() // stale claim: stop computing, a peer owns the job
+					return
+				}
+			}
+		}
+	}()
+
+	fingerprint, results, evalErr := w.evaluate(evalCtx, job)
+	// Staleness must be read before the deferred-style cancel below —
+	// cancelling makes evalCtx.Err() non-nil unconditionally.
+	stale := evalCtx.Err() != nil && ctx.Err() == nil
+	cancel()
+	<-hbDone
+
+	if evalErr != nil && stale {
+		// The claim went stale mid-evaluation; nothing to report — the
+		// job is already requeued and a peer will finish it.
+		return
+	}
+	res := ResultRequest{Worker: w.ID, Job: job.ID, Fingerprint: fingerprint, Results: results}
+	if evalErr != nil {
+		res.Error = evalErr.Error()
+		res.Fingerprint = ""
+		res.Results = nil
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err := w.post(ctx, "/v1/fleet/results", res, nil); err == nil {
+			if evalErr == nil {
+				w.jobs++
+			}
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(w.pollInterval()):
+		}
+	}
+	if jd := journal.Default(); jd.Enabled() {
+		jd.Emit("", "fleet.worker",
+			journal.F("worker", w.ID),
+			journal.F("job", job.ID),
+			journal.F("status", "result_post_failed"))
+	}
+}
+
+// evaluate runs the job's cases through the Evaluator, stretching each
+// case by CaseDelay when configured.
+func (w *Worker) evaluate(ctx context.Context, job *Job) (string, []CaseOutcome, error) {
+	if w.CaseDelay <= 0 {
+		return w.Eval.Evaluate(ctx, job.Spec, job.Cases)
+	}
+	var all []CaseOutcome
+	var fp string
+	for _, c := range job.Cases {
+		select {
+		case <-ctx.Done():
+			return "", nil, ctx.Err()
+		case <-time.After(w.CaseDelay):
+		}
+		f, out, err := w.Eval.Evaluate(ctx, job.Spec, [][]bool{c})
+		if err != nil {
+			return "", nil, err
+		}
+		fp = f
+		all = append(all, out...)
+	}
+	return fp, all, nil
+}
+
+// JobsDone reports how many jobs this worker completed successfully
+// (result post accepted). Test/diagnostic aid; not synchronized — read
+// it only after Run returns.
+func (w *Worker) JobsDone() int { return w.jobs }

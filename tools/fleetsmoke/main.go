@@ -1,0 +1,284 @@
+// Command fleetsmoke is the CI gate for the distributed evaluation
+// fleet: it builds the real swserve and swworker binaries, boots a
+// coordinator with a durable queue and a short lease, attaches two
+// workers, submits the full XOR truth table sharded one case per job —
+// then SIGKILLs whichever worker is holding a job mid-evaluation and
+// requires the request to complete anyway through lease expiry and
+// requeue. It exits non-zero if the table does not complete, loses a
+// case, or decodes incorrectly.
+//
+//	go run ./tools/fleetsmoke -journal fleet.jsonl
+//
+// The journal written by the coordinator is left behind for
+// journalcheck and for the fleet.claim / fleet.requeue greps in the
+// fleet-smoke make target.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleetsmoke: ")
+	journalPath := flag.String("journal", "fleet.jsonl", "coordinator journal output (validated by journalcheck afterwards)")
+	timeout := flag.Duration("timeout", 3*time.Minute, "overall deadline for the smoke run")
+	flag.Parse()
+
+	if err := run(*journalPath, *timeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(journalPath string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	tmp, err := os.MkdirTemp("", "fleetsmoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	// Build the real binaries: the smoke test exercises the shipped
+	// entrypoints, not in-process stand-ins.
+	serveBin := filepath.Join(tmp, "swserve")
+	workerBin := filepath.Join(tmp, "swworker")
+	for bin, pkg := range map[string]string{serveBin: "./cmd/swserve", workerBin: "./cmd/swworker"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", pkg, err)
+		}
+	}
+
+	// Coordinator on an ephemeral port with a short lease so the killed
+	// worker's job requeues within seconds.
+	queueDir := filepath.Join(tmp, "queue")
+	serve := exec.Command(serveBin,
+		"-addr", "127.0.0.1:0",
+		"-fleet-queue", queueDir,
+		"-fleet-lease", "2s",
+		"-journal", journalPath,
+		"-workers", "2")
+	stderr, err := serve.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := serve.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		serve.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		serve.Wait()                          //nolint:errcheck
+	}()
+
+	base, err := waitForListen(stderr)
+	if err != nil {
+		return err
+	}
+	log.Printf("coordinator at %s", base)
+
+	// Two workers with a per-case delay long enough that a job is
+	// reliably in flight when we shoot one of them.
+	workers := make(map[string]*exec.Cmd, 2)
+	for _, id := range []string{"smoke-w1", "smoke-w2"} {
+		w := exec.Command(workerBin,
+			"-coordinator", base,
+			"-id", id,
+			"-workers", "2",
+			"-poll", "100ms",
+			"-case-delay", "1500ms")
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			return err
+		}
+		workers[id] = w
+		defer func(w *exec.Cmd) {
+			w.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+			w.Wait()                          //nolint:errcheck
+		}(w)
+	}
+
+	// Full XOR table, one case per job: four jobs across two workers.
+	reqID, err := submit(base, map[string]any{"gate": "xor", "table": true, "shard": 1})
+	if err != nil {
+		return err
+	}
+	log.Printf("submitted request %s (xor table, shard 1)", reqID)
+
+	// Kill whichever worker claims a job first, while it is mid-case.
+	victim, err := waitForActiveWorker(base, deadline)
+	if err != nil {
+		return err
+	}
+	proc, ok := workers[victim]
+	if !ok {
+		return fmt.Errorf("coordinator reports unknown active worker %q", victim)
+	}
+	if err := proc.Process.Kill(); err != nil {
+		return err
+	}
+	proc.Wait() //nolint:errcheck
+	delete(workers, victim)
+	log.Printf("killed worker %s mid-job (SIGKILL)", victim)
+
+	// The survivor must finish the whole table through requeue.
+	st, err := waitForComplete(base, reqID, deadline)
+	if err != nil {
+		return err
+	}
+	if st.CasesDone != st.CasesTotal {
+		return fmt.Errorf("cases lost: %d/%d done", st.CasesDone, st.CasesTotal)
+	}
+	if st.Table == nil {
+		return fmt.Errorf("completed request has no assembled table")
+	}
+	if len(st.Table.Cases) != 4 {
+		return fmt.Errorf("table has %d cases, want 4", len(st.Table.Cases))
+	}
+	for _, c := range st.Table.Cases {
+		want := c.Inputs[0] != c.Inputs[1]
+		for _, o := range c.Outputs {
+			if o.Logic != want {
+				return fmt.Errorf("case %v %s decoded %v, want %v", c.Inputs, o.Name, o.Logic, want)
+			}
+		}
+	}
+	requeued := false
+	for _, j := range st.Jobs {
+		if j.Attempts > 1 {
+			requeued = true
+		}
+	}
+	if !requeued {
+		return fmt.Errorf("no job needed a second attempt — the kill missed its window")
+	}
+	log.Printf("request %s complete after worker loss: %d/%d cases, table decodes correctly",
+		reqID, st.CasesDone, st.CasesTotal)
+	return nil
+}
+
+// waitForListen scans swserve's stderr for the "listening on" line and
+// returns the base URL.
+func waitForListen(r interface{ Read([]byte) (int, error) }) (string, error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.Fields(line[i+len("listening on "):])[0]
+			go drain(sc)
+			return "http://" + addr, nil
+		}
+	}
+	return "", fmt.Errorf("swserve exited before listening (scan err: %v)", sc.Err())
+}
+
+// drain keeps forwarding the coordinator's stderr so its pipe never
+// fills up and blocks the process.
+func drain(sc *bufio.Scanner) {
+	for sc.Scan() {
+		fmt.Fprintln(os.Stderr, sc.Text())
+	}
+}
+
+// status mirrors the /v1/fleet/jobs/{id} response shape the smoke run
+// cares about.
+type status struct {
+	State      string `json:"state"`
+	CasesTotal int    `json:"cases_total"`
+	CasesDone  int    `json:"cases_done"`
+	Jobs       []struct {
+		ID       string `json:"id"`
+		Status   string `json:"status"`
+		Attempts int    `json:"attempts"`
+		Worker   string `json:"worker,omitempty"`
+	} `json:"jobs"`
+	Table *struct {
+		Cases []struct {
+			Inputs  []bool `json:"inputs"`
+			Outputs []struct {
+				Name  string `json:"name"`
+				Logic bool   `json:"logic"`
+			} `json:"outputs"`
+		} `json:"cases"`
+	} `json:"table"`
+}
+
+func submit(base string, body map[string]any) (string, error) {
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(base+"/v1/fleet/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		return "", fmt.Errorf("submit answered %d with request_id %q", resp.StatusCode, st.ID)
+	}
+	return st.ID, nil
+}
+
+// waitForActiveWorker polls /v1/fleet/workers until some worker holds a
+// claimed job, and returns its ID.
+func waitForActiveWorker(base string, deadline time.Time) (string, error) {
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/fleet/workers")
+		if err == nil {
+			var body struct {
+				Workers []struct {
+					ID         string `json:"id"`
+					ActiveJobs int    `json:"active_jobs"`
+				} `json:"workers"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err == nil {
+				for _, w := range body.Workers {
+					if w.ActiveJobs > 0 {
+						return w.ID, nil
+					}
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", fmt.Errorf("no worker claimed a job before the deadline")
+}
+
+func waitForComplete(base string, reqID string, deadline time.Time) (*status, error) {
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/fleet/jobs/" + reqID)
+		if err == nil {
+			var st status
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil {
+				switch st.State {
+				case "complete":
+					return &st, nil
+				case "failed":
+					return nil, fmt.Errorf("request %s failed: %+v", reqID, st.Jobs)
+				}
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("request %s not complete before the deadline", reqID)
+}
