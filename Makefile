@@ -4,7 +4,7 @@ GO ?= go
 # with -short; the margin absorbs run-to-run jitter, not regressions.
 COVER_BASELINE ?= 69.0
 
-.PHONY: all build vet test test-race bench bench-pr3 bench-pr5 bench-pr6 bench-compare bench-smoke cover docs-lint journal-smoke health-smoke surrogate-smoke fleet-smoke fuzz clean
+.PHONY: all build vet test test-race bench bench-pr3 bench-pr5 bench-pr6 bench-compare bench-smoke cover docs-lint journal-smoke health-smoke surrogate-smoke fleet-smoke checkpoint-smoke fuzz clean
 
 all: build vet test docs-lint
 
@@ -22,13 +22,14 @@ test:
 # tiled LLG solver and its worker pool, the frequency-parallel gates
 # and the metrics registry.
 test-race:
-	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./internal/health/ ./internal/fleet/ ./internal/fleet/faults/ ./cmd/swserve/ ./cmd/swworker/
+	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./internal/health/ ./internal/fleet/ ./internal/fleet/faults/ ./internal/checkpoint/ ./cmd/swserve/ ./cmd/swworker/
 
 # Godoc coverage gate (ISSUE 3): every exported identifier in the LLG
 # core, the field evaluator, the gate backends, the flight-recorder
-# packages and the root package must carry a doc comment.
+# packages, the checkpoint/fleet layers, the worker entrypoint and the
+# root package must carry a doc comment.
 docs-lint:
-	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal ./internal/health ./internal/fleet
+	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal ./internal/health ./internal/fleet ./internal/fleet/faults ./internal/checkpoint ./cmd/swworker
 
 # Flight-recorder smoke (ISSUE 4): a short probed XOR case writing the
 # JSONL journal and Chrome trace, then schema-validating the journal.
@@ -83,12 +84,25 @@ fleet-smoke:
 	$(GO) run ./tools/journalcheck fleet.jsonl
 	@grep -q '"event":"fleet.claim"' fleet.jsonl || { echo "FAIL: no fleet.claim in fleet.jsonl"; exit 1; }
 	@grep -q '"event":"fleet.requeue"' fleet.jsonl || { echo "FAIL: no fleet.requeue in fleet.jsonl"; exit 1; }
+	@grep -q '"status":"segment_chained"' fleet.jsonl || { echo "FAIL: no segment_chained event in fleet.jsonl"; exit 1; }
 
-# Fuzz the OVF parser and the fleet job-file parser beyond their
-# checked-in seeds.
+# Checkpoint/resume smoke (ISSUE 8): a golden uninterrupted swsim run,
+# the same case SIGKILLed mid-transient with checkpointing on, then a
+# -resume run that must land on byte-identical full-precision readouts.
+# The resumed run's journal must validate and must record the
+# checkpoint.resume event.
+checkpoint-smoke:
+	$(GO) run ./tools/checkpointsmoke -journal checkpoint.jsonl -keep-manifest checkpoint-manifest.json
+	$(GO) run ./tools/journalcheck checkpoint.jsonl
+	@grep -q '"event":"checkpoint.resume"' checkpoint.jsonl || { echo "FAIL: no checkpoint.resume in checkpoint.jsonl"; exit 1; }
+	@grep -q '"event":"checkpoint.save"' checkpoint.jsonl || { echo "FAIL: no checkpoint.save in checkpoint.jsonl"; exit 1; }
+
+# Fuzz the OVF parser, the fleet job-file parser and the checkpoint
+# manifest parser beyond their checked-in seeds.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzOVFRead -fuzztime 30s ./internal/ovf/
 	$(GO) test -run '^$$' -fuzz FuzzJobFile -fuzztime 30s ./internal/fleet/
+	$(GO) test -run '^$$' -fuzz FuzzManifest -fuzztime 30s ./internal/checkpoint/
 
 # Quick benchmark set; the serial-vs-engine micromagnetic comparison is
 # BenchmarkXORTableMicromag_{Serial,Engine8,EngineWarm}.

@@ -1,0 +1,32 @@
+package spinwave
+
+import (
+	"spinwave/internal/checkpoint"
+	"spinwave/internal/core"
+)
+
+// Checkpoint/resume re-exports (DESIGN.md §15): periodic solver
+// snapshots and bit-identical continuation of interrupted transients.
+// See internal/checkpoint for full documentation.
+type (
+	// CheckpointConfig enables periodic checkpointing for a micromagnetic
+	// backend; pass it to WithCheckpoint. Dir names the snapshot
+	// directory, Resume continues from the newest valid snapshot, and
+	// StopAtStep pauses the run at a segment boundary.
+	CheckpointConfig = checkpoint.Config
+	// CheckpointSnapshot is the receipt of one committed snapshot,
+	// delivered to CheckpointConfig.OnSnapshot.
+	CheckpointSnapshot = checkpoint.Snapshot
+	// CheckpointManifest is the JSON sidecar describing one snapshot.
+	CheckpointManifest = checkpoint.Manifest
+)
+
+// ErrRunPaused is the sentinel a checkpointed run returns when it stops
+// on purpose at its configured segment boundary (CheckpointConfig.
+// StopAtStep) after committing a snapshot. Match with errors.Is; the
+// partial state is durable and a later run with Resume set continues it.
+var ErrRunPaused = checkpoint.ErrPaused
+
+// WithCheckpoint enables periodic checkpointing and exact resume for
+// every logic-case run of a micromagnetic backend (DESIGN.md §15).
+var WithCheckpoint = core.WithCheckpoint

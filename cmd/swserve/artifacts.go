@@ -1,0 +1,138 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"strings"
+
+	"spinwave/internal/checkpoint"
+)
+
+// Run-artifact surface (-artifacts): a durable store of per-run files —
+// checkpoint manifest/OVF pairs, probe CSVs, journal tails, health
+// verdicts — addressed by run ID (DESIGN.md §15).
+//
+//	GET /v1/runs/{id}/artifacts          list a run's artifacts
+//	GET /v1/runs/{id}/artifacts/{name}   download one artifact
+//	PUT /v1/runs/{id}/artifacts/{name}   upload one artifact (workers)
+//
+// Uploads stay open while draining, like fleet result posts: a worker
+// about to be drained must still land its last checkpoint, or the next
+// segment restarts instead of resuming. Downloads and listings follow
+// the normal read-only rules. Failures use the v1 error envelope.
+
+// maxArtifactBytes bounds one uploaded artifact (a reduced-mesh OVF
+// snapshot is a few MB; 64 MB leaves room for paper-scale meshes).
+const maxArtifactBytes = 64 << 20
+
+// initArtifacts opens (creating if needed) the artifact store at dir.
+func (s *server) initArtifacts(dir string) error {
+	a, err := checkpoint.OpenArtifactStore(dir)
+	if err != nil {
+		return err
+	}
+	s.artifacts = a
+	return nil
+}
+
+// artifactsEnabled reports whether the artifact surface is mounted.
+func (s *server) artifactsEnabled() bool { return s.artifacts != nil }
+
+// artifactRoutes mounts the artifact endpoints on mux.
+func (s *server) artifactRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/runs/{id}/artifacts", s.withMetrics("/v1/runs/artifacts", s.handleArtifactList))
+	mux.HandleFunc("GET /v1/runs/{id}/artifacts/{name}", s.withMetrics("/v1/runs/artifacts/name", s.handleArtifactGet))
+	mux.HandleFunc("PUT /v1/runs/{id}/artifacts/{name}", s.withMetrics("/v1/runs/artifacts/put", s.handleArtifactPut))
+}
+
+func (s *server) handleArtifactList(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	run := r.PathValue("id")
+	infos, err := s.artifacts.List(run)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.failAs(w, http.StatusNotFound, codeNotFound, false, err.Error())
+		} else {
+			s.fail(w, err)
+		}
+		return
+	}
+	if infos == nil {
+		infos = []checkpoint.ArtifactInfo{}
+	}
+	s.reply(w, map[string]any{"run": run, "artifacts": infos})
+}
+
+// artifactContentType picks the response type from the artifact name.
+func artifactContentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	case strings.HasSuffix(name, ".jsonl"):
+		return "application/x-ndjson"
+	case strings.HasSuffix(name, ".csv"):
+		return "text/csv"
+	case strings.HasSuffix(name, ".ovf"):
+		// OVF 2.0 text format; served as plain text for curl-ability.
+		return "text/plain; charset=utf-8"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+func (s *server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	run, name := r.PathValue("id"), r.PathValue("name")
+	rc, size, err := s.artifacts.Open(run, name)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.failAs(w, http.StatusNotFound, codeNotFound, false,
+				fmt.Sprintf("run %q has no artifact %q", run, name))
+		} else {
+			s.fail(w, err)
+		}
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", artifactContentType(name))
+	w.Header().Set("Content-Length", fmt.Sprintf("%d", size))
+	if _, err := io.Copy(w, rc); err != nil {
+		s.errors.Add(1)
+	}
+}
+
+// handleArtifactPut stays open while draining (see the package comment).
+func (s *server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	run, name := r.PathValue("id"), r.PathValue("name")
+	if !checkpoint.ValidArtifactName(run) || !checkpoint.ValidArtifactName(name) {
+		s.badRequest(w, fmt.Errorf("bad artifact path %q/%q: want plain file names of [a-zA-Z0-9._-], not starting with '.'", run, name))
+		return
+	}
+	n, err := s.artifacts.Put(run, name, http.MaxBytesReader(w, r.Body, maxArtifactBytes))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.reply(w, map[string]any{"run": run, "name": name, "size": n})
+}
+
+// artifactHealth is the deep-healthz artifacts section: the store root
+// must still accept atomic writes, or workers cannot land checkpoints
+// and transient segments restart instead of resuming.
+func (s *server) artifactHealth() (section map[string]any, healthy bool) {
+	section = map[string]any{"root": s.artifacts.Root()}
+	runs, err := s.artifacts.Runs()
+	if err == nil {
+		section["runs"] = len(runs)
+	}
+	healthy = true
+	if err := s.artifacts.WritableProbe(); err != nil {
+		section["error"] = err.Error()
+		healthy = false
+	}
+	return section, healthy
+}

@@ -60,6 +60,18 @@ type fleetJobsRequest struct {
 	Table    bool     `json:"table,omitempty"`
 	Inverted bool     `json:"inverted,omitempty"` // XNOR decoding for XOR tables
 	Shard    int      `json:"shard,omitempty"`
+	// Segments > 0 submits the single case as a checkpointed transient
+	// split into that many resumable segments (DESIGN.md §15): each
+	// segment is one chained fleet job bounded by a checkpoint, so a
+	// killed worker's segment resumes on a peer. Requires the micromag
+	// backend, exactly one case, and the server's -artifacts store.
+	Segments int `json:"segments,omitempty"`
+	// EverySteps is the transient's checkpoint cadence in solver steps
+	// (0 = the checkpoint default).
+	EverySteps int `json:"every_steps,omitempty"`
+	// DtScale multiplies the micromag time step (0 = 1). The fleet smoke
+	// uses values < 1 to stretch a transient's wall-clock.
+	DtScale float64 `json:"dt_scale,omitempty"`
 }
 
 // fleetStatusResponse is the request status plus, for completed table
@@ -135,8 +147,25 @@ func (s *server) handleFleetSubmit(w http.ResponseWriter, r *http.Request) {
 		Mode:     string(engMode),
 		Table:    req.Table,
 		Inverted: req.Inverted,
+		DtScale:  req.DtScale,
 	}
-	st, err := s.fleet.Submit(spec, cases, shard)
+	var st *fleet.RequestStatus
+	if req.Segments > 0 {
+		switch {
+		case req.Table || len(cases) != 1:
+			s.badRequest(w, fmt.Errorf("a segmented transient takes exactly one case (got table=%t, %d cases)", req.Table, len(cases)))
+			return
+		case breq.Backend != "micromag" && breq.Backend != "micromagnetic":
+			s.badRequest(w, fmt.Errorf("a segmented transient needs the micromag backend, got %q", breq.Backend))
+			return
+		case !s.artifactsEnabled():
+			s.badRequest(w, fmt.Errorf("segmented transients need the run-artifact store (-artifacts)"))
+			return
+		}
+		st, err = s.fleet.SubmitTransient(spec, cases[0], req.Segments, req.EverySteps)
+	} else {
+		st, err = s.fleet.Submit(spec, cases, shard)
+	}
 	if err != nil {
 		s.badRequest(w, err)
 		return

@@ -124,6 +124,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Artifact store durability: an unwritable store means workers
+	// cannot land checkpoints, so transient segments would restart
+	// instead of resuming.
+	if s.artifactsEnabled() {
+		section, ok := s.artifactHealth()
+		resp["artifacts"] = section
+		if !ok {
+			healthy = false
+		}
+	}
+
 	// Surrogate admission state: a rejected, failed or stale startup
 	// surrogate means "surrogate"-mode traffic the operator configured
 	// would 503, so the instance is not ready.

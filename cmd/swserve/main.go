@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"spinwave"
+	"spinwave/internal/checkpoint"
 	"spinwave/internal/core"
 	"spinwave/internal/fleet"
 	"spinwave/internal/journal"
@@ -81,6 +82,7 @@ func main() {
 	fleetQueue := flag.String("fleet-queue", "", "durable fleet job-queue directory; enables the coordinator and the /v1/fleet endpoints")
 	fleetLease := flag.Duration("fleet-lease", fleet.DefaultLease, "fleet claim lease; a worker silent this long loses its job to a peer")
 	fleetShard := flag.Int("fleet-shard", 4, "default cases per fleet job (submissions may pick their own shard)")
+	artifactsDir := flag.String("artifacts", "", "durable run-artifact store directory (checkpoints, probe CSVs, journals; serves /v1/runs/{id}/artifacts)")
 	journalFile := flag.String("journal", "", "append journal events as JSONL to this file (fleet.*, alert, run lifecycle)")
 	flag.Parse()
 
@@ -122,6 +124,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *artifactsDir != "" {
+		if err := srv.initArtifacts(*artifactsDir); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *fleetQueue != "" {
 		if err := srv.initFleet(*fleetQueue, *fleetShard, fleet.WithLease(*fleetLease)); err != nil {
 			log.Fatal(err)
@@ -194,6 +201,9 @@ type server struct {
 	fleet      *fleet.Coordinator
 	fleetShard int
 
+	// Run-artifact store (artifacts.go); nil unless -artifacts is set.
+	artifacts *checkpoint.ArtifactStore
+
 	requests  atomic.Int64
 	errors    atomic.Int64
 	evalCases atomic.Int64
@@ -233,6 +243,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/probes", s.withMetrics("/v1/runs/probes", s.handleRunProbes))
 	if s.fleetEnabled() {
 		s.fleetRoutes(mux)
+	}
+	if s.artifactsEnabled() {
+		s.artifactRoutes(mux)
 	}
 	if s.pprofOn {
 		registerPprof(mux)

@@ -57,6 +57,13 @@ func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		{"GET", "/metrics", "Prometheus text exposition"},
 		{"GET", "/debug/vars", "expvar counters"},
 	}
+	if s.artifactsEnabled() {
+		endpoints = append(endpoints,
+			endpointSpec{"GET", "/v1/runs/{id}/artifacts", "list a run's durable artifacts"},
+			endpointSpec{"GET", "/v1/runs/{id}/artifacts/{name}", "download one artifact"},
+			endpointSpec{"PUT", "/v1/runs/{id}/artifacts/{name}", "worker: upload one artifact (checkpoints)"},
+		)
+	}
 	if s.fleetEnabled() {
 		endpoints = append(endpoints,
 			endpointSpec{"POST", "/v1/fleet/jobs", "submit cases or a truth table to the worker fleet"},

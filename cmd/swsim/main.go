@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -50,6 +51,10 @@ func run() int {
 	stats := flag.Bool("stats", false, "print a timing/metrics summary to stderr when done")
 	workers := flag.Int("workers", 0, "LLG stepping workers per transient (0/1 = serial; trajectories are bit-identical)")
 	surrogateMode := flag.Bool("surrogate", false, "build the linear-superposition surrogate from the configured backend, run the admission gate, and print its truth table (exit 1 on rejection)")
+	ckDir := flag.String("checkpoint", "", "checkpoint directory: periodically snapshot the transient (OVF + manifest pairs) for exact resume")
+	ckEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in committed solver steps (0 = default 2000)")
+	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint instead of starting at t = 0")
+	readoutJSON := flag.String("readout-json", "", "write the single-case readouts as full-precision JSON to this file (the stdout table rounds)")
 	flag.Parse()
 
 	if *stats {
@@ -95,6 +100,11 @@ func run() int {
 		cfg.Health = spinwave.HealthConfig{Enabled: true, AbortOnCritical: true}
 	}
 	cfg.DtScale = *flagDtScale
+	if *ckDir != "" {
+		cfg.Checkpoint = spinwave.CheckpointConfig{
+			Dir: *ckDir, EverySteps: *ckEvery, Resume: *resume,
+		}
+	}
 	m, err := spinwave.NewMicromagnetic(kind, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -115,7 +125,7 @@ func run() int {
 	if *inputs == "" {
 		runTruthTable(kind, m)
 	} else {
-		runSingleCase(kind, m, *inputs, *temp > 0)
+		runSingleCase(kind, m, *inputs, *temp > 0, *readoutJSON)
 	}
 	reportProbes()
 	if *asciiArt {
@@ -217,7 +227,7 @@ func runTruthTable(kind spinwave.GateKind, m *spinwave.Micromagnetic) {
 	fmt.Printf("fan-out mismatch |O1-O2|: %.4f, all correct: %v\n", tt.FanOutMatched(), tt.AllCorrect())
 }
 
-func runSingleCase(kind spinwave.GateKind, m *spinwave.Micromagnetic, bits string, thermal bool) {
+func runSingleCase(kind spinwave.GateKind, m *spinwave.Micromagnetic, bits string, thermal bool, jsonOut string) {
 	in, err := parseInputs(kind, bits)
 	if err != nil {
 		log.Fatal(err)
@@ -235,6 +245,14 @@ func runSingleCase(kind spinwave.GateKind, m *spinwave.Micromagnetic, bits strin
 			log.Fatal(err)
 		}
 	}
+	if jsonOut != "" {
+		// Full-precision readouts for bit-exact comparison: Go's JSON
+		// encoder emits shortest-round-trip float64, so the golden and
+		// the resumed run must match byte for byte.
+		if err := writeReadoutJSON(jsonOut, out); err != nil {
+			log.Fatal(err)
+		}
+	}
 	t := report.NewTable(fmt.Sprintf("%s inputs %s", kind, report.Bits(in)),
 		"output", "amplitude", "phase (rad)")
 	for _, name := range []string{"O1", "O2"} {
@@ -243,6 +261,17 @@ func runSingleCase(kind spinwave.GateKind, m *spinwave.Micromagnetic, bits strin
 		}
 	}
 	fmt.Print(t.String())
+}
+
+// writeReadoutJSON commits the readout map as indented JSON. Map keys
+// marshal sorted, so two runs with identical readouts produce identical
+// bytes.
+func writeReadoutJSON(path string, out map[string]detect.Readout) error {
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func demoInterference() {

@@ -13,9 +13,14 @@ import (
 // interface: each job's spec is resolved to a backend + serving mode
 // with the same vocabulary as the swserve /v1 API, and every case runs
 // through the engine so the node's cache/disk/surrogate tiers answer
-// before its solver does.
-func newEvaluator(eng *spinwave.Engine) fleet.Evaluator {
+// before its solver does. Transient segment jobs (spec.Transient set)
+// instead take the checkpointed path in transient.go, against the
+// coordinator's artifact store.
+func newEvaluator(eng *spinwave.Engine, coordinator string) fleet.Evaluator {
 	return fleet.EvaluatorFunc(func(ctx context.Context, spec fleet.JobSpec, cases [][]bool) (string, []fleet.CaseOutcome, error) {
+		if spec.Transient != nil {
+			return runTransientSegment(ctx, coordinator, spec, cases)
+		}
 		b, mode, err := buildBackend(spec)
 		if err != nil {
 			return "", nil, err
@@ -40,18 +45,9 @@ func newEvaluator(eng *spinwave.Engine) fleet.Evaluator {
 // (paper/paper-micromag/reduced), material (fecob/yig/permalloy), mode
 // (direct/auto/surrogate, empty = direct).
 func buildBackend(spec fleet.JobSpec) (spinwave.Backend, spinwave.EvalMode, error) {
-	var kind spinwave.GateKind
-	switch strings.ToLower(spec.Gate) {
-	case "maj3", "majority":
-		kind = spinwave.MAJ3
-	case "maj3single", "maj3-single":
-		kind = spinwave.MAJ3Single
-	case "xor":
-		kind = spinwave.XOR
-	case "maj5":
-		kind = spinwave.MAJ5
-	default:
-		return nil, "", fmt.Errorf("swworker: unknown gate %q", spec.Gate)
+	kind, err := parseGate(spec.Gate)
+	if err != nil {
+		return nil, "", err
 	}
 
 	var mode spinwave.EvalMode
@@ -68,7 +64,6 @@ func buildBackend(spec fleet.JobSpec) (spinwave.Backend, spinwave.EvalMode, erro
 
 	mat := spinwave.FeCoB()
 	if spec.Material != "" {
-		var err error
 		if mat, err = spinwave.MaterialByName(spec.Material); err != nil {
 			return nil, "", fmt.Errorf("swworker: material %q: %w", spec.Material, err)
 		}
@@ -92,6 +87,22 @@ func buildBackend(spec fleet.JobSpec) (spinwave.Backend, spinwave.EvalMode, erro
 		return b, mode, err
 	default:
 		return nil, "", fmt.Errorf("swworker: unknown backend %q (want behavioral or micromag)", spec.Backend)
+	}
+}
+
+// parseGate resolves a gate name with the swserve API vocabulary.
+func parseGate(name string) (spinwave.GateKind, error) {
+	switch strings.ToLower(name) {
+	case "maj3", "majority":
+		return spinwave.MAJ3, nil
+	case "maj3single", "maj3-single":
+		return spinwave.MAJ3Single, nil
+	case "xor":
+		return spinwave.XOR, nil
+	case "maj5":
+		return spinwave.MAJ5, nil
+	default:
+		return 0, fmt.Errorf("swworker: unknown gate %q", name)
 	}
 }
 

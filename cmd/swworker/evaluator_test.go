@@ -65,7 +65,7 @@ func TestBuildBackendModes(t *testing.T) {
 
 func TestEvaluatorEvaluatesCases(t *testing.T) {
 	eng := spinwave.NewEngine(spinwave.WithEngineWorkers(2))
-	ev := newEvaluator(eng)
+	ev := newEvaluator(eng, "http://127.0.0.1:0")
 
 	cases := [][]bool{{false, false}, {true, false}}
 	fp, results, err := ev.Evaluate(context.Background(), fleet.JobSpec{Gate: "xor"}, cases)

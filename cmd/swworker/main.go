@@ -34,7 +34,20 @@ func main() {
 	storeDir := flag.String("store", "", "disk-backed result store directory (per-node tier; empty disables)")
 	poll := flag.Duration("poll", 0, "idle re-poll interval (0 = coordinator-suggested)")
 	caseDelay := flag.Duration("case-delay", 0, "artificial per-case delay (test/smoke aid: makes mid-job kills reliable)")
+	journalFile := flag.String("journal", "", "write the structured run journal (JSON lines) to this file")
 	flag.Parse()
+
+	if *journalFile != "" {
+		f, err := os.Create(*journalFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		detach := spinwave.AttachJournalSink(spinwave.NewJournalWriter(f))
+		defer func() {
+			detach()
+			f.Close()
+		}()
+	}
 
 	var opts []spinwave.EngineOption
 	if *workers > 0 {
@@ -52,7 +65,7 @@ func main() {
 
 	w := &fleet.Worker{
 		BaseURL:   *coordinator,
-		Eval:      newEvaluator(eng),
+		Eval:      newEvaluator(eng, *coordinator),
 		ID:        *id,
 		Poll:      *poll,
 		CaseDelay: *caseDelay,

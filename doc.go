@@ -32,7 +32,24 @@
 //     pass over row bands executed by a persistent worker pool, with
 //     zero per-step allocations and trajectories that are bit-for-bit
 //     identical for every worker count (see DESIGN.md §10 and
-//     MicromagConfig.Workers).
+//     MicromagConfig.Workers);
+//   - a flight recorder and judging tier: a structured JSONL run
+//     journal with Chrome-trace export, a streaming numerical health
+//     monitor (alerts, per-run verdicts), and a rolling-window SLO
+//     tracker in the server (DESIGN.md §§11–12);
+//   - tiered serving: an in-memory LRU, a disk-backed result store,
+//     and an admitted linear-superposition surrogate in front of the
+//     full solver, each answer labelled with the tier that produced it
+//     (DESIGN.md §13);
+//   - a distributed evaluation fleet: a durable one-file-per-job
+//     queue, a coordinator with leased claims and idempotent result
+//     ingestion, and worker processes (cmd/swworker) that survive
+//     SIGKILL through lease expiry and requeue (DESIGN.md §14);
+//   - checkpoint/resume for long transients (CheckpointConfig,
+//     WithCheckpoint): periodic OVF-plus-manifest snapshots with
+//     atomic commit and digest-verified, bit-exact resume, a durable
+//     run-artifact store behind the server, and fleet segmentation
+//     that resumes an interrupted segment on a peer (DESIGN.md §15).
 //
 // This package is the public facade: it re-exports the types and
 // constructors a downstream user needs, while the implementation lives

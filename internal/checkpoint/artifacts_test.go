@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+func TestArtifactStoreRoundTrip(t *testing.T) {
+	a, err := OpenArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := a.Put("r01", "probe.csv", strings.NewReader("t,mx\n1,2\n")); err != nil || n != 9 {
+		t.Fatalf("put: n=%d err=%v", n, err)
+	}
+	if _, err := a.Put("r01", "ck-1.ovf", strings.NewReader("ovf")); err != nil {
+		t.Fatal(err)
+	}
+	rc, size, err := a.Open("r01", "probe.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rc)
+	rc.Close()
+	if size != 9 || string(body) != "t,mx\n1,2\n" {
+		t.Errorf("open: size=%d body=%q", size, body)
+	}
+
+	infos, err := a.List("r01")
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("list: %v %v", infos, err)
+	}
+	if infos[0].Name != "ck-1.ovf" || infos[1].Name != "probe.csv" || infos[1].Size != 9 {
+		t.Errorf("list = %+v", infos)
+	}
+	runs, err := a.Runs()
+	if err != nil || len(runs) != 1 || runs[0] != "r01" {
+		t.Errorf("runs = %v, %v", runs, err)
+	}
+	// Overwrite is atomic last-write-wins.
+	if _, err := a.Put("r01", "probe.csv", strings.NewReader("new")); err != nil {
+		t.Fatal(err)
+	}
+	rc, size, _ = a.Open("r01", "probe.csv")
+	body, _ = io.ReadAll(rc)
+	rc.Close()
+	if size != 3 || string(body) != "new" {
+		t.Errorf("overwrite: size=%d body=%q", size, body)
+	}
+	if err := a.WritableProbe(); err != nil {
+		t.Errorf("writable probe: %v", err)
+	}
+}
+
+func TestArtifactStoreRejectsTraversal(t *testing.T) {
+	a, err := OpenArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "..", "../x", "a/b", ".hidden", strings.Repeat("x", 200)} {
+		if _, err := a.Put(bad, "f", strings.NewReader("x")); err == nil {
+			t.Errorf("run %q accepted", bad)
+		}
+		if _, err := a.Put("run", bad, strings.NewReader("x")); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+		if _, _, err := a.Open(bad, "f"); !errors.Is(err, fs.ErrNotExist) {
+			t.Errorf("open run %q: err=%v, want not-exist", bad, err)
+		}
+	}
+	if _, err := a.List("valid-but-absent"); err != nil {
+		t.Errorf("absent run should list empty, got %v", err)
+	}
+	if _, _, err := a.Open("run", "absent"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("absent artifact: %v", err)
+	}
+}

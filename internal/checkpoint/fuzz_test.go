@@ -1,0 +1,44 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzManifest drives the strict manifest parser with arbitrary bytes —
+// the integrator-state sidecar is hand-editable and network-transported
+// (fleet workers download it), so it gets the same fuzzing discipline as
+// the OVF parser and the fleet job files. The parser must never panic,
+// and anything it accepts must satisfy the resume invariants.
+func FuzzManifest(f *testing.F) {
+	f.Add([]byte(`{"version":1,"step":240,"sim_time_s":3e-12,"dt_s":1.25e-14,` +
+		`"mag_file":"ck-000000000240.ovf",` +
+		`"mag_sha256":"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",` +
+		`"probes":[{"name":"O1","times":[1e-12],"mx":[0.1],"my":[0.2],"mz":[0.3]}]}`))
+	f.Add([]byte(`{"version":1,"step":-1,"sim_time_s":0,"dt_s":0,"mag_file":"../x","mag_sha256":"zz"}`))
+	f.Add([]byte(`{"version":1,"step":1,"sim_time_s":1e308,"dt_s":1e-300,` +
+		`"mag_file":"a.ovf","mag_sha256":"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"}{}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"version":1,"unknown_field":true}`))
+	f.Add([]byte(`go test fuzz corpus`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Version != manifestVersion || m.Step < 0 || !(m.Dt > 0) {
+			t.Fatalf("accepted manifest violates invariants: %+v", m)
+		}
+		if math.IsNaN(m.SimTime) || math.IsInf(m.SimTime, 0) {
+			t.Fatalf("accepted non-finite sim time: %+v", m)
+		}
+		if !validName(m.MagFile) {
+			t.Fatalf("accepted unsafe mag file %q", m.MagFile)
+		}
+		for _, p := range m.Probes {
+			if len(p.MX) != len(p.Times) || len(p.MY) != len(p.Times) || len(p.MZ) != len(p.Times) {
+				t.Fatalf("accepted lopsided probe state: %+v", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spinwave/internal/checkpoint"
+	"spinwave/internal/detect"
+	"spinwave/internal/layout"
+	"spinwave/internal/material"
+)
+
+func checkpointedXOR(t *testing.T, cc checkpoint.Config) *Micromagnetic {
+	t.Helper()
+	m, err := NewMicromagnetic(XOR, MicromagConfig{
+		Spec:       layout.ReducedSpec(),
+		Mat:        material.FeCoB(),
+		Checkpoint: cc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCheckpointResumeBitIdentical is the PR's golden pin: a run paused
+// at a segment boundary and resumed from its checkpoint must report
+// exactly — bit for bit — the readouts of the uninterrupted run.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	inputs := []bool{true, false} // the paper's "10" XOR case
+	golden, err := checkpointedXOR(t, checkpoint.Config{}).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	base := checkpointedXOR(t, checkpoint.Config{})
+	total := int(base.Duration() / base.Dt())
+	stopAt := total / 3
+
+	// Segment 1: run to the boundary, expect a clean pause.
+	seg := checkpointedXOR(t, checkpoint.Config{Dir: dir, EverySteps: 500, StopAtStep: stopAt})
+	out, err := seg.Run(inputs)
+	if !errors.Is(err, checkpoint.ErrPaused) {
+		t.Fatalf("segment run: out=%v err=%v, want ErrPaused", out, err)
+	}
+	st, err := checkpoint.Latest(dir)
+	if err != nil || st == nil {
+		t.Fatalf("no checkpoint after pause: %v", err)
+	}
+	if st.Manifest.Step != stopAt {
+		t.Errorf("paused at step %d, want %d", st.Manifest.Step, stopAt)
+	}
+
+	// Segment 2: a fresh backend resumes and finishes the transient.
+	res := checkpointedXOR(t, checkpoint.Config{Dir: dir, EverySteps: 500, Resume: true})
+	resumed, err := res.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"O1", "O2"} {
+		g, r := golden[name], resumed[name]
+		if g != (detect.Readout{}) && r != g {
+			t.Errorf("%s: resumed readout %+v != golden %+v", name, r, g)
+		}
+		if g == (detect.Readout{}) {
+			t.Errorf("%s: golden readout missing", name)
+		}
+	}
+}
+
+// TestCheckpointResumeGuards pins the identity checks: a checkpoint from
+// a different configuration or logic case must be refused, not silently
+// resumed into a wrong trajectory.
+func TestCheckpointResumeGuards(t *testing.T) {
+	dir := t.TempDir()
+	base := checkpointedXOR(t, checkpoint.Config{})
+	total := int(base.Duration() / base.Dt())
+	seg := checkpointedXOR(t, checkpoint.Config{Dir: dir, StopAtStep: total / 4})
+	if _, err := seg.Run([]bool{true, false}); !errors.Is(err, checkpoint.ErrPaused) {
+		t.Fatalf("segment run: %v", err)
+	}
+
+	// Different trajectory (DtScale) — fingerprint mismatch.
+	drifted, err := NewMicromagnetic(XOR, MicromagConfig{
+		Spec: layout.ReducedSpec(), Mat: material.FeCoB(), DtScale: 0.5,
+		Checkpoint: checkpoint.Config{Dir: dir, Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drifted.Run([]bool{true, false}); err == nil {
+		t.Error("fingerprint mismatch accepted on resume")
+	}
+
+	// Same configuration, different logic case.
+	other := checkpointedXOR(t, checkpoint.Config{Dir: dir, Resume: true})
+	if _, err := other.Run([]bool{false, true}); err == nil {
+		t.Error("inputs mismatch accepted on resume")
+	}
+}
+
+// TestCheckpointSkipsCalibrationRuns pins that RunSingle/RunBackground
+// never write snapshots even with checkpointing configured — a muted-run
+// snapshot would be meaningless to resume a logic case from.
+func TestCheckpointSkipsCalibrationRuns(t *testing.T) {
+	dir := t.TempDir()
+	m := checkpointedXOR(t, checkpoint.Config{Dir: dir, EverySteps: 100})
+	if _, err := m.RunSingle("I1"); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("calibration run wrote %d checkpoint files", len(entries))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ck-000000000000.json")); !os.IsNotExist(err) {
+		t.Error("unexpected snapshot at step 0")
+	}
+}
+
+// TestCheckpointExcludedFromFingerprint guards the cache contract: a
+// checkpointed backend and a plain one share fingerprints, like Probes
+// and Health.
+func TestCheckpointExcludedFromFingerprint(t *testing.T) {
+	plain := checkpointedXOR(t, checkpoint.Config{})
+	ckpt := checkpointedXOR(t, checkpoint.Config{Dir: t.TempDir(), EverySteps: 7, Resume: true})
+	fp1, ok1 := plain.Fingerprint()
+	fp2, ok2 := ckpt.Fingerprint()
+	if !ok1 || !ok2 || fp1 != fp2 {
+		t.Errorf("fingerprints differ: %q (%t) vs %q (%t)", fp1, ok1, fp2, ok2)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"spinwave/internal/checkpoint"
 	"spinwave/internal/detect"
 	"spinwave/internal/dispersion"
 	"spinwave/internal/dsp"
@@ -93,6 +94,17 @@ type MicromagConfig struct {
 	// and values < 1 trade speed for accuracy. Unlike the observation
 	// fields it changes the trajectory, so it is part of Fingerprint.
 	DtScale float64
+	// Checkpoint configures periodic solver snapshots and exact resume
+	// (DESIGN.md §15): when Enabled, each logic-case run commits the
+	// magnetization plus integrator and probe state to Checkpoint.Dir at
+	// the configured cadence, and Resume continues from the newest valid
+	// snapshot with a bit-identical trajectory. Calibration runs (RunSingle,
+	// RunBackground, CalibrateI3) never checkpoint — they are short and
+	// their probes differ from the logic case's. Checkpointing observes
+	// the trajectory without altering it, so this field is excluded from
+	// Fingerprint (like Probes and Health): a checkpointed run and a plain
+	// run share cache entries.
+	Checkpoint checkpoint.Config
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -532,18 +544,68 @@ func (m *Micromagnetic) run(ctx context.Context, inputs []bool, mute map[string]
 		s.SetObserver(observers)
 	}
 
+	// Checkpointing applies only to full logic-case runs: calibration runs
+	// (mute != nil) are short and drive a different source set, so a
+	// snapshot of one would be meaningless to resume a logic case from.
+	total := int(m.duration / m.dt)
+	startStep := 0
+	ck := m.cfg.Checkpoint.WithDefaults()
+	ckActive := mute == nil && ck.Enabled()
+	var ckFP string
+	if ckActive {
+		ckFP, _ = m.Fingerprint()
+		if ck.Resume {
+			st, err := checkpoint.Latest(ck.Dir)
+			if err != nil {
+				return fail(err)
+			}
+			if st != nil {
+				if err := m.restoreFrom(s, probes, st, ckFP, inputs); err != nil {
+					return fail(err)
+				}
+				startStep = st.Manifest.Step
+				j.Emit(runID, "checkpoint.resume",
+					journal.F("dir", ck.Dir),
+					journal.F("step", startStep),
+					journal.F("sim_time_s", s.Time),
+					journal.F("from_run", st.Manifest.Run))
+			}
+		}
+	}
+
 	every := m.cfg.SampleEvery
 	abortPoll := mon != nil && mon.Config().AbortOnCritical
+	var paused bool
+	var ckErr error
 	transient := obs.StartSpan("micromag.transient", gateL, runL)
-	err = s.RunContext(ctx, m.duration, func(step int) bool {
-		if step%every == 0 {
+	// The callback sees the absolute step (startStep + step within this
+	// segment), so the probe-sampling and snapshot cadences land on the
+	// same steps whether or not the run was ever interrupted.
+	err = s.RunSteps(ctx, total-startStep, func(step int) bool {
+		abs := startStep + step
+		if abs%every == 0 {
 			for _, p := range probes {
 				p.Sample(s.Time, s.M)
+			}
+		}
+		if ckActive {
+			stop := ck.StopAtStep > 0 && abs >= ck.StopAtStep && abs < total
+			if stop || abs%ck.EverySteps == 0 {
+				if ckErr = m.saveCheckpoint(ck, s, probes, runID, ckFP, abs, total, inputs); ckErr != nil {
+					return false
+				}
+			}
+			if stop {
+				paused = true
+				return false
 			}
 		}
 		return !(abortPoll && mon.Tripped())
 	})
 	transient.End()
+	if ckErr != nil {
+		return fail(ckErr)
+	}
 	if err != nil {
 		return fail(fmt.Errorf("core: %s evaluation aborted: %w", m.kind, err))
 	}
@@ -554,6 +616,17 @@ func (m *Micromagnetic) run(ctx context.Context, inputs []bool, mute map[string]
 	}
 	if err := s.CheckFinite(); err != nil {
 		return fail(err)
+	}
+	if paused {
+		// A pause is not a failure: the checkpoint just committed is the
+		// run's durable result so far, and a later run with Resume set
+		// picks up exactly here. Skip the lock-in — the measurement window
+		// may not even have started yet.
+		j.Emit(runID, "run.paused",
+			journal.F("step", s.Steps()),
+			journal.F("total_steps", total),
+			journal.F("sim_time_s", s.Time))
+		return nil, checkpoint.ErrPaused
 	}
 	j.Emit(runID, "run.settled",
 		journal.F("steps", s.Steps()),

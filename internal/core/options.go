@@ -1,6 +1,7 @@
 package core
 
 import (
+	"spinwave/internal/checkpoint"
 	"spinwave/internal/grid"
 	"spinwave/internal/health"
 	"spinwave/internal/layout"
@@ -135,6 +136,16 @@ func WithProbes(pc probe.Config) MicromagOption {
 // and does not affect the backend's cache fingerprint.
 func WithHealth(hc health.Config) MicromagOption {
 	return micromagOptionFunc(func(c *MicromagConfig) { c.Health = hc })
+}
+
+// WithCheckpoint enables periodic checkpointing and exact resume for
+// every logic-case run (DESIGN.md §15). Pass checkpoint.Config with at
+// least Dir set; Resume continues from the newest valid snapshot in Dir
+// with a bit-identical trajectory, and StopAtStep pauses a run at a
+// segment boundary with checkpoint.ErrPaused. Checkpointing never alters
+// the trajectory and does not affect the backend's cache fingerprint.
+func WithCheckpoint(cc checkpoint.Config) MicromagOption {
+	return micromagOptionFunc(func(c *MicromagConfig) { c.Checkpoint = cc })
 }
 
 // WithDtScale multiplies the stability-bounded LLG time step (default

@@ -53,6 +53,24 @@ func (p *Probe) Reset() {
 	p.mz = p.mz[:0]
 }
 
+// Restore replaces the recorded trace with the given sample series —
+// the checkpoint-resume path (DESIGN.md §15): a resumed run reloads the
+// samples accumulated before the interruption so the final lock-in
+// window sees exactly the trace an uninterrupted run would have. The
+// four slices must have equal length; they are copied.
+func (p *Probe) Restore(times, mx, my, mz []float64) error {
+	n := len(times)
+	if len(mx) != n || len(my) != n || len(mz) != n {
+		return fmt.Errorf("detect: probe %q restore: mismatched sample lengths %d/%d/%d/%d",
+			p.Name, n, len(mx), len(my), len(mz))
+	}
+	p.times = append(p.times[:0], times...)
+	p.mx = append(p.mx[:0], mx...)
+	p.my = append(p.my[:0], my...)
+	p.mz = append(p.mz[:0], mz...)
+	return nil
+}
+
 // Times returns the sample time stamps.
 func (p *Probe) Times() []float64 { return p.times }
 

@@ -42,6 +42,10 @@ type request struct {
 	merged      map[string]CaseOutcome
 	fingerprint string
 	completedAt int64 // Unix ns of the ingest that completed the request
+	// run is the durable transient run ID (empty for plain requests):
+	// the key under which the segments' checkpoints live in the
+	// artifact store.
+	run string
 }
 
 // workerState tracks one registered worker.
@@ -91,6 +95,10 @@ type RequestStatus struct {
 	CasesDone   int              `json:"cases_done"`
 	Jobs        []JobStatusBrief `json:"jobs"`
 	Fingerprint string           `json:"fingerprint,omitempty"`
+	// Run is the transient run ID whose artifacts (checkpoints, probe
+	// traces) live under /v1/runs/{id}/artifacts; empty for plain
+	// requests.
+	Run string `json:"run,omitempty"`
 	// Results holds one outcome per submitted case, in submission order,
 	// populated only when State is complete.
 	Results []CaseOutcome `json:"results,omitempty"`
@@ -141,15 +149,146 @@ func NewCoordinator(q *Queue) *Coordinator {
 			c.requests[j.Request] = r
 		}
 		r.jobIDs = append(r.jobIDs, j.ID)
-		r.cases = append(r.cases, j.Cases...)
+		if ts := j.Spec.Transient; ts != nil {
+			r.run = ts.Run
+			// Every segment job repeats the transient's one case; count it
+			// once, at segment 0, or CasesTotal would inflate per segment.
+			if ts.Segment == 0 {
+				r.cases = append(r.cases, j.Cases...)
+			}
+		} else {
+			r.cases = append(r.cases, j.Cases...)
+		}
 		if j.Status == JobDone {
 			r.fingerprint = j.Fingerprint
 			for _, out := range j.Results {
+				if len(out.Outputs) == 0 {
+					continue // checkpoint partial: no readouts to merge
+				}
 				r.merged[resultKey(j.Fingerprint, out.Inputs)] = out
 			}
 		}
 	}
+	// A crash between an intermediate segment's completion and the next
+	// segment's submission would otherwise strand the transient: re-chain
+	// any done, non-final segment whose successor never made it to disk.
+	c.rechainTransients()
 	return c
+}
+
+// rechainTransients scans for transients whose newest segment job is
+// done but not final and submits the missing successor. Called once at
+// rebuild, before the coordinator serves traffic.
+func (c *Coordinator) rechainTransients() {
+	type tail struct {
+		job     *Job
+		present map[int]bool
+	}
+	tails := make(map[string]*tail)
+	for _, j := range c.q.Jobs() {
+		ts := j.Spec.Transient
+		if ts == nil || j.Request == "" {
+			continue
+		}
+		t := tails[j.Request]
+		if t == nil {
+			t = &tail{present: make(map[int]bool)}
+			tails[j.Request] = t
+		}
+		t.present[ts.Segment] = true
+		if t.job == nil || ts.Segment > t.job.Spec.Transient.Segment {
+			t.job = j
+		}
+	}
+	for _, t := range tails {
+		ts := t.job.Spec.Transient
+		if t.job.Status == JobDone && ts.Segment < ts.Segments-1 && !t.present[ts.Segment+1] {
+			c.chainSegment(t.job)
+		}
+	}
+}
+
+// chainSegment submits the segment after done job j under the same
+// request. Must be called without c.mu held (q.Submit takes q.mu; the
+// lock order everywhere is c.mu outside q.mu, never nested).
+func (c *Coordinator) chainSegment(j *Job) {
+	ts := *j.Spec.Transient
+	ts.Segment++
+	spec := j.Spec
+	spec.Transient = &ts
+	next := &Job{
+		ID:      fmt.Sprintf("%s-s%02d", j.Request, ts.Segment),
+		Request: j.Request,
+		Spec:    spec,
+		Cases:   j.Cases,
+	}
+	if err := c.q.Submit(next); err != nil {
+		if jd := journal.Default(); jd.Enabled() {
+			jd.Emit("", "fleet.request",
+				journal.F("request", j.Request),
+				journal.F("status", "chain_failed"),
+				journal.F("segment", ts.Segment),
+				journal.F("error", err.Error()))
+		}
+		return
+	}
+	c.mu.Lock()
+	if r := c.requests[j.Request]; r != nil {
+		r.jobIDs = append(r.jobIDs, next.ID)
+	}
+	c.mu.Unlock()
+	if jd := journal.Default(); jd.Enabled() {
+		jd.Emit("", "fleet.request",
+			journal.F("request", j.Request),
+			journal.F("status", "segment_chained"),
+			journal.F("run", ts.Run),
+			journal.F("job", next.ID),
+			journal.F("segment", ts.Segment),
+			journal.F("segments", ts.Segments))
+	}
+}
+
+// SubmitTransient queues a long checkpointed transient: one case split
+// into segments chained jobs, each bounded by a checkpoint boundary.
+// Only the first segment is queued here; each completed segment's
+// ingest chains the next, and the final segment's readouts complete the
+// request. The returned status carries the minted run ID under which
+// workers publish checkpoints to the artifact store.
+func (c *Coordinator) SubmitTransient(spec JobSpec, inputs []bool, segments, everySteps int) (*RequestStatus, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("fleet: transient needs an input case")
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	reqID := "q" + randomHex(8)
+	runID := "r" + randomHex(8)
+	spec.Transient = &TransientSpec{Run: runID, Segment: 0, Segments: segments, EverySteps: everySteps}
+	job := &Job{
+		ID:      fmt.Sprintf("%s-s00", reqID),
+		Request: reqID,
+		Spec:    spec,
+		Cases:   [][]bool{inputs},
+	}
+	if err := c.q.Submit(job); err != nil {
+		return nil, err
+	}
+	r := &request{id: reqID, spec: spec, run: runID, cases: [][]bool{inputs},
+		jobIDs: []string{job.ID}, merged: make(map[string]CaseOutcome),
+		submittedNS: c.clock.Now().UnixNano()}
+	c.mu.Lock()
+	c.requests[reqID] = r
+	c.mu.Unlock()
+	mRequests.Inc()
+	if jd := journal.Default(); jd.Enabled() {
+		jd.Emit("", "fleet.request",
+			journal.F("request", reqID),
+			journal.F("status", "submitted"),
+			journal.F("gate", spec.Gate),
+			journal.F("run", runID),
+			journal.F("segments", segments))
+	}
+	return c.Status(reqID)
 }
 
 // Queue returns the coordinator's underlying durable queue.
@@ -233,6 +372,7 @@ func (c *Coordinator) Status(reqID string) (*RequestStatus, error) {
 	defer c.mu.Unlock()
 	st.CasesTotal = len(r.cases)
 	st.Fingerprint = r.fingerprint
+	st.Run = r.run
 	done := 0
 	for _, in := range r.cases {
 		if _, ok := r.merged[resultKey(r.fingerprint, in)]; ok {
@@ -349,6 +489,12 @@ func (c *Coordinator) IngestResult(workerID, jobID, fingerprint string, results 
 		if r := c.requests[j.Request]; r != nil {
 			r.fingerprint = fingerprint
 			for _, out := range results {
+				if len(out.Outputs) == 0 {
+					// Checkpoint partial from an intermediate transient
+					// segment: there are no readouts yet, only a durable
+					// snapshot the chained segment resumes from.
+					continue
+				}
 				key := resultKey(fingerprint, out.Inputs)
 				if _, dup := r.merged[key]; dup {
 					c.dupResults.Add(1)
@@ -371,6 +517,13 @@ func (c *Coordinator) IngestResult(workerID, jobID, fingerprint string, results 
 		}
 	}
 	c.mu.Unlock()
+	// Chain the next transient segment after releasing c.mu — q.Submit
+	// takes q.mu, and the lock order is never nested. The chain runs at
+	// most once per segment: Complete is idempotent, so a duplicate post
+	// reports applied=false and never reaches here.
+	if j != nil && j.Spec.Transient != nil && j.Spec.Transient.Segment < j.Spec.Transient.Segments-1 {
+		c.chainSegment(j)
+	}
 	if completedReq != "" {
 		mRequestsComplete.Inc()
 		if jd := journal.Default(); jd.Enabled() {

@@ -85,7 +85,39 @@ type JobSpec struct {
 	Table bool `json:"table,omitempty"`
 	// Inverted selects XNOR decoding for XOR table requests.
 	Inverted bool `json:"inverted,omitempty"`
+	// DtScale multiplies the micromagnetic stability time step (default
+	// 1). It changes the trajectory (and the fingerprint); fleet smokes
+	// use values < 1 to stretch a transient's wall-clock time.
+	DtScale float64 `json:"dt_scale,omitempty"`
+	// Transient marks the job as one resumable segment of a long
+	// checkpointed transient (DESIGN.md §15). Segment jobs carry exactly
+	// one case; intermediate segments stop at their step boundary, upload
+	// a checkpoint to the run's artifact store, and report a partial
+	// outcome (Source "checkpoint", no Outputs) that makes the
+	// coordinator chain the next segment as a fresh job — so a SIGKILLed
+	// worker's segment is resumed (not restarted) by any peer.
+	Transient *TransientSpec `json:"transient,omitempty"`
 }
+
+// TransientSpec describes one segment of a checkpointed transient.
+type TransientSpec struct {
+	// Run is the durable run ID keying the transient's checkpoints in
+	// the coordinator's artifact store.
+	Run string `json:"run"`
+	// Segment is this job's zero-based segment index.
+	Segment int `json:"segment"`
+	// Segments is the total segment count (≥ 1); the final segment
+	// finishes the transient and reports the real readouts.
+	Segments int `json:"segments"`
+	// EverySteps is the checkpoint cadence in solver steps (0 = the
+	// checkpoint package default).
+	EverySteps int `json:"every_steps,omitempty"`
+}
+
+// SourceCheckpoint is the CaseOutcome.Source an intermediate transient
+// segment reports: the case has no readouts yet, only a durable
+// checkpoint the next segment resumes from.
+const SourceCheckpoint = "checkpoint"
 
 // CaseOutcome is one evaluated case inside a job result: the inputs it
 // answers, the readouts, and the tier that produced them on the worker.
@@ -193,6 +225,26 @@ func (j *Job) normalize() error {
 	for i, c := range j.Cases {
 		if len(c) != width {
 			return fmt.Errorf("fleet: case %d has %d inputs, case 0 has %d", i, len(c), width)
+		}
+	}
+	if j.Spec.DtScale < 0 {
+		return fmt.Errorf("fleet: negative dt_scale %g", j.Spec.DtScale)
+	}
+	if ts := j.Spec.Transient; ts != nil {
+		if !validID(ts.Run) {
+			return fmt.Errorf("fleet: transient run id %q: want 1-64 chars of [a-zA-Z0-9._-], not starting with '.'", ts.Run)
+		}
+		if ts.Segments < 1 {
+			return fmt.Errorf("fleet: transient needs segments >= 1, got %d", ts.Segments)
+		}
+		if ts.Segment < 0 || ts.Segment >= ts.Segments {
+			return fmt.Errorf("fleet: transient segment %d out of range [0, %d)", ts.Segment, ts.Segments)
+		}
+		if ts.EverySteps < 0 {
+			return fmt.Errorf("fleet: negative transient every_steps %d", ts.EverySteps)
+		}
+		if len(j.Cases) != 1 {
+			return fmt.Errorf("fleet: a transient segment carries exactly one case, got %d", len(j.Cases))
 		}
 	}
 	switch j.Status {

@@ -92,6 +92,15 @@ func (j *Journal) Enabled() bool { return j.n.Load() > 0 }
 // attached any) is visible from the outside.
 func (j *Journal) Sinks() int { return int(j.n.Load()) }
 
+// Seq returns the sequence number of the most recently emitted event
+// (0 before the first). Checkpoint manifests record it so a resumed
+// run's journal can be correlated with the interrupted run's tail.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
 // Attach adds a sink and returns a detach function that removes exactly
 // that sink again (for deferred cleanup in CLIs and tests).
 func (j *Journal) Attach(s Sink) (detach func()) {

@@ -54,14 +54,40 @@ func (s *Solver) RunAdaptive(duration float64, cfg AdaptiveConfig) (accepted, re
 	if duration <= 0 {
 		return 0, 0, fmt.Errorf("llg: adaptive duration %g must be positive", duration)
 	}
+	return s.RunAdaptiveUntil(s.Time+duration, cfg, nil)
+}
+
+// RunAdaptiveUntil advances the solver to the absolute simulation time
+// end with the same RK23 controller as RunAdaptive — the resume-exact
+// variant. Chunking a run by absolute end time matters for checkpointing:
+// RunAdaptive's relative duration would re-derive a slightly different
+// end from a mid-run Time, and the final clamped step would differ.
+//
+// each (if non-nil) is invoked after every accepted step, *after* the
+// step-size controller has proposed the next dt (visible as s.Dt), so a
+// checkpoint taken inside the callback captures exactly the loop state —
+// M, Time, Dt, Steps — that a later RunAdaptiveUntil call with the same
+// end and config needs to replay the remaining accept/reject sequence
+// bit-identically (DESIGN.md §15). Resume-exact callers must pass
+// explicit MinDt/MaxDt bounds: the defaults are derived from the
+// solver's current Dt, which at resume is the adapted value, so
+// defaulted bounds would differ between the original and resumed calls
+// and change the controller's clamping. Returning false stops the run early
+// with the state left consistent for such a resume. An end at or before
+// the current time is a no-op, not an error — that is how a resumed
+// segment that was interrupted on its last step terminates.
+func (s *Solver) RunAdaptiveUntil(end float64, cfg AdaptiveConfig, each func(step int) bool) (accepted, rejected int, err error) {
+	if math.IsNaN(end) || math.IsInf(end, 0) {
+		return 0, 0, fmt.Errorf("llg: adaptive end time %g must be finite", end)
+	}
 	cfg = cfg.withDefaults(s.Dt)
 	if cfg.MinDt <= 0 || cfg.MaxDt < cfg.MinDt {
 		return 0, 0, fmt.Errorf("llg: invalid adaptive step bounds [%g, %g]", cfg.MinDt, cfg.MaxDt)
 	}
 	if s.UseReference || s.Eval.FullDemag != nil {
-		accepted, rejected, err = s.runAdaptiveReference(duration, cfg)
+		accepted, rejected, err = s.runAdaptiveReference(end, cfg, each)
 	} else {
-		accepted, rejected, err = s.runAdaptiveFused(duration, cfg)
+		accepted, rejected, err = s.runAdaptiveFused(end, cfg, each)
 	}
 	if j := journal.Default(); j.Enabled() {
 		j.Emit(s.RunID, "adaptive.stats",
@@ -74,9 +100,8 @@ func (s *Solver) RunAdaptive(duration float64, cfg AdaptiveConfig) (accepted, re
 }
 
 // runAdaptiveFused is the banded RK23 loop (kernels in parallel.go).
-func (s *Solver) runAdaptiveFused(duration float64, cfg AdaptiveConfig) (accepted, rejected int, err error) {
+func (s *Solver) runAdaptiveFused(end float64, cfg AdaptiveConfig, each func(step int) bool) (accepted, rejected int, err error) {
 	s.ensurePrep()
-	end := s.Time + duration
 	dt := math.Min(math.Max(s.Dt, cfg.MinDt), cfg.MaxDt)
 
 	for s.Time < end {
@@ -95,7 +120,8 @@ func (s *Solver) runAdaptiveFused(duration float64, cfg AdaptiveConfig) (accepte
 		// √ of the max squared norm equals the max norm (√ is monotone),
 		// so this matches the reference stepper's per-cell norms exactly.
 		worst := math.Sqrt(tile.MaxFloat64s(s.errPart)) * dt
-		if worst <= cfg.MaxErr || dt <= cfg.MinDt {
+		committed := worst <= cfg.MaxErr || dt <= cfg.MinDt
+		if committed {
 			// Accept: commit M = normalize(y3) without a field pass.
 			s.st.num, s.st.t, s.st.dt, s.st.in = 5, t+dt, dt, s.mtmp
 			s.st.doField, s.st.doTorque = false, true
@@ -110,6 +136,12 @@ func (s *Solver) runAdaptiveFused(duration float64, cfg AdaptiveConfig) (accepte
 			rejected++
 		}
 		dt = nextDt(dt, worst, cfg)
+		if committed && each != nil {
+			s.Dt = dt // expose the proposed next step to the callback's checkpoint
+			if !each(accepted) {
+				return accepted, rejected, nil
+			}
+		}
 		if accepted+rejected > 50_000_000 {
 			return accepted, rejected, fmt.Errorf("llg: adaptive run exceeded step budget")
 		}
@@ -124,8 +156,7 @@ func (s *Solver) runAdaptiveFused(duration float64, cfg AdaptiveConfig) (accepte
 // RK4 k4 buffer — harmless at the time because the adaptive path never
 // touched k4, but an aliasing trap once buffers started being shared
 // across banded passes.
-func (s *Solver) runAdaptiveReference(duration float64, cfg AdaptiveConfig) (accepted, rejected int, err error) {
-	end := s.Time + duration
+func (s *Solver) runAdaptiveReference(end float64, cfg AdaptiveConfig, each func(step int) bool) (accepted, rejected int, err error) {
 	dt := math.Min(math.Max(s.Dt, cfg.MinDt), cfg.MaxDt)
 
 	n := len(s.M)
@@ -167,7 +198,8 @@ func (s *Solver) runAdaptiveReference(duration float64, cfg AdaptiveConfig) (acc
 			}
 		}
 		worst *= dt
-		if worst <= cfg.MaxErr || dt <= cfg.MinDt {
+		committed := worst <= cfg.MaxErr || dt <= cfg.MinDt
+		if committed {
 			// Accept.
 			s.M.Copy(m2)
 			s.renormalize()
@@ -181,6 +213,12 @@ func (s *Solver) runAdaptiveReference(duration float64, cfg AdaptiveConfig) (acc
 			rejected++
 		}
 		dt = nextDt(dt, worst, cfg)
+		if committed && each != nil {
+			s.Dt = dt // expose the proposed next step to the callback's checkpoint
+			if !each(accepted) {
+				return accepted, rejected, nil
+			}
+		}
 		if accepted+rejected > 50_000_000 {
 			return accepted, rejected, fmt.Errorf("llg: adaptive run exceeded step budget")
 		}

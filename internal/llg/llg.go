@@ -330,6 +330,28 @@ func (s *Solver) renormalize() {
 // Steps returns the number of steps taken so far.
 func (s *Solver) Steps() int { return s.steps }
 
+// Restore overwrites the integrator state from a checkpoint: the
+// magnetization (copied), the simulation time, the committed step count
+// and the step size. It deliberately performs no renormalization — exact
+// resume (DESIGN.md §15) must reproduce the stored bits untouched, and a
+// checkpointed field is already normalized by the step that produced it.
+func (s *Solver) Restore(m vec.Field, time float64, steps int, dt float64) error {
+	if len(m) != len(s.M) {
+		return fmt.Errorf("llg: restore field has %d cells, solver has %d", len(m), len(s.M))
+	}
+	if dt <= 0 {
+		return fmt.Errorf("llg: restore time step %g must be positive", dt)
+	}
+	if steps < 0 {
+		return fmt.Errorf("llg: restore step count %d must be non-negative", steps)
+	}
+	s.M.Copy(m)
+	s.Time = time
+	s.steps = steps
+	s.Dt = dt
+	return nil
+}
+
 // Run advances the solver by duration (rounded down to whole steps),
 // invoking each (if non-nil) after every step with the step count taken
 // during this Run call (starting at 1). If each returns false the run
@@ -343,6 +365,19 @@ func (s *Solver) Run(duration float64, each func(step int) bool) {
 // integration within one step and returns ctx.Err(). The magnetization is
 // left in its mid-run state; callers that abort should discard it.
 func (s *Solver) RunContext(ctx context.Context, duration float64, each func(step int) bool) (err error) {
+	return s.RunSteps(ctx, int(duration/s.Dt), each)
+}
+
+// RunSteps advances the solver by exactly n fixed steps — the
+// resume-exact variant of RunContext. A resumed run must continue with
+// `total − done` steps counted from the checkpoint, not with a duration:
+// recomputing int(duration/Dt) against a mid-run Time can gain or lose a
+// step to float rounding, and one step is all it takes to break
+// bit-identical resume (DESIGN.md §15). each (if non-nil) is invoked
+// after every committed step with the per-call step index (starting at
+// 1); returning false stops the run early with the solver state
+// consistent for a later resume.
+func (s *Solver) RunSteps(ctx context.Context, n int, each func(step int) bool) (err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -362,7 +397,6 @@ func (s *Solver) RunContext(ctx context.Context, duration float64, each func(ste
 		}
 	}()
 	done := ctx.Done()
-	n := int(duration / s.Dt)
 	for i := 1; i <= n; i++ {
 		select {
 		case <-done:

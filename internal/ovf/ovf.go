@@ -17,7 +17,27 @@ import (
 
 // Write emits field m on mesh as an OVF 2.0 text file with the given
 // title. Cells outside any region are written as stored (typically zero).
+// Values are rounded to 9 significant digits — plenty for visualization
+// and cross-tool comparison; use WriteExact when the file must round-trip
+// the field bit-identically (checkpoints).
 func Write(w io.Writer, mesh grid.Mesh, m vec.Field, title string) error {
+	return write(w, mesh, m, title, func(v float64) string {
+		return strconv.FormatFloat(v, 'g', 9, 64)
+	})
+}
+
+// WriteExact is Write with shortest-round-trip float formatting: Read
+// returns every component bit-identical to the field written. This is the
+// format solver checkpoints use — exact resume (DESIGN.md §15) depends on
+// the magnetization surviving the disk round trip unchanged.
+func WriteExact(w io.Writer, mesh grid.Mesh, m vec.Field, title string) error {
+	return write(w, mesh, m, title, func(v float64) string {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	})
+}
+
+// write emits the OVF segment with the given per-component formatter.
+func write(w io.Writer, mesh grid.Mesh, m vec.Field, title string, format func(float64) string) error {
 	if len(m) != mesh.NCells() {
 		return fmt.Errorf("ovf: field has %d cells, mesh %d", len(m), mesh.NCells())
 	}
@@ -42,7 +62,12 @@ func Write(w io.Writer, mesh grid.Mesh, m vec.Field, title string) error {
 	for j := 0; j < mesh.Ny; j++ {
 		for i := 0; i < mesh.Nx; i++ {
 			v := m[mesh.Idx(i, j)]
-			fmt.Fprintf(bw, "%.9g %.9g %.9g\n", v.X, v.Y, v.Z)
+			bw.WriteString(format(v.X))
+			bw.WriteByte(' ')
+			bw.WriteString(format(v.Y))
+			bw.WriteByte(' ')
+			bw.WriteString(format(v.Z))
+			bw.WriteByte('\n')
 		}
 	}
 	fmt.Fprintf(bw, "# End: Data Text\n")

@@ -90,3 +90,41 @@ func TestReadErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteExactRoundTrip pins the checkpoint-format contract: every
+// component survives the disk round trip bit-identically, including
+// values that 9-significant-digit formatting would corrupt.
+func TestWriteExactRoundTrip(t *testing.T) {
+	mesh := grid.MustMesh(6, 4, 5e-9, 5e-9, 1e-9)
+	m := testField(mesh)
+	// Adversarial values: denormal-adjacent, long mantissas, negatives.
+	m[0] = vec.V(1.0/3.0, -2.0/7.0, math.Nextafter(1, 2))
+	m[1] = vec.V(0.1+0.2, 1e-300, -math.Pi)
+	var buf bytes.Buffer
+	if err := WriteExact(&buf, mesh, m, "exact"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		if f.M[i] != m[i] {
+			t.Fatalf("cell %d not bit-identical: %v != %v", i, f.M[i], m[i])
+		}
+	}
+}
+
+// TestWriteStaysNineDigits pins that the default Write still rounds: a
+// checkpoint must use WriteExact, so this asymmetry is load-bearing.
+func TestWriteStaysNineDigits(t *testing.T) {
+	mesh := grid.MustMesh(1, 1, 1e-9, 1e-9, 1e-9)
+	m := vec.Field{vec.V(1.0/3.0, 0, 0)}
+	var buf bytes.Buffer
+	if err := Write(&buf, mesh, m, "rounded"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.333333333 0 0") {
+		t.Fatalf("default Write no longer rounds to 9 digits:\n%s", buf.String())
+	}
+}

@@ -7,6 +7,14 @@
 // requeue. It exits non-zero if the table does not complete, loses a
 // case, or decodes incorrectly.
 //
+// A second phase gates the checkpointed long-transient path (DESIGN.md
+// §15): a single micromagnetic case split into three resumable segments
+// over the run-artifact store. The worker holding a segment is
+// SIGKILLed after its first checkpoint lands, and a peer must finish
+// the run by resuming from that checkpoint — proved by a journaled
+// checkpoint.resume with a nonzero step on the surviving worker and by
+// readouts exactly equal to an uninterrupted in-process run.
+//
 //	go run ./tools/fleetsmoke -journal fleet.jsonl
 //
 // The journal written by the coordinator is left behind for
@@ -25,9 +33,13 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
+
+	"spinwave"
 )
 
 func main() {
@@ -50,6 +62,14 @@ func run(journalPath string, timeout time.Duration) error {
 	}
 	defer os.RemoveAll(tmp)
 
+	// swserve appends to its -journal (recovery events from earlier
+	// incarnations matter in production), so a stale file from a
+	// previous smoke run would fail journalcheck's strict sequence
+	// check. The smoke wants exactly one incarnation's journal.
+	if err := os.Remove(journalPath); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+
 	// Build the real binaries: the smoke test exercises the shipped
 	// entrypoints, not in-process stand-ins.
 	serveBin := filepath.Join(tmp, "swserve")
@@ -63,12 +83,14 @@ func run(journalPath string, timeout time.Duration) error {
 	}
 
 	// Coordinator on an ephemeral port with a short lease so the killed
-	// worker's job requeues within seconds.
+	// worker's job requeues within seconds. The artifact store backs the
+	// checkpointed-transient phase.
 	queueDir := filepath.Join(tmp, "queue")
 	serve := exec.Command(serveBin,
 		"-addr", "127.0.0.1:0",
 		"-fleet-queue", queueDir,
 		"-fleet-lease", "2s",
+		"-artifacts", filepath.Join(tmp, "artifacts"),
 		"-journal", journalPath,
 		"-workers", "2")
 	stderr, err := serve.StderrPipe()
@@ -90,25 +112,37 @@ func run(journalPath string, timeout time.Duration) error {
 	log.Printf("coordinator at %s", base)
 
 	// Two workers with a per-case delay long enough that a job is
-	// reliably in flight when we shoot one of them.
-	workers := make(map[string]*exec.Cmd, 2)
-	for _, id := range []string{"smoke-w1", "smoke-w2"} {
+	// reliably in flight when we shoot one of them. Each writes its own
+	// journal so the transient phase can prove a resume on the survivor.
+	workers := make(map[string]*exec.Cmd, 3)
+	journals := make(map[string]string, 3)
+	startWorker := func(id string) error {
+		journals[id] = filepath.Join(tmp, id+".jsonl")
 		w := exec.Command(workerBin,
 			"-coordinator", base,
 			"-id", id,
 			"-workers", "2",
 			"-poll", "100ms",
-			"-case-delay", "1500ms")
+			"-case-delay", "1500ms",
+			"-journal", journals[id])
 		w.Stderr = os.Stderr
 		if err := w.Start(); err != nil {
 			return err
 		}
 		workers[id] = w
-		defer func(w *exec.Cmd) {
+		return nil
+	}
+	for _, id := range []string{"smoke-w1", "smoke-w2"} {
+		if err := startWorker(id); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, w := range workers {
 			w.Process.Signal(syscall.SIGTERM) //nolint:errcheck
 			w.Wait()                          //nolint:errcheck
-		}(w)
-	}
+		}
+	}()
 
 	// Full XOR table, one case per job: four jobs across two workers.
 	reqID, err := submit(base, map[string]any{"gate": "xor", "table": true, "shard": 1})
@@ -166,7 +200,196 @@ func run(journalPath string, timeout time.Duration) error {
 	}
 	log.Printf("request %s complete after worker loss: %d/%d cases, table decodes correctly",
 		reqID, st.CasesDone, st.CasesTotal)
+
+	// Phase 2: the checkpointed transient. Restore the fleet to two
+	// workers first — the phase kills one of them again.
+	if err := startWorker("smoke-w3"); err != nil {
+		return err
+	}
+	return transientPhase(base, workers, journals, deadline)
+}
+
+// transientPhase submits one micromagnetic XOR case split into three
+// resumable segments, SIGKILLs the worker holding a segment once its
+// first checkpoint has landed in the artifact store, and requires a
+// peer to finish the run by resuming — with readouts exactly equal to
+// an uninterrupted run of the same configuration.
+func transientPhase(base string, workers map[string]*exec.Cmd, journals map[string]string, deadline time.Time) error {
+	const dtScale = 0.3 // stretch each segment so the kill lands mid-flight
+	inputs := []bool{true, false}
+
+	reqID, err := submit(base, map[string]any{
+		"gate": "xor", "backend": "micromag", "spec": "reduced",
+		"cases": [][]bool{inputs}, "segments": 3, "every_steps": 150, "dt_scale": dtScale,
+	})
+	if err != nil {
+		return fmt.Errorf("transient submit: %w", err)
+	}
+	run, err := requestRun(base, reqID)
+	if err != nil {
+		return err
+	}
+	log.Printf("submitted transient request %s (run %s, 3 segments)", reqID, run)
+
+	// The golden readouts: the identical configuration run uninterrupted
+	// in-process. Checkpoint segmentation must not change a single bit.
+	m, err := spinwave.NewMicromagnetic(spinwave.XOR, spinwave.MicromagConfig{
+		Spec: spinwave.ReducedSpec(), Mat: spinwave.FeCoB(), DtScale: dtScale,
+	})
+	if err != nil {
+		return err
+	}
+	golden, err := m.Run(inputs)
+	if err != nil {
+		return err
+	}
+
+	// Kill the worker holding a segment, but only after a checkpoint has
+	// landed durably — the peer must have something to resume from.
+	victim := ""
+	for time.Now().Before(deadline) {
+		if !artifactsHaveManifest(base, run) {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if victim, err = activeWorker(base); err == nil && victim != "" {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	proc, ok := workers[victim]
+	if !ok {
+		return fmt.Errorf("no worker held a transient segment after a checkpoint landed (victim %q)", victim)
+	}
+	if err := proc.Process.Kill(); err != nil {
+		return err
+	}
+	proc.Wait() //nolint:errcheck
+	delete(workers, victim)
+	log.Printf("killed worker %s mid-segment (SIGKILL), checkpoint already durable", victim)
+
+	st, err := waitForComplete(base, reqID, deadline)
+	if err != nil {
+		return err
+	}
+	if len(st.Results) != 1 {
+		return fmt.Errorf("transient completed with %d results, want 1", len(st.Results))
+	}
+	for name, want := range golden {
+		got, ok := st.Results[0].Outputs[name]
+		if !ok {
+			return fmt.Errorf("transient result lacks output %s", name)
+		}
+		if got.Amplitude != want.Amplitude || got.Phase != want.Phase {
+			return fmt.Errorf("output %s differs from the uninterrupted run: got (%.17g, %.17g), want (%.17g, %.17g)",
+				name, got.Amplitude, got.Phase, want.Amplitude, want.Phase)
+		}
+	}
+	retried := false
+	for _, j := range st.Jobs {
+		if j.Attempts > 1 {
+			retried = true
+		}
+	}
+	if !retried {
+		return fmt.Errorf("no segment needed a second attempt — the kill missed its window")
+	}
+
+	// The decisive check: a surviving worker resumed from a checkpoint
+	// (step > 0) instead of silently restarting the transient.
+	if err := survivorResumed(workers, journals); err != nil {
+		return err
+	}
+	log.Printf("transient request %s complete after worker loss: readouts exactly match the uninterrupted run", reqID)
 	return nil
+}
+
+// resumeStep extracts the step field of checkpoint.resume events.
+var resumeStep = regexp.MustCompile(`"event":"checkpoint\.resume".*?"step":(\d+)`)
+
+// survivorResumed scans the surviving workers' journals for a
+// checkpoint.resume event with a nonzero step.
+func survivorResumed(workers map[string]*exec.Cmd, journals map[string]string) error {
+	for id := range workers {
+		data, err := os.ReadFile(journals[id])
+		if err != nil {
+			continue
+		}
+		for _, m := range resumeStep.FindAllStringSubmatch(string(data), -1) {
+			if step, _ := strconv.Atoi(m[1]); step > 0 {
+				log.Printf("worker %s resumed from checkpoint step %d", id, step)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("no surviving worker journaled a checkpoint.resume with step > 0 — the segment restarted instead of resuming")
+}
+
+// requestRun polls the request status until its run ID is visible.
+func requestRun(base, reqID string) (string, error) {
+	resp, err := http.Get(base + "/v1/fleet/jobs/" + reqID)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Run string `json:"run"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	if st.Run == "" {
+		return "", fmt.Errorf("transient request %s reports no run ID", reqID)
+	}
+	return st.Run, nil
+}
+
+// artifactsHaveManifest reports whether the run's artifact listing
+// already contains a committed checkpoint manifest.
+func artifactsHaveManifest(base, run string) bool {
+	resp, err := http.Get(base + "/v1/runs/" + run + "/artifacts")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Artifacts []struct {
+			Name string `json:"name"`
+		} `json:"artifacts"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&list) != nil {
+		return false
+	}
+	for _, a := range list.Artifacts {
+		if strings.HasPrefix(a.Name, "ck-") && strings.HasSuffix(a.Name, ".json") {
+			return true
+		}
+	}
+	return false
+}
+
+// activeWorker returns the ID of a worker currently holding a job.
+func activeWorker(base string) (string, error) {
+	resp, err := http.Get(base + "/v1/fleet/workers")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Workers []struct {
+			ID         string `json:"id"`
+			ActiveJobs int    `json:"active_jobs"`
+		} `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", err
+	}
+	for _, w := range body.Workers {
+		if w.ActiveJobs > 0 {
+			return w.ID, nil
+		}
+	}
+	return "", nil
 }
 
 // waitForListen scans swserve's stderr for the "listening on" line and
@@ -214,6 +437,12 @@ type status struct {
 			} `json:"outputs"`
 		} `json:"cases"`
 	} `json:"table"`
+	Results []struct {
+		Outputs map[string]struct {
+			Amplitude float64 `json:"Amplitude"`
+			Phase     float64 `json:"Phase"`
+		} `json:"outputs"`
+	} `json:"results"`
 }
 
 func submit(base string, body map[string]any) (string, error) {
