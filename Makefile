@@ -19,17 +19,17 @@ test:
 
 # Race-detector pass over the concurrent packages: the evaluation
 # engine, the serving layer, the row-band-parallel field stencil, the
-# tiled LLG solver and its worker pool, the frequency-parallel gates
-# and the metrics registry.
+# tiled LLG solver and its worker pool, the frequency-parallel gates,
+# the metrics registry and the fleet observability plane.
 test-race:
-	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./internal/health/ ./internal/fleet/ ./internal/fleet/faults/ ./internal/checkpoint/ ./cmd/swserve/ ./cmd/swworker/
+	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./internal/health/ ./internal/fleet/ ./internal/fleet/faults/ ./internal/checkpoint/ ./internal/obsplane/ ./cmd/swserve/ ./cmd/swworker/
 
 # Godoc coverage gate (ISSUE 3): every exported identifier in the LLG
 # core, the field evaluator, the gate backends, the flight-recorder
 # packages, the checkpoint/fleet layers, the worker entrypoint and the
 # root package must carry a doc comment.
 docs-lint:
-	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal ./internal/health ./internal/fleet ./internal/fleet/faults ./internal/checkpoint ./cmd/swworker
+	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal ./internal/health ./internal/fleet ./internal/fleet/faults ./internal/checkpoint ./internal/obsplane ./cmd/swworker
 
 # Flight-recorder smoke (ISSUE 4): a short probed XOR case writing the
 # JSONL journal and Chrome trace, then schema-validating the journal.
@@ -78,13 +78,21 @@ cover:
 # job mid-case, and require the survivor to complete the table through
 # lease expiry and requeue. The journal must validate and must contain
 # both a claim and a requeue event — the durable-queue recovery story,
-# end to end on the shipped entrypoints.
+# end to end on the shipped entrypoints. The observability plane
+# (DESIGN.md §16) is gated in the same run: fleetsmoke downloads the
+# merged multi-node journal and assembled Chrome trace for the killed
+# request and fails unless the dead worker's shipped events survived at
+# the coordinator; journalcheck -fleet and swdoctor -fleet then
+# re-validate the downloaded snapshot independently.
 fleet-smoke:
-	$(GO) run ./tools/fleetsmoke -journal fleet.jsonl
+	$(GO) run ./tools/fleetsmoke -journal fleet.jsonl -events fleet-trace.jsonl -trace fleet-trace.json
 	$(GO) run ./tools/journalcheck fleet.jsonl
+	$(GO) run ./tools/journalcheck -fleet fleet-trace.jsonl
+	$(GO) run ./tools/swdoctor -fleet fleet-trace.jsonl
 	@grep -q '"event":"fleet.claim"' fleet.jsonl || { echo "FAIL: no fleet.claim in fleet.jsonl"; exit 1; }
 	@grep -q '"event":"fleet.requeue"' fleet.jsonl || { echo "FAIL: no fleet.requeue in fleet.jsonl"; exit 1; }
 	@grep -q '"status":"segment_chained"' fleet.jsonl || { echo "FAIL: no segment_chained event in fleet.jsonl"; exit 1; }
+	@grep -q '"event":"fleet.journal_shipped"' fleet-trace.jsonl || { echo "FAIL: no fleet.journal_shipped in fleet-trace.jsonl"; exit 1; }
 
 # Checkpoint/resume smoke (ISSUE 8): a golden uninterrupted swsim run,
 # the same case SIGKILLed mid-transient with checkpointing on, then a

@@ -9,6 +9,7 @@ import (
 	"spinwave/internal/core"
 	"spinwave/internal/detect"
 	"spinwave/internal/fleet"
+	"spinwave/internal/obsplane"
 )
 
 // Fleet surface (-fleet-queue): swserve doubles as the fleet
@@ -247,6 +248,11 @@ func (s *server) handleFleetClaim(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	// Answer with the claimed job's trace in the header too, so even a
+	// client that never decodes the body can pick up the correlation key.
+	if job.Trace != "" {
+		w.Header().Set(obsplane.TraceHeader, job.Trace)
+	}
 	s.reply(w, job)
 }
 
@@ -337,10 +343,22 @@ func (s *server) fleetHealth() (section map[string]any, healthy bool) {
 		"requests_complete": snap.RequestsComplete,
 		"duplicate_results": snap.DuplicateResults,
 	}
+	if len(snap.Nodes) > 0 {
+		// The federated per-node view (liveness + lifecycle counts) that
+		// the heartbeat health snapshots keep fresh.
+		section["nodes"] = snap.Nodes
+	}
 	healthy = true
 	if err := s.fleet.Queue().WritableProbe(); err != nil {
 		section["error"] = err.Error()
 		healthy = false
+	}
+	if s.fleetJournalEnabled() {
+		js, ok := s.fleetJournalHealth()
+		section["journal"] = js
+		if !ok {
+			healthy = false
+		}
 	}
 	return section, healthy
 }

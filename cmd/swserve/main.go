@@ -15,6 +15,10 @@
 //	GET  /v1/runs                 run IDs with retained probe data
 //	GET  /v1/runs/{id}/events     NDJSON live tail of the run journal
 //	GET  /v1/runs/{id}/probes     probe time-series (JSON, ?format=csv)
+//	POST /v1/fleet/journal            worker journal-batch ingestion
+//	GET  /v1/fleet/jobs/{id}/events   merged multi-node NDJSON journal
+//	                                  tail (?follow=false for snapshot)
+//	GET  /v1/fleet/jobs/{id}/trace    assembled Chrome-trace timeline
 //	GET  /metrics     Prometheus text exposition (engine, solver, HTTP)
 //	GET  /debug/vars  expvar metrics (engine + server counters)
 //	GET  /debug/pprof/*  runtime profiles (only with -pprof)
@@ -48,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,6 +64,7 @@ import (
 	"spinwave/internal/core"
 	"spinwave/internal/fleet"
 	"spinwave/internal/journal"
+	"spinwave/internal/obsplane"
 )
 
 func main() {
@@ -82,6 +88,7 @@ func main() {
 	fleetQueue := flag.String("fleet-queue", "", "durable fleet job-queue directory; enables the coordinator and the /v1/fleet endpoints")
 	fleetLease := flag.Duration("fleet-lease", fleet.DefaultLease, "fleet claim lease; a worker silent this long loses its job to a peer")
 	fleetShard := flag.Int("fleet-shard", 4, "default cases per fleet job (submissions may pick their own shard)")
+	fleetJournal := flag.String("fleet-journal", "", "durable fleet journal directory for shipped worker journals and the coordinator mirror (default <fleet-queue>/fleet-journal when the fleet is enabled)")
 	artifactsDir := flag.String("artifacts", "", "durable run-artifact store directory (checkpoints, probe CSVs, journals; serves /v1/runs/{id}/artifacts)")
 	journalFile := flag.String("journal", "", "append journal events as JSONL to this file (fleet.*, alert, run lifecycle)")
 	flag.Parse()
@@ -130,6 +137,17 @@ func main() {
 		}
 	}
 	if *fleetQueue != "" {
+		// The fleet journal opens (and its coordinator mirror attaches)
+		// before the queue, so trace-stamped events from queue recovery —
+		// requeues, quarantine alerts — land in the durable fleet journal
+		// too.
+		jdir := *fleetJournal
+		if jdir == "" {
+			jdir = filepath.Join(*fleetQueue, "fleet-journal")
+		}
+		if err := srv.initFleetJournal(jdir); err != nil {
+			log.Fatal(err)
+		}
 		if err := srv.initFleet(*fleetQueue, *fleetShard, fleet.WithLease(*fleetLease)); err != nil {
 			log.Fatal(err)
 		}
@@ -201,6 +219,11 @@ type server struct {
 	fleet      *fleet.Coordinator
 	fleetShard int
 
+	// Fleet journal store and its coordinator mirror detach hook
+	// (obsplane.go); nil unless the fleet journal is enabled.
+	fjournal     *obsplane.Store
+	detachMirror func()
+
 	// Run-artifact store (artifacts.go); nil unless -artifacts is set.
 	artifacts *checkpoint.ArtifactStore
 
@@ -223,6 +246,10 @@ func newServer(eng *spinwave.Engine, defaultTimeout time.Duration) *server {
 // close detaches the server's journal sinks; deferred in main and in
 // test cleanup so sinks do not accumulate on the process journal.
 func (s *server) close() {
+	if s.detachMirror != nil {
+		s.detachMirror()
+		s.detachMirror = nil
+	}
 	if s.detachJournal != nil {
 		s.detachJournal()
 		s.detachJournal = nil
@@ -243,6 +270,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/probes", s.withMetrics("/v1/runs/probes", s.handleRunProbes))
 	if s.fleetEnabled() {
 		s.fleetRoutes(mux)
+	}
+	if s.fleetJournalEnabled() {
+		s.fleetJournalRoutes(mux)
 	}
 	if s.artifactsEnabled() {
 		s.artifactRoutes(mux)

@@ -7,6 +7,7 @@ import (
 
 	"spinwave"
 	"spinwave/internal/fleet"
+	"spinwave/internal/obsplane"
 )
 
 func TestBuildBackendVocabulary(t *testing.T) {
@@ -100,7 +101,7 @@ func TestEvaluatorEvaluatesCases(t *testing.T) {
 
 func TestNodeHealthShape(t *testing.T) {
 	eng := spinwave.NewEngine(spinwave.WithEngineWorkers(1))
-	h := nodeHealth(eng)
+	h := nodeHealth(eng, nil)
 	if h["engine"] == nil {
 		t.Error("node health missing engine stats")
 	}
@@ -109,5 +110,20 @@ func TestNodeHealthShape(t *testing.T) {
 	}
 	if h["time"] == "" {
 		t.Error("node health missing timestamp")
+	}
+	if _, ok := h["journal_shipper"]; ok {
+		t.Error("shipperless worker reports journal_shipper health")
+	}
+
+	ship := obsplane.NewShipper(obsplane.ShipperConfig{BaseURL: "http://127.0.0.1:1", Node: "w1"})
+	h = nodeHealth(eng, ship)
+	stats, ok := h["journal_shipper"].(map[string]int64)
+	if !ok {
+		t.Fatalf("journal_shipper health = %#v", h["journal_shipper"])
+	}
+	for _, key := range []string{"shipped", "pending", "dropped", "flush_attempts", "flush_failures"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("shipper health missing %q: %v", key, stats)
+		}
 	}
 }

@@ -9,6 +9,13 @@
 // The worker is stateless beyond its engine tiers: kill it at any
 // moment and the coordinator's lease expiry requeues whatever it held;
 // restart it and it re-registers under a fresh (or the -id pinned) name.
+//
+// Observability (DESIGN.md §16): the worker batch-forwards its journal
+// events to the coordinator's durable fleet journal (disable with
+// -ship-journal=false), stamping each with its node name and the
+// claimed job's trace ID — so a killed worker's flight-recorder tail
+// survives at the coordinator. -metrics-addr opens a second listener
+// with /metrics, /debug/vars and /debug/pprof for direct scrapes.
 package main
 
 import (
@@ -17,11 +24,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"spinwave"
 	"spinwave/internal/fleet"
+	"spinwave/internal/obsplane"
 )
 
 func main() {
@@ -35,6 +44,8 @@ func main() {
 	poll := flag.Duration("poll", 0, "idle re-poll interval (0 = coordinator-suggested)")
 	caseDelay := flag.Duration("case-delay", 0, "artificial per-case delay (test/smoke aid: makes mid-job kills reliable)")
 	journalFile := flag.String("journal", "", "write the structured run journal (JSON lines) to this file")
+	shipJournal := flag.Bool("ship-journal", true, "batch-forward journal events to the coordinator's durable fleet journal")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *journalFile != "" {
@@ -63,19 +74,63 @@ func main() {
 	}
 	eng := spinwave.NewEngine(opts...)
 
+	var shipper *obsplane.Shipper
+	if *shipJournal {
+		shipper = obsplane.NewShipper(obsplane.ShipperConfig{
+			BaseURL: strings.TrimRight(*coordinator, "/"),
+			Node:    *id, // empty until registration assigns one; Flush holds
+		})
+		defer spinwave.AttachJournalSink(shipper)()
+	}
+
 	w := &fleet.Worker{
 		BaseURL:   *coordinator,
 		Eval:      newEvaluator(eng, *coordinator),
 		ID:        *id,
 		Poll:      *poll,
 		CaseDelay: *caseDelay,
-		Health:    func() map[string]any { return nodeHealth(eng) },
+		Health:    func() map[string]any { return nodeHealth(eng, shipper) },
+	}
+	if shipper != nil {
+		// Each claim retargets the shipper: events emitted while serving
+		// the job carry its trace (and the registered node name — the
+		// coordinator may have assigned one at registration).
+		w.OnClaim = func(j *fleet.Job) {
+			shipper.SetNode(w.ID)
+			shipper.SetTrace(j.Trace)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *metricsAddr != "" {
+		actual, err := startMetricsServer(*metricsAddr, eng, shipper)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The log line names the actual port so -metrics-addr :0 is usable
+		// by the smoke harness.
+		log.Printf("metrics on http://%s/metrics", actual)
+	}
+
+	shipDone := make(chan struct{})
+	if shipper != nil {
+		go func() {
+			defer close(shipDone)
+			shipper.Run(ctx)
+		}()
+	} else {
+		close(shipDone)
+	}
+
 	log.Printf("worker starting, coordinator %s", *coordinator)
 	err := w.Run(ctx)
+	stop() // end the shipper loop too, triggering its final flush
+	<-shipDone
+	if shipper != nil {
+		log.Printf("journal shipper: %v", shipper.Stats())
+	}
 	log.Printf("worker %s stopping after %d jobs: %v", w.ID, w.JobsDone(), err)
 	if ctx.Err() == nil && err != nil {
 		os.Exit(1)
@@ -84,12 +139,18 @@ func main() {
 
 // nodeHealth is the per-node health snapshot attached to heartbeats:
 // the engine tier statistics (cache/disk/surrogate hits, evaluations,
-// coalesced calls) the coordinator forwards to /v1/fleet/workers and
-// deep healthz.
-func nodeHealth(eng *spinwave.Engine) map[string]any {
-	return map[string]any{
+// coalesced calls) plus the journal shipper's delivery counters. The
+// coordinator forwards it to /v1/fleet/workers and deep healthz, and
+// federates the numeric engine leaves into its own /metrics as
+// spinwave_fleet_node_engine{node,stat} gauges.
+func nodeHealth(eng *spinwave.Engine, shipper *obsplane.Shipper) map[string]any {
+	h := map[string]any{
 		"engine": eng.Stats(),
 		"pid":    os.Getpid(),
 		"time":   time.Now().UTC().Format(time.RFC3339),
 	}
+	if shipper != nil {
+		h["journal_shipper"] = shipper.Stats()
+	}
+	return h
 }

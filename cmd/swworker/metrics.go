@@ -1,0 +1,60 @@
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"spinwave"
+	"spinwave/internal/obs"
+	"spinwave/internal/obsplane"
+)
+
+// Worker-side observability surface (-metrics-addr): a second listener
+// serving /metrics (the obs default registry in Prometheus text
+// format), /debug/vars (engine and shipper stats), and /debug/pprof/*.
+// Default off — a fleet of workers should not open scrape ports unless
+// the operator asks — and deliberately exempt from shutdown: the server
+// keeps answering until the process exits, so the final counters of a
+// SIGTERMed worker (the flush it is landing right now) stay observable,
+// the same contract as swserve's drain-exempt /metrics.
+
+// startMetricsServer listens on addr and serves the worker metrics
+// surface until the process ends. It returns the actual bound address
+// (so -metrics-addr :0 is loggable and the smoke harness can parse it).
+func startMetricsServer(addr string, eng *spinwave.Engine, shipper *obsplane.Shipper) (string, error) {
+	publishWorkerVars(eng, shipper)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default().WritePrometheus(w) //nolint:errcheck
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go (&http.Server{Handler: mux}).Serve(ln) //nolint:errcheck
+	return ln.Addr().String(), nil
+}
+
+// publishWorkerVars registers the engine (and, when shipping, the
+// journal shipper) with expvar. Once-guarded: tests may start several
+// metrics servers in one process.
+var publishWorkerOnce sync.Once
+
+func publishWorkerVars(eng *spinwave.Engine, shipper *obsplane.Shipper) {
+	publishWorkerOnce.Do(func() {
+		expvar.Publish("spinwave_engine", expvar.Func(func() any { return eng.Stats() }))
+		if shipper != nil {
+			expvar.Publish("spinwave_journal_shipper", expvar.Func(func() any { return shipper.Stats() }))
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 
 	"spinwave"
 	"spinwave/internal/fleet"
+	"spinwave/internal/obsplane"
 )
 
 // Transient segments (DESIGN.md §15): a job whose spec carries a
@@ -79,6 +80,10 @@ func runTransientSegment(ctx context.Context, coordinator string, spec fleet.Job
 		EverySteps: ts.EverySteps,
 		Resume:     true,
 		StopAtStep: stopAt,
+		// The fleet trace rides the evaluation context (the worker wraps it
+		// at claim), so every manifest this segment writes names the trace
+		// a post-mortem will query.
+		Trace: obsplane.Trace(ctx),
 		OnSnapshot: func(d string, snap spinwave.CheckpointSnapshot) {
 			if err := art.uploadSnapshot(ctx, ts.Run, d, snap); err != nil && uploadErr == nil {
 				uploadErr = err

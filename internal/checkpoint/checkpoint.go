@@ -77,6 +77,10 @@ type Config struct {
 	// fleet worker's upload hook. It runs on the stepping goroutine, so
 	// it should hand work off rather than block the solver for long.
 	OnSnapshot func(dir string, snap Snapshot)
+	// Trace is the fleet trace ID stamped into each manifest (empty
+	// outside fleet runs), correlating the checkpoint with the fleet
+	// journal events of the job that wrote it.
+	Trace string
 }
 
 // Enabled reports whether the config names a checkpoint directory.
@@ -126,6 +130,10 @@ type Manifest struct {
 	// JournalSeq is the process journal's sequence number at save time,
 	// correlating the checkpoint with the interrupted run's journal tail.
 	JournalSeq uint64 `json:"journal_seq,omitempty"`
+	// Trace is the fleet trace ID of the job that wrote the snapshot —
+	// the key joining this checkpoint to the merged fleet journal
+	// (/v1/fleet/jobs/{trace}/events). Empty outside fleet runs.
+	Trace string `json:"trace,omitempty"`
 	// MagFile is the sidecar OVF file name (same directory).
 	MagFile string `json:"mag_file"`
 	// MagSHA256 is the hex SHA-256 of the OVF file's bytes — the

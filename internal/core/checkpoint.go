@@ -54,6 +54,7 @@ func (m *Micromagnetic) saveCheckpoint(ck checkpoint.Config, s *llg.Solver, prob
 		SimTime:     s.Time,
 		Dt:          s.Dt,
 		Scheme:      s.Scheme.String(),
+		Trace:       ck.Trace,
 		Probes:      probeStates(probes),
 	}
 	snap, err := checkpoint.Save(ck.Dir, man, m.Mesh, s.M, ck.Keep)

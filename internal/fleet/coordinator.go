@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spinwave/internal/journal"
+	"spinwave/internal/obsplane"
 )
 
 // Coordinator shards evaluation requests into queued jobs, tracks the
@@ -46,6 +47,9 @@ type request struct {
 	// the key under which the segments' checkpoints live in the
 	// artifact store.
 	run string
+	// trace is the fleet trace ID minted at submission and stamped on
+	// every job, journal event and checkpoint of this request.
+	trace string
 }
 
 // workerState tracks one registered worker.
@@ -99,6 +103,9 @@ type RequestStatus struct {
 	// traces) live under /v1/runs/{id}/artifacts; empty for plain
 	// requests.
 	Run string `json:"run,omitempty"`
+	// Trace is the fleet trace ID correlating this request's journal
+	// events across nodes; key into /v1/fleet/jobs/{trace}/events.
+	Trace string `json:"trace,omitempty"`
 	// Results holds one outcome per submitted case, in submission order,
 	// populated only when State is complete.
 	Results []CaseOutcome `json:"results,omitempty"`
@@ -119,6 +126,18 @@ type WorkerStatus struct {
 	Health map[string]any `json:"health,omitempty"`
 }
 
+// NodeStat is one node's line in the federated fleet snapshot: the
+// per-node liveness and throughput counters surfaced by /v1/slo and
+// deep healthz (the aggregate sibling of the spinwave_fleet_node_*
+// Prometheus gauges).
+type NodeStat struct {
+	ID         string `json:"id"`
+	State      string `json:"state"` // active, idle, lost
+	LastSeenMS int64  `json:"last_seen_ms"`
+	Done       int64  `json:"done"`
+	Failed     int64  `json:"failed"`
+}
+
 // Snapshot is the fleet state surfaced to deep healthz and /v1/slo.
 type Snapshot struct {
 	Queue            QueueStats `json:"queue"`
@@ -127,6 +146,8 @@ type Snapshot struct {
 	Requests         int        `json:"requests"`
 	RequestsComplete int        `json:"requests_complete"`
 	DuplicateResults int64      `json:"duplicate_results"`
+	// Nodes lists every registered worker's liveness line, sorted by ID.
+	Nodes []NodeStat `json:"nodes,omitempty"`
 }
 
 // NewCoordinator builds a coordinator over the queue, rebuilding request
@@ -149,6 +170,9 @@ func NewCoordinator(q *Queue) *Coordinator {
 			c.requests[j.Request] = r
 		}
 		r.jobIDs = append(r.jobIDs, j.ID)
+		if r.trace == "" && j.Trace != "" {
+			r.trace = j.Trace // recovered from the durable job files
+		}
 		if ts := j.Spec.Transient; ts != nil {
 			r.run = ts.Run
 			// Every segment job repeats the transient's one case; count it
@@ -219,16 +243,17 @@ func (c *Coordinator) chainSegment(j *Job) {
 	next := &Job{
 		ID:      fmt.Sprintf("%s-s%02d", j.Request, ts.Segment),
 		Request: j.Request,
+		Trace:   j.Trace, // the chained segment stays on the parent's trace
 		Spec:    spec,
 		Cases:   j.Cases,
 	}
 	if err := c.q.Submit(next); err != nil {
 		if jd := journal.Default(); jd.Enabled() {
-			jd.Emit("", "fleet.request",
-				journal.F("request", j.Request),
+			jd.Emit("", "fleet.request", corrFields([]journal.Field{
 				journal.F("status", "chain_failed"),
 				journal.F("segment", ts.Segment),
-				journal.F("error", err.Error()))
+				journal.F("error", err.Error()),
+			}, j.Request, j.Trace)...)
 		}
 		return
 	}
@@ -238,13 +263,13 @@ func (c *Coordinator) chainSegment(j *Job) {
 	}
 	c.mu.Unlock()
 	if jd := journal.Default(); jd.Enabled() {
-		jd.Emit("", "fleet.request",
-			journal.F("request", j.Request),
+		jd.Emit("", "fleet.request", corrFields([]journal.Field{
 			journal.F("status", "segment_chained"),
 			journal.F("run", ts.Run),
 			journal.F("job", next.ID),
 			journal.F("segment", ts.Segment),
-			journal.F("segments", ts.Segments))
+			journal.F("segments", ts.Segments),
+		}, j.Request, j.Trace)...)
 	}
 }
 
@@ -263,17 +288,20 @@ func (c *Coordinator) SubmitTransient(spec JobSpec, inputs []bool, segments, eve
 	}
 	reqID := "q" + randomHex(8)
 	runID := "r" + randomHex(8)
+	trace := obsplane.NewTraceID()
 	spec.Transient = &TransientSpec{Run: runID, Segment: 0, Segments: segments, EverySteps: everySteps}
 	job := &Job{
 		ID:      fmt.Sprintf("%s-s00", reqID),
 		Request: reqID,
+		Trace:   trace,
 		Spec:    spec,
 		Cases:   [][]bool{inputs},
 	}
 	if err := c.q.Submit(job); err != nil {
 		return nil, err
 	}
-	r := &request{id: reqID, spec: spec, run: runID, cases: [][]bool{inputs},
+	r := &request{id: reqID, spec: spec, run: runID, trace: trace,
+		cases: [][]bool{inputs},
 		jobIDs: []string{job.ID}, merged: make(map[string]CaseOutcome),
 		submittedNS: c.clock.Now().UnixNano()}
 	c.mu.Lock()
@@ -281,12 +309,12 @@ func (c *Coordinator) SubmitTransient(spec JobSpec, inputs []bool, segments, eve
 	c.mu.Unlock()
 	mRequests.Inc()
 	if jd := journal.Default(); jd.Enabled() {
-		jd.Emit("", "fleet.request",
-			journal.F("request", reqID),
+		jd.Emit("", "fleet.request", corrFields([]journal.Field{
 			journal.F("status", "submitted"),
 			journal.F("gate", spec.Gate),
 			journal.F("run", runID),
-			journal.F("segments", segments))
+			journal.F("segments", segments),
+		}, reqID, trace)...)
 	}
 	return c.Status(reqID)
 }
@@ -310,7 +338,8 @@ func (c *Coordinator) Submit(spec JobSpec, cases [][]bool, shard int) (*RequestS
 		shard = len(cases)
 	}
 	reqID := "q" + randomHex(8)
-	r := &request{id: reqID, spec: spec, cases: cases,
+	trace := obsplane.NewTraceID()
+	r := &request{id: reqID, spec: spec, cases: cases, trace: trace,
 		merged: make(map[string]CaseOutcome), submittedNS: c.clock.Now().UnixNano()}
 	var jobs []*Job
 	for i := 0; i < len(cases); i += shard {
@@ -321,6 +350,7 @@ func (c *Coordinator) Submit(spec JobSpec, cases [][]bool, shard int) (*RequestS
 		jobs = append(jobs, &Job{
 			ID:      fmt.Sprintf("%s-%03d", reqID, len(jobs)),
 			Request: reqID,
+			Trace:   trace,
 			Spec:    spec,
 			Cases:   cases[i:end],
 		})
@@ -336,12 +366,12 @@ func (c *Coordinator) Submit(spec JobSpec, cases [][]bool, shard int) (*RequestS
 	c.mu.Unlock()
 	mRequests.Inc()
 	if jd := journal.Default(); jd.Enabled() {
-		jd.Emit("", "fleet.request",
-			journal.F("request", reqID),
+		jd.Emit("", "fleet.request", corrFields([]journal.Field{
 			journal.F("status", "submitted"),
 			journal.F("gate", spec.Gate),
 			journal.F("cases", len(cases)),
-			journal.F("jobs", len(jobs)))
+			journal.F("jobs", len(jobs)),
+		}, reqID, trace)...)
 	}
 	return c.Status(reqID)
 }
@@ -355,7 +385,7 @@ func (c *Coordinator) Status(reqID string) (*RequestStatus, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: request %s", ErrNoSuchJob, reqID)
 	}
-	st := &RequestStatus{ID: r.id, Spec: r.spec}
+	st := &RequestStatus{ID: r.id, Spec: r.spec, Trace: r.trace}
 	anyFailed := false
 	for _, jid := range r.jobIDs {
 		j, ok := c.q.Get(jid)
@@ -483,7 +513,7 @@ func (c *Coordinator) IngestResult(workerID, jobID, fingerprint string, results 
 		w.done++
 	}
 	j, _ := c.q.Get(jobID)
-	var completedReq string
+	var completedReq, completedTrace string
 	var completedCases int
 	if j != nil && j.Request != "" {
 		if r := c.requests[j.Request]; r != nil {
@@ -513,6 +543,7 @@ func (c *Coordinator) IngestResult(workerID, jobID, fingerprint string, results 
 				r.completedAt = c.clock.Now().UnixNano()
 				completedReq = r.id
 				completedCases = len(r.cases)
+				completedTrace = r.trace
 			}
 		}
 	}
@@ -527,16 +558,19 @@ func (c *Coordinator) IngestResult(workerID, jobID, fingerprint string, results 
 	if completedReq != "" {
 		mRequestsComplete.Inc()
 		if jd := journal.Default(); jd.Enabled() {
-			jd.Emit("", "fleet.request",
-				journal.F("request", completedReq),
+			jd.Emit("", "fleet.request", corrFields([]journal.Field{
 				journal.F("status", "complete"),
-				journal.F("cases", completedCases))
+				journal.F("cases", completedCases),
+			}, completedReq, completedTrace)...)
 		}
 	}
 	return true, nil
 }
 
 // touch refreshes a worker's liveness (and health snapshot, when given).
+// A health snapshot also feeds the federated spinwave_fleet_node_*
+// gauges, so every worker heartbeat refreshes the coordinator's
+// /metrics view of that node's engine.
 func (c *Coordinator) touch(workerID string, health map[string]any) {
 	now := c.clock.Now()
 	c.mu.Lock()
@@ -547,6 +581,9 @@ func (c *Coordinator) touch(workerID string, health map[string]any) {
 		}
 	}
 	c.mu.Unlock()
+	if health != nil {
+		recordNodeHealth(workerID, health)
+	}
 }
 
 // lostAfter is how stale a worker's lastSeen may be before it is
@@ -596,6 +633,8 @@ func (c *Coordinator) Snapshot() Snapshot {
 		if w.State == "lost" {
 			s.WorkersLost++
 		}
+		s.Nodes = append(s.Nodes, NodeStat{ID: w.ID, State: w.State,
+			LastSeenMS: w.LastSeenMS, Done: w.Done, Failed: w.Failed})
 	}
 	c.mu.Lock()
 	s.Requests = len(c.requests)

@@ -145,6 +145,11 @@ type Job struct {
 	// Request groups the job with its sibling shards under the parent
 	// request (empty for hand-submitted standalone jobs).
 	Request string `json:"request,omitempty"`
+	// Trace is the fleet trace ID the coordinator minted for the parent
+	// request: the correlation key stamped on every journal event, HTTP
+	// call, and checkpoint manifest this job touches, across every node
+	// (DESIGN.md §16). Empty for hand-submitted jobs with no request.
+	Trace string `json:"trace,omitempty"`
 	// Spec is the backend configuration the cases run against.
 	Spec JobSpec `json:"spec"`
 	// Cases are the input vectors this shard evaluates.
@@ -208,6 +213,9 @@ func (j *Job) normalize() error {
 	}
 	if j.Request != "" && !validID(j.Request) {
 		return fmt.Errorf("fleet: request id %q: want 1-64 chars of [a-zA-Z0-9._-], not starting with '.'", j.Request)
+	}
+	if j.Trace != "" && !validID(j.Trace) {
+		return fmt.Errorf("fleet: trace id %q: want 1-64 chars of [a-zA-Z0-9._-], not starting with '.'", j.Trace)
 	}
 	if j.Spec.Gate == "" {
 		return fmt.Errorf("fleet: job needs spec.gate")

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"sync"
 
 	"spinwave/internal/obs"
@@ -46,5 +47,47 @@ func initMetrics() {
 		mRequestsComplete = r.Counter("spinwave_fleet_requests_total", obs.L("status", "complete"))
 		r.Describe("spinwave_fleet_workers_registered_total", "worker registrations accepted")
 		mWorkersSeen = r.Counter("spinwave_fleet_workers_registered_total")
+		r.Describe("spinwave_fleet_node_engine", "per-node engine stats federated from worker heartbeats")
 	})
+}
+
+// recordNodeHealth federates a worker's self-reported health snapshot
+// into spinwave_fleet_node_engine{node,stat} gauges, so one coordinator
+// /metrics scrape covers every node's engine counters without scraping
+// the workers. Only numeric leaves of the "engine" section are
+// exported; the full snapshot stays available via /v1/fleet/workers.
+func recordNodeHealth(workerID string, health map[string]any) {
+	initMetrics()
+	eng, ok := health["engine"]
+	if !ok || eng == nil {
+		return
+	}
+	// The engine stats arrive as a JSON object over HTTP but as a typed
+	// struct when coordinator and worker share a process (tests, smokes);
+	// a JSON round-trip flattens both to the same map shape.
+	stats, ok := eng.(map[string]any)
+	if !ok {
+		buf, err := json.Marshal(eng)
+		if err != nil || json.Unmarshal(buf, &stats) != nil {
+			return
+		}
+	}
+	r := obs.Default()
+	for stat, v := range stats {
+		var val float64
+		switch n := v.(type) {
+		case float64:
+			val = n
+		case int:
+			val = float64(n)
+		case int64:
+			val = float64(n)
+		case json.Number:
+			val, _ = n.Float64()
+		default:
+			continue // non-numeric leaf (nested map, string): skip
+		}
+		r.Gauge("spinwave_fleet_node_engine",
+			obs.L("node", workerID), obs.L("stat", stat)).Set(val)
+	}
 }

@@ -140,25 +140,25 @@ func (q *Queue) scan() error {
 		path := filepath.Join(q.dir, name)
 		buf, err := os.ReadFile(path)
 		if err != nil {
-			q.quarantine(path, fmt.Errorf("unreadable: %w", err))
+			q.quarantine(path, nil, fmt.Errorf("unreadable: %w", err))
 			continue
 		}
 		j, err := ParseJobFile(buf)
 		if err != nil {
-			q.quarantine(path, err)
+			q.quarantine(path, partialJob(buf), err)
 			continue
 		}
 		// A hand-written file may omit the ID; the file-name stem is it.
 		stem := strings.TrimSuffix(name, ".json")
 		if j.ID == "" {
 			if !validID(stem) {
-				q.quarantine(path, fmt.Errorf("no id and file name %q is not a valid id", stem))
+				q.quarantine(path, j, fmt.Errorf("no id and file name %q is not a valid id", stem))
 				continue
 			}
 			j.ID = stem
 		}
 		if _, exists := q.jobs[j.ID]; exists {
-			q.quarantine(path, fmt.Errorf("duplicate job id %q", j.ID))
+			q.quarantine(path, j, fmt.Errorf("duplicate job id %q", j.ID))
 			continue
 		}
 		if j.SubmittedNS == 0 {
@@ -177,10 +177,25 @@ func (q *Queue) scan() error {
 	return nil
 }
 
+// corrFields appends the correlation keys every fleet journal event
+// must carry when known: the parent request ID and the fleet trace ID
+// (the post-mortem joins in OPERATIONS.md grep on both).
+func corrFields(fields []journal.Field, request, trace string) []journal.Field {
+	if request != "" {
+		fields = append(fields, journal.F("request", request))
+	}
+	if trace != "" {
+		fields = append(fields, journal.F("trace", trace))
+	}
+	return fields
+}
+
 // quarantine renames a defective queue file aside and raises a journal
 // alert; the queue keeps serving. The renamed file keeps its content
-// for post-mortems and is ignored by every future scan.
-func (q *Queue) quarantine(path string, cause error) {
+// for post-mortems and is ignored by every future scan. When the file
+// parsed far enough to name its job, j carries it so the alert stays
+// joinable to the parent request and trace; nil when unparseable.
+func (q *Queue) quarantine(path string, j *Job, cause error) {
 	dst := path + ".quarantined"
 	if err := os.Rename(path, dst); err != nil {
 		// Renaming failed (e.g. read-only dir): leave the file, still alert.
@@ -188,13 +203,46 @@ func (q *Queue) quarantine(path string, cause error) {
 	}
 	q.quarantined++
 	mQuarantined.Inc()
-	if j := journal.Default(); j.Enabled() {
-		j.Emit("", "alert",
+	if jd := journal.Default(); jd.Enabled() {
+		fields := []journal.Field{
 			journal.F("rule", "fleet.quarantine"),
 			journal.F("severity", "warn"),
 			journal.F("file", dst),
-			journal.F("error", cause.Error()))
+			journal.F("error", cause.Error()),
+		}
+		if j != nil {
+			if j.ID != "" {
+				fields = append(fields, journal.F("job", j.ID))
+			}
+			fields = corrFields(fields, j.Request, j.Trace)
+		}
+		jd.Emit("", "alert", fields...)
 	}
+}
+
+// partialJob leniently recovers the correlation identity (id, request,
+// trace) from a file the strict parser rejected, so the quarantine
+// alert still names the request it orphaned. Nil when even that fails.
+func partialJob(buf []byte) *Job {
+	var p struct {
+		ID      string `json:"id"`
+		Request string `json:"request"`
+		Trace   string `json:"trace"`
+	}
+	if json.Unmarshal(buf, &p) != nil {
+		return nil
+	}
+	j := &Job{ID: p.ID, Request: p.Request, Trace: p.Trace}
+	if !validID(j.ID) {
+		j.ID = ""
+	}
+	if !validID(j.Request) {
+		j.Request = ""
+	}
+	if !validID(j.Trace) {
+		j.Trace = ""
+	}
+	return j
 }
 
 // fileFor maps a job ID to its canonical queue file path.
@@ -255,11 +303,11 @@ func (q *Queue) Submit(j *Job) error {
 	q.jobs[cp.ID] = cp
 	mJobsSubmitted.Inc()
 	if jd := journal.Default(); jd.Enabled() {
-		jd.Emit("", "fleet.job",
+		jd.Emit("", "fleet.job", corrFields([]journal.Field{
 			journal.F("job", cp.ID),
-			journal.F("request", cp.Request),
 			journal.F("status", "submitted"),
-			journal.F("cases", len(cp.Cases)))
+			journal.F("cases", len(cp.Cases)),
+		}, cp.Request, cp.Trace)...)
 	}
 	return nil
 }
@@ -300,10 +348,11 @@ func (q *Queue) Claim(workerID string) (*Job, error) {
 	}
 	mClaims.Inc()
 	if jd := journal.Default(); jd.Enabled() {
-		jd.Emit("", "fleet.claim",
+		jd.Emit("", "fleet.claim", corrFields([]journal.Field{
 			journal.F("job", pick.ID),
 			journal.F("worker", workerID),
-			journal.F("attempt", pick.Attempts))
+			journal.F("attempt", pick.Attempts),
+		}, pick.Request, pick.Trace)...)
 	}
 	return pick.clone(), nil
 }
@@ -371,12 +420,12 @@ func (q *Queue) Complete(jobID, workerID, fingerprint string, results []CaseOutc
 	}
 	mJobsCompleted.Inc()
 	if jd := journal.Default(); jd.Enabled() {
-		jd.Emit("", "fleet.job",
+		jd.Emit("", "fleet.job", corrFields([]journal.Field{
 			journal.F("job", j.ID),
-			journal.F("request", j.Request),
 			journal.F("status", "done"),
 			journal.F("worker", workerID),
-			journal.F("cases", len(j.Cases)))
+			journal.F("cases", len(j.Cases)),
+		}, j.Request, j.Trace)...)
 	}
 	return true, nil
 }
@@ -409,11 +458,11 @@ func (q *Queue) Fail(jobID, workerID, reason string) error {
 		return err
 	}
 	if jd := journal.Default(); jd.Enabled() {
-		jd.Emit("", "fleet.job",
+		jd.Emit("", "fleet.job", corrFields([]journal.Field{
 			journal.F("job", j.ID),
-			journal.F("request", j.Request),
 			journal.F("status", string(j.Status)),
-			journal.F("error", reason))
+			journal.F("error", reason),
+		}, j.Request, j.Trace)...)
 	}
 	return nil
 }
@@ -456,12 +505,13 @@ func (q *Queue) sweepLocked(now time.Time) []string {
 			mRequeues.Inc()
 		}
 		if jd := journal.Default(); jd.Enabled() {
-			jd.Emit("", "fleet.requeue",
+			jd.Emit("", "fleet.requeue", corrFields([]journal.Field{
 				journal.F("job", j.ID),
 				journal.F("worker", lostWorker),
 				journal.F("attempt", j.Attempts),
 				journal.F("status", string(j.Status)),
-				journal.F("reason", "lease_expired"))
+				journal.F("reason", "lease_expired"),
+			}, j.Request, j.Trace)...)
 		}
 	}
 	sort.Strings(requeued)

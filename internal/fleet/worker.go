@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"spinwave/internal/journal"
+	"spinwave/internal/obsplane"
 )
 
 // Evaluator turns one job's cases into outcomes. cmd/swworker supplies
@@ -59,6 +61,27 @@ type Worker struct {
 
 	heartbeat time.Duration
 	jobs      int
+
+	// traceMu guards trace, the claimed job's fleet trace ID: written by
+	// serve at each claim, read by post on the main loop AND the
+	// heartbeat goroutine (both stamp it as the X-Spinwave-Trace header).
+	traceMu sync.Mutex
+	trace   string
+}
+
+// setTrace records the trace stamped on subsequent HTTP calls.
+func (w *Worker) setTrace(t string) {
+	w.traceMu.Lock()
+	w.trace = t
+	w.traceMu.Unlock()
+}
+
+// Trace returns the trace of the job the worker currently serves ("" when
+// idle) — cmd/swworker forwards it to the journal shipper.
+func (w *Worker) Trace() string {
+	w.traceMu.Lock()
+	defer w.traceMu.Unlock()
+	return w.trace
 }
 
 func (w *Worker) client() *http.Client {
@@ -80,6 +103,9 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if t := w.Trace(); t != "" {
+		req.Header.Set(obsplane.TraceHeader, t)
+	}
 	resp, err := w.client().Do(req)
 	if err != nil {
 		return 0, err
@@ -194,10 +220,28 @@ func (w *Worker) claim(ctx context.Context) (*Job, bool) {
 // retries a few times because losing a computed result is the one
 // failure leases cannot repair.
 func (w *Worker) serve(ctx context.Context, job *Job) {
+	// The claim's trace becomes the worker's current trace before any
+	// other call or hook runs: the heartbeat header, the journal shipper
+	// (via OnClaim) and the checkpoint writer (via the context) all stamp
+	// the same ID the coordinator minted.
+	w.setTrace(job.Trace)
+	defer w.setTrace("")
 	if w.OnClaim != nil {
 		w.OnClaim(job)
 	}
-	evalCtx, cancel := context.WithCancel(ctx)
+	// Journal the claim from the worker's side too. The coordinator's
+	// fleet.claim records that the lease was granted; this marker records
+	// that the worker actually started serving it — and, shipped on the
+	// next flush tick, it is the traced tail a post-mortem finds when the
+	// worker is killed before its evaluation emits anything.
+	if jd := journal.Default(); jd.Enabled() {
+		jd.Emit("", "fleet.worker", corrFields([]journal.Field{
+			journal.F("worker", w.ID),
+			journal.F("job", job.ID),
+			journal.F("status", "serving"),
+		}, job.Request, job.Trace)...)
+	}
+	evalCtx, cancel := context.WithCancel(obsplane.WithTrace(ctx, job.Trace))
 	defer cancel()
 	hbDone := make(chan struct{})
 	go func() {
@@ -258,10 +302,11 @@ func (w *Worker) serve(ctx context.Context, job *Job) {
 		}
 	}
 	if jd := journal.Default(); jd.Enabled() {
-		jd.Emit("", "fleet.worker",
+		jd.Emit("", "fleet.worker", corrFields([]journal.Field{
 			journal.F("worker", w.ID),
 			journal.F("job", job.ID),
-			journal.F("status", "result_post_failed"))
+			journal.F("status", "result_post_failed"),
+		}, job.Request, job.Trace)...)
 	}
 }
 

@@ -63,24 +63,46 @@ func (c *ChromeTraceSink) Dropped() int64 {
 	return c.dropped
 }
 
-// traceEvent is one Chrome "complete" event (ph "X", timestamps in µs).
-type traceEvent struct {
-	Name string            `json:"name"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`
-	Dur  float64           `json:"dur"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
+// TraceEvent is one Chrome trace event: a "complete" span (Ph "X",
+// with Dur) or an instant marker (Ph "i", with S scope). Timestamps
+// are microseconds relative to the trace epoch. Exported so the fleet
+// observability plane (internal/obsplane) renders its merged
+// multi-node timelines in the identical format this sink writes.
+type TraceEvent struct {
+	// Name labels the event in the timeline.
+	Name string `json:"name"`
+	// Ph is the Chrome phase: "X" complete, "i" instant, "M" metadata.
+	Ph string `json:"ph"`
+	// Ts is the start timestamp in µs relative to the trace epoch.
+	Ts float64 `json:"ts"`
+	// Dur is the span duration in µs (complete events only).
+	Dur float64 `json:"dur,omitempty"`
+	// Pid and Tid place the event on a process/thread row.
+	Pid int `json:"pid"`
+	Tid int `json:"tid"`
+	// S is the instant-event scope ("t" thread, "p" process, "g" global).
+	S string `json:"s,omitempty"`
+	// Args carries the event's key/value payload.
 	Args map[string]string `json:"args,omitempty"`
 }
 
-// threadName is a Chrome metadata event labeling a tid row.
-type threadName struct {
-	Name string            `json:"name"`
-	Ph   string            `json:"ph"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
+// ThreadName is the Chrome metadata event labeling a tid row.
+type ThreadName struct {
+	// Name is always "thread_name" (the Chrome metadata event name).
+	Name string `json:"name"`
+	// Ph is always "M".
+	Ph string `json:"ph"`
+	// Pid and Tid identify the row being labeled.
+	Pid int `json:"pid"`
+	Tid int `json:"tid"`
+	// Args carries the row's display name under the "name" key.
 	Args map[string]string `json:"args"`
+}
+
+// NewThreadName builds the metadata event naming a tid row.
+func NewThreadName(tid int, name string) ThreadName {
+	return ThreadName{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+		Args: map[string]string{"name": name}}
 }
 
 // Export renders the retained spans as a Chrome trace JSON document.
@@ -106,13 +128,10 @@ func (c *ChromeTraceSink) Export(w io.Writer) error {
 	}
 	events := make([]any, 0, len(spans)+len(order))
 	for _, name := range order {
-		events = append(events, threadName{
-			Name: "thread_name", Ph: "M", Pid: 1, Tid: rows[name],
-			Args: map[string]string{"name": name},
-		})
+		events = append(events, NewThreadName(rows[name], name))
 	}
 	for _, s := range spans {
-		ev := traceEvent{
+		ev := TraceEvent{
 			Name: s.Name,
 			Ph:   "X",
 			Ts:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,

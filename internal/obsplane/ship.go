@@ -1,0 +1,277 @@
+package obsplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spinwave/internal/journal"
+)
+
+// Default shipping parameters. The cadence is deliberately sub-second:
+// a SIGKILLed worker loses at most one flush interval of journal tail,
+// which is the whole post-mortem story this plane exists for.
+const (
+	// DefaultFlushEvery is the background flush cadence.
+	DefaultFlushEvery = 250 * time.Millisecond
+	// DefaultMaxBatch bounds the events per POST /v1/fleet/journal call.
+	DefaultMaxBatch = 256
+	// DefaultMaxBuffer bounds the unshipped backlog; events beyond it are
+	// dropped (counted) rather than growing without bound while the
+	// coordinator is unreachable.
+	DefaultMaxBuffer = 8192
+)
+
+// Shipper is a journal.Sink that batch-forwards events to the
+// coordinator's fleet journal. Emit is called on the emitting goroutine
+// under the journal's delivery mutex, so it only appends to a bounded
+// in-memory buffer; all network I/O happens on the background loop
+// started by Run. A full buffer or an unreachable coordinator drops
+// events (counted by Dropped) — shipping must never block or fail the
+// solver, the same contract as every other journal sink.
+//
+// The zero value is not usable; construct with NewShipper. SetNode and
+// SetTrace may be called at any time (the worker learns its assigned ID
+// at registration and its current trace at each claim); events are
+// stamped with the values current at emission.
+type Shipper struct {
+	base  string
+	hc    *http.Client
+	every time.Duration
+	batch int
+	limit int
+
+	mu      sync.Mutex
+	node    string
+	trace   string
+	buf     []ShippedEvent
+	dropped int64
+
+	shipped  atomic.Int64 // events accepted by the coordinator
+	attempts atomic.Int64 // flush POSTs attempted
+	failures atomic.Int64 // flush POSTs failed (events requeued or dropped)
+}
+
+// ShipperConfig configures NewShipper; zero fields take the package
+// defaults.
+type ShipperConfig struct {
+	// BaseURL is the coordinator's base URL (e.g. http://127.0.0.1:8080).
+	BaseURL string
+	// Node is the emitting node's name; usually updated later via SetNode
+	// once the coordinator assigns the worker ID.
+	Node string
+	// Client is the HTTP client (nil = 10s-timeout default).
+	Client *http.Client
+	// FlushEvery, MaxBatch, MaxBuffer override the package defaults.
+	FlushEvery time.Duration
+	MaxBatch   int
+	MaxBuffer  int
+}
+
+// NewShipper builds a shipper posting to base's /v1/fleet/journal.
+func NewShipper(cfg ShipperConfig) *Shipper {
+	s := &Shipper{
+		base:  cfg.BaseURL,
+		hc:    cfg.Client,
+		every: cfg.FlushEvery,
+		batch: cfg.MaxBatch,
+		limit: cfg.MaxBuffer,
+		node:  cfg.Node,
+	}
+	if s.hc == nil {
+		s.hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	if s.every <= 0 {
+		s.every = DefaultFlushEvery
+	}
+	if s.batch <= 0 {
+		s.batch = DefaultMaxBatch
+	}
+	if s.limit <= 0 {
+		s.limit = DefaultMaxBuffer
+	}
+	return s
+}
+
+// SetNode updates the node name stamped on subsequently emitted events.
+func (s *Shipper) SetNode(node string) {
+	s.mu.Lock()
+	s.node = node
+	s.mu.Unlock()
+}
+
+// SetTrace updates the fleet trace stamped on subsequently emitted
+// events — the worker calls it with each claimed job's trace. An empty
+// trace marks events as untraceable; the coordinator files those only
+// if they carry their own trace field.
+func (s *Shipper) SetTrace(trace string) {
+	s.mu.Lock()
+	s.trace = trace
+	s.mu.Unlock()
+}
+
+// Emit implements journal.Sink: stamp and buffer, never block.
+func (s *Shipper) Emit(e journal.Event) {
+	s.mu.Lock()
+	if len(s.buf) >= s.limit {
+		s.dropped++
+		s.mu.Unlock()
+		return
+	}
+	trace := s.trace
+	// A fleet event that names its own trace (the coordinator stamps one
+	// on every queue transition) wins over the shipper's current trace —
+	// a worker-side sweep or stale event files under the job it is about.
+	if t, ok := e.Fields["trace"].(string); ok && t != "" {
+		trace = t
+	}
+	s.buf = append(s.buf, ShippedEvent{Node: s.node, Trace: trace, Event: e})
+	s.mu.Unlock()
+}
+
+// Run flushes the buffer on a ticker until ctx is cancelled, then makes
+// one final best-effort flush on a short fresh context so a SIGTERMed
+// worker still lands its journal tail (a SIGKILLed one loses at most
+// one flush interval).
+func (s *Shipper) Run(ctx context.Context) {
+	t := time.NewTicker(s.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			final, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			s.Flush(final) //nolint:errcheck // best-effort tail delivery
+			cancel()
+			return
+		case <-t.C:
+			s.Flush(ctx) //nolint:errcheck // retried next tick; failures counted
+		}
+	}
+}
+
+// Flush posts every buffered event in MaxBatch-sized calls. On a failed
+// post the batch is returned to the front of the buffer (dropping
+// overflow) so the next tick retries it; the error of the first failed
+// post is returned.
+func (s *Shipper) Flush(ctx context.Context) error {
+	for {
+		s.mu.Lock()
+		if len(s.buf) == 0 || s.node == "" {
+			// No node name yet (registration pending): hold the buffer — a
+			// batch without a valid node would only bounce off the
+			// coordinator's ID check.
+			s.mu.Unlock()
+			return nil
+		}
+		n := len(s.buf)
+		if n > s.batch {
+			n = s.batch
+		}
+		events := make([]ShippedEvent, n)
+		copy(events, s.buf)
+		node := s.node
+		s.buf = append(s.buf[:0], s.buf[n:]...)
+		s.mu.Unlock()
+
+		s.attempts.Add(1)
+		ack, err := s.post(ctx, ShipRequest{Node: node, Events: events})
+		if err != nil {
+			s.failures.Add(1)
+			s.requeue(events)
+			return err
+		}
+		// Delivery is at-least-once: a batch whose ack was lost (the post
+		// context cancelled after the coordinator stored it) is retried and
+		// acknowledged as duplicates — those events ARE durable, so they
+		// count as shipped. Untraced events were dropped permanently by the
+		// coordinator; count them with the local drops.
+		s.shipped.Add(int64(ack.Accepted + ack.Duplicates))
+		if ack.Untraced > 0 {
+			s.mu.Lock()
+			s.dropped += int64(ack.Untraced)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// requeue puts a failed batch back at the front of the buffer, dropping
+// from the tail if the backlog would exceed the limit.
+func (s *Shipper) requeue(events []ShippedEvent) {
+	s.mu.Lock()
+	s.buf = append(events, s.buf...)
+	if over := len(s.buf) - s.limit; over > 0 {
+		s.dropped += int64(over)
+		s.buf = s.buf[:s.limit]
+	}
+	s.mu.Unlock()
+}
+
+// post sends one batch and decodes the acknowledgement.
+func (s *Shipper) post(ctx context.Context, req ShipRequest) (ack ShipResponse, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return ack, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		s.base+"/v1/fleet/journal", bytes.NewReader(body))
+	if err != nil {
+		return ack, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	s.mu.Lock()
+	if s.trace != "" {
+		hreq.Header.Set(TraceHeader, s.trace)
+	}
+	s.mu.Unlock()
+	resp, err := s.hc.Do(hreq)
+	if err != nil {
+		return ack, err
+	}
+	defer resp.Body.Close()
+	rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return ack, fmt.Errorf("obsplane: ship: %s: %s", resp.Status, bytes.TrimSpace(rb))
+	}
+	if err := json.Unmarshal(rb, &ack); err != nil {
+		return ack, fmt.Errorf("obsplane: ship ack: %w", err)
+	}
+	return ack, nil
+}
+
+// Shipped returns how many events the coordinator confirms holding
+// (accepted, or recognized as duplicates of an earlier delivery).
+func (s *Shipper) Shipped() int64 { return s.shipped.Load() }
+
+// Dropped returns how many events were lost to buffer overflow.
+func (s *Shipper) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Pending returns the unshipped backlog size.
+func (s *Shipper) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Stats summarizes the shipper for the worker's /metrics surface.
+func (s *Shipper) Stats() map[string]int64 {
+	s.mu.Lock()
+	pending, dropped := int64(len(s.buf)), s.dropped
+	s.mu.Unlock()
+	return map[string]int64{
+		"shipped":        s.shipped.Load(),
+		"pending":        pending,
+		"dropped":        dropped,
+		"flush_attempts": s.attempts.Load(),
+		"flush_failures": s.failures.Load(),
+	}
+}

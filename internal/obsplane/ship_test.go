@@ -1,0 +1,218 @@
+package obsplane
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spinwave/internal/journal"
+)
+
+// shipServer is a minimal coordinator-side ingest endpoint backed by a
+// real Store — the same shape cmd/swserve wires up.
+func shipServer(t *testing.T, store *Store) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fleet/journal", func(w http.ResponseWriter, r *http.Request) {
+		var req ShipRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var resp ShipResponse
+		byTrace := make(map[string][]journal.Event)
+		for _, e := range req.Events {
+			if e.Trace == "" {
+				resp.Untraced++
+				continue
+			}
+			byTrace[e.Trace] = append(byTrace[e.Trace], e.Event)
+		}
+		for trace, events := range byTrace {
+			n, err := store.Append(trace, req.Node, events)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			resp.Accepted += n
+			resp.Duplicates += len(events) - n
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestShipperBatchesToStore(t *testing.T) {
+	store, _ := OpenStore(t.TempDir())
+	srv := shipServer(t, store)
+	sh := NewShipper(ShipperConfig{BaseURL: srv.URL, Node: "w1", MaxBatch: 3})
+	sh.SetTrace("t1")
+	for i := 1; i <= 10; i++ {
+		sh.Emit(journal.Event{Seq: uint64(i), TimeNS: int64(i), Name: "step"})
+	}
+	if err := sh.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shipped() != 10 || sh.Pending() != 0 {
+		t.Fatalf("shipped=%d pending=%d, want 10/0", sh.Shipped(), sh.Pending())
+	}
+	events, _ := store.Events("t1")
+	if len(events) != 10 {
+		t.Fatalf("store holds %d events, want 10", len(events))
+	}
+	for i, e := range events {
+		if e.Node != "w1" || e.Trace != "t1" || e.Seq != uint64(i+1) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+	st := sh.Stats()
+	if st["shipped"] != 10 || st["flush_failures"] != 0 || st["flush_attempts"] < 4 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestShipperOwnTraceFieldWins(t *testing.T) {
+	sh := NewShipper(ShipperConfig{BaseURL: "http://unused", Node: "w1"})
+	sh.SetTrace("tcurrent")
+	sh.Emit(journal.Event{Seq: 1, Name: "fleet.requeue",
+		Fields: map[string]any{"trace": "tother"}})
+	sh.Emit(journal.Event{Seq: 2, Name: "step"})
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.buf[0].Trace != "tother" || sh.buf[1].Trace != "tcurrent" {
+		t.Fatalf("traces = %q, %q", sh.buf[0].Trace, sh.buf[1].Trace)
+	}
+}
+
+func TestShipperRetryAfterFailure(t *testing.T) {
+	store, _ := OpenStore(t.TempDir())
+	srv := shipServer(t, store)
+	var down atomic.Bool
+	down.Store(true)
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		resp, err := http.Post(srv.URL+r.URL.Path, "application/json", r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer gate.Close()
+
+	sh := NewShipper(ShipperConfig{BaseURL: gate.URL, Node: "w1"})
+	sh.SetTrace("t1")
+	sh.Emit(journal.Event{Seq: 1, TimeNS: 1, Name: "a"})
+	if err := sh.Flush(context.Background()); err == nil {
+		t.Fatal("flush succeeded while coordinator down")
+	}
+	if sh.Pending() != 1 {
+		t.Fatalf("pending = %d after failed flush, want 1 (requeued)", sh.Pending())
+	}
+	down.Store(false)
+	sh.Emit(journal.Event{Seq: 2, TimeNS: 2, Name: "b"})
+	if err := sh.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := store.Events("t1")
+	if len(events) != 2 || events[0].Name != "a" || events[1].Name != "b" {
+		t.Fatalf("events after recovery = %+v", events)
+	}
+}
+
+func TestShipperDropsAtBufferLimit(t *testing.T) {
+	sh := NewShipper(ShipperConfig{BaseURL: "http://unused", Node: "w1", MaxBuffer: 4})
+	sh.SetTrace("t1")
+	for i := 1; i <= 10; i++ {
+		sh.Emit(journal.Event{Seq: uint64(i), Name: "x"})
+	}
+	if sh.Pending() != 4 || sh.Dropped() != 6 {
+		t.Fatalf("pending=%d dropped=%d, want 4/6", sh.Pending(), sh.Dropped())
+	}
+}
+
+// TestShipperConcurrentTail is the satellite race test: a worker
+// batch-forwarding while a live NDJSON-tail subscriber replays from the
+// store. Run under -race this pins that Emit (journal delivery), Flush
+// (network goroutine), Store.Append (HTTP handler) and Subscribe fan-out
+// share no unsynchronized state.
+func TestShipperConcurrentTail(t *testing.T) {
+	store, _ := OpenStore(t.TempDir())
+	srv := shipServer(t, store)
+	sh := NewShipper(ShipperConfig{BaseURL: srv.URL, Node: "w1",
+		FlushEvery: time.Millisecond, MaxBatch: 16})
+	sh.SetTrace("t1")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wgRun, wgTail sync.WaitGroup
+	wgRun.Add(1)
+	go func() { defer wgRun.Done(); sh.Run(ctx) }()
+
+	tail, dropped, unsub := store.Subscribe("t1", 1024)
+	var tailed atomic.Int64
+	wgTail.Add(1)
+	go func() {
+		defer wgTail.Done()
+		for range tail {
+			tailed.Add(1)
+		}
+	}()
+
+	const total = 500
+	for i := 1; i <= total; i++ {
+		sh.Emit(journal.Event{Seq: uint64(i), TimeNS: int64(i), Name: "step",
+			Fields: map[string]any{"i": i}})
+		if i%100 == 0 {
+			time.Sleep(time.Millisecond) // let flushes interleave
+		}
+	}
+	// Cancel triggers the final best-effort flush; then drain the tail.
+	cancel()
+	wgRun.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.Shipped() < total && time.Now().Before(deadline) {
+		if err := sh.Flush(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	unsub()
+	wgTail.Wait()
+	if sh.Shipped() != total || sh.Dropped() != 0 {
+		t.Fatalf("shipped=%d dropped=%d, want %d/0", sh.Shipped(), sh.Dropped(), total)
+	}
+	events, _ := store.Events("t1")
+	if len(events) != total {
+		t.Fatalf("store holds %d, want %d", len(events), total)
+	}
+	if got := tailed.Load() + dropped(); got != total {
+		t.Fatalf("tail delivered+dropped = %d, want %d", got, total)
+	}
+}
+
+// BenchmarkShipperEmit measures the per-event cost shipping adds on the
+// journal delivery path — the E-OBS4 overhead number (EXPERIMENTS.md).
+func BenchmarkShipperEmit(b *testing.B) {
+	sh := NewShipper(ShipperConfig{BaseURL: "http://unused", Node: "w1",
+		MaxBuffer: 1 << 30})
+	sh.SetTrace("t1")
+	e := journal.Event{Seq: 1, TimeNS: 1, Name: "solver.step",
+		Fields: map[string]any{"step": 1000, "t_ns": 12345}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Seq = uint64(i + 1)
+		sh.Emit(e)
+	}
+}

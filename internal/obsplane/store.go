@@ -1,0 +1,325 @@
+package obsplane
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"spinwave/internal/journal"
+)
+
+// Store is the coordinator-side durable fleet journal: one append-only
+// JSONL file per trace holding every node's shipped events. Ingestion
+// is idempotent per (node, seq) — a retried batch re-sending sequence
+// numbers the store already holds is dropped, so the per-node sequence
+// in a stored file is strictly increasing, which is the ordering
+// invariant journalcheck -fleet validates and Events' merge leans on.
+//
+// Append never emits journal events itself: it is called from inside
+// journal sink delivery (the coordinator mirrors its own trace-stamped
+// events into the store), where an Emit would deadlock on the journal
+// mutex. The HTTP handler that ingests worker batches emits the
+// fleet.journal_shipped receipt after Append returns.
+//
+// A Store is safe for concurrent use; its mutex is a leaf — no journal
+// or queue lock is ever taken under it.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	lastSeq map[string]map[string]uint64 // trace → node → highest stored seq
+	loaded  map[string]bool              // trace files already scanned
+	subs    map[int]*storeSub
+	nextSub int
+	shipped int64 // events accepted since open
+}
+
+// storeSub is one live tail subscription on a trace.
+type storeSub struct {
+	trace   string
+	ch      chan ShippedEvent
+	dropped int64
+}
+
+// OpenStore opens (creating if needed) the fleet journal directory.
+// Existing trace files are not scanned eagerly — each trace's per-node
+// sequence watermark is rebuilt lazily on its first Append after a
+// restart, so a directory with thousands of finished traces costs
+// nothing at boot.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("obsplane: store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obsplane: store: %w", err)
+	}
+	return &Store{
+		dir:     dir,
+		lastSeq: make(map[string]map[string]uint64),
+		loaded:  make(map[string]bool),
+		subs:    make(map[int]*storeSub),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileFor maps a trace ID to its journal file path.
+func (s *Store) fileFor(trace string) string {
+	return filepath.Join(s.dir, trace+".jsonl")
+}
+
+// Append merges one node's events into the trace's journal file,
+// dropping events whose sequence number is not beyond the node's stored
+// watermark (idempotent re-ship) and fanning the accepted ones out to
+// live subscribers. The write is a single buffered append, so a crash
+// tears at most the final line — which Events tolerates on read.
+func (s *Store) Append(trace, node string, events []journal.Event) (accepted int, err error) {
+	if !ValidID(trace) {
+		return 0, fmt.Errorf("obsplane: bad trace id %q", trace)
+	}
+	if !ValidID(node) {
+		return 0, fmt.Errorf("obsplane: bad node id %q", node)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureLoadedLocked(trace); err != nil {
+		return 0, err
+	}
+	nodes := s.lastSeq[trace]
+	if nodes == nil {
+		nodes = make(map[string]uint64)
+		s.lastSeq[trace] = nodes
+	}
+	var buf []byte
+	var fresh []ShippedEvent
+	last := nodes[node]
+	for _, e := range events {
+		if e.Seq <= last {
+			continue // duplicate from a retried batch
+		}
+		last = e.Seq
+		se := ShippedEvent{Node: node, Trace: trace, Event: e}
+		buf = append(buf, se.MarshalJSONL()...)
+		buf = append(buf, '\n')
+		fresh = append(fresh, se)
+	}
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	f, err := os.OpenFile(s.fileFor(trace), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("obsplane: store append: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("obsplane: store write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("obsplane: store close: %w", err)
+	}
+	nodes[node] = last
+	s.shipped += int64(len(fresh))
+	for _, sub := range s.subs {
+		if sub.trace != trace {
+			continue
+		}
+		for _, se := range fresh {
+			select {
+			case sub.ch <- se:
+			default:
+				sub.dropped++
+			}
+		}
+	}
+	return len(fresh), nil
+}
+
+// ensureLoadedLocked rebuilds a trace's per-node sequence watermarks
+// from its file on the first touch after a restart.
+func (s *Store) ensureLoadedLocked(trace string) error {
+	if s.loaded[trace] {
+		return nil
+	}
+	events, err := readTraceFile(s.fileFor(trace))
+	if err != nil {
+		return err
+	}
+	nodes := make(map[string]uint64)
+	for _, e := range events {
+		if e.Seq > nodes[e.Node] {
+			nodes[e.Node] = e.Seq
+		}
+	}
+	s.lastSeq[trace] = nodes
+	s.loaded[trace] = true
+	return nil
+}
+
+// Events returns the trace's merged multi-node journal in the
+// deterministic fleet order: each node's events stay in their own
+// emission (sequence) order, and the node streams are interleaved by a
+// k-way merge on (time, node) — so two reads of the same file, or a
+// read on a rebuilt coordinator, produce the identical timeline.
+func (s *Store) Events(trace string) ([]ShippedEvent, error) {
+	if !ValidID(trace) {
+		return nil, fmt.Errorf("obsplane: bad trace id %q", trace)
+	}
+	raw, err := readTraceFile(s.fileFor(trace))
+	if err != nil {
+		return nil, err
+	}
+	return MergeEvents(raw), nil
+}
+
+// readTraceFile parses one trace journal file, tolerating a torn final
+// line (a crash mid-append). A missing file is an empty trace.
+func readTraceFile(path string) ([]ShippedEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("obsplane: store read: %w", err)
+	}
+	defer f.Close()
+	var out []ShippedEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var se ShippedEvent
+		if err := json.Unmarshal(line, &se); err != nil {
+			continue // torn tail or foreign line: skip, never fail the read
+		}
+		out = append(out, se)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obsplane: store scan: %w", err)
+	}
+	return out, nil
+}
+
+// MergeEvents orders a multi-node event set deterministically: per-node
+// subsequences sorted by sequence number, interleaved by a k-way merge
+// choosing the head with the earliest timestamp (ties broken by node
+// name, then sequence). Sorting by time alone could reorder one node's
+// events under a wall-clock step; this merge cannot — per-node sequence
+// order is structural, not temporal.
+func MergeEvents(events []ShippedEvent) []ShippedEvent {
+	byNode := make(map[string][]ShippedEvent)
+	var nodes []string
+	for _, e := range events {
+		if _, ok := byNode[e.Node]; !ok {
+			nodes = append(nodes, e.Node)
+		}
+		byNode[e.Node] = append(byNode[e.Node], e)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		evs := byNode[n]
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].Seq < evs[b].Seq })
+	}
+	heads := make(map[string]int, len(nodes))
+	out := make([]ShippedEvent, 0, len(events))
+	for len(out) < len(events) {
+		best := ""
+		for _, n := range nodes {
+			if heads[n] >= len(byNode[n]) {
+				continue
+			}
+			if best == "" {
+				best = n
+				continue
+			}
+			a, b := byNode[n][heads[n]], byNode[best][heads[best]]
+			if a.TimeNS < b.TimeNS || (a.TimeNS == b.TimeNS && n < best) {
+				best = n
+			}
+		}
+		out = append(out, byNode[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// Subscribe registers a live tail on one trace with the given channel
+// buffer (clamped to ≥1): every event accepted by Append after this
+// call is delivered, dropping (counted) on a full buffer — the same
+// never-block contract as journal.Hub. Cancel is idempotent.
+func (s *Store) Subscribe(trace string, buffer int) (events <-chan ShippedEvent, dropped func() int64, cancel func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &storeSub{trace: trace, ch: make(chan ShippedEvent, buffer)}
+	s.mu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = sub
+	s.mu.Unlock()
+	var once sync.Once
+	return sub.ch, func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return sub.dropped
+		}, func() {
+			once.Do(func() {
+				s.mu.Lock()
+				delete(s.subs, id)
+				s.mu.Unlock()
+				close(sub.ch)
+			})
+		}
+}
+
+// Traces lists the trace IDs with stored journals, sorted.
+func (s *Store) Traces() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("obsplane: store list: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".jsonl") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(name, ".jsonl"))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Shipped returns how many events were accepted since the store opened.
+func (s *Store) Shipped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shipped
+}
+
+// Subscribers returns the number of live tail subscriptions.
+func (s *Store) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// WritableProbe verifies the journal directory still accepts writes —
+// surfaced by swserve's deep health check beside the queue's probe.
+func (s *Store) WritableProbe() error {
+	tmp, err := os.CreateTemp(s.dir, ".probe-*.tmp")
+	if err != nil {
+		return fmt.Errorf("obsplane: journal dir not writable: %w", err)
+	}
+	name := tmp.Name()
+	tmp.Close()
+	return os.Remove(name)
+}

@@ -1,0 +1,154 @@
+package obsplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"spinwave/internal/journal"
+)
+
+// fleetEv builds a fleet lifecycle event with fields.
+func fleetEv(seq uint64, timeNS int64, name string, fields map[string]any) journal.Event {
+	return journal.Event{Seq: seq, TimeNS: timeNS, Name: name, Fields: fields}
+}
+
+func assembleTrace(t *testing.T, events []ShippedEvent) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "t1", events); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	return doc
+}
+
+func traceEvents(t *testing.T, doc map[string]any) []map[string]any {
+	t.Helper()
+	raw, ok := doc["traceEvents"].([]any)
+	if !ok {
+		t.Fatalf("no traceEvents array in %v", doc)
+	}
+	out := make([]map[string]any, len(raw))
+	for i, e := range raw {
+		out[i] = e.(map[string]any)
+	}
+	return out
+}
+
+// TestWriteChromeTraceSpans pins the post-mortem shape: a claim on the
+// victim opens a span, the requeue closes it as "requeued", the peer's
+// claim opens a second span closed "done" — two rows, one timeline.
+func TestWriteChromeTraceSpans(t *testing.T) {
+	events := MergeEvents([]ShippedEvent{
+		{Node: CoordinatorNode, Trace: "t1", Event: fleetEv(1, 100, "fleet.claim",
+			map[string]any{"job": "j1", "worker": "victim", "attempt": 1})},
+		{Node: "victim", Trace: "t1", Event: fleetEv(1, 200, "checkpoint.save", nil)},
+		{Node: CoordinatorNode, Trace: "t1", Event: fleetEv(2, 300, "fleet.requeue",
+			map[string]any{"job": "j1", "worker": "victim"})},
+		{Node: CoordinatorNode, Trace: "t1", Event: fleetEv(3, 400, "fleet.claim",
+			map[string]any{"job": "j1", "worker": "peer", "attempt": 2})},
+		{Node: "peer", Trace: "t1", Event: fleetEv(1, 500, "checkpoint.resume", nil)},
+		{Node: CoordinatorNode, Trace: "t1", Event: fleetEv(4, 600, "fleet.job",
+			map[string]any{"job": "j1", "status": "done"})},
+	})
+	doc := assembleTrace(t, events)
+	var spans []map[string]any
+	rows := map[string]bool{}
+	for _, e := range traceEvents(t, doc) {
+		switch e["ph"] {
+		case "X":
+			spans = append(spans, e)
+		case "M":
+			args := e["args"].(map[string]any)
+			rows[args["name"].(string)] = true
+		}
+	}
+	for _, node := range []string{"coordinator", "victim", "peer"} {
+		if !rows[node] {
+			t.Errorf("missing thread row for %s (rows: %v)", node, rows)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (victim + peer ownership)", len(spans))
+	}
+	status := func(sp map[string]any) (worker, st string) {
+		args := sp["args"].(map[string]any)
+		return args["worker"].(string), args["status"].(string)
+	}
+	w0, s0 := status(spans[0])
+	w1, s1 := status(spans[1])
+	if w0 != "victim" || s0 != "requeued" {
+		t.Errorf("span 0 = %s/%s, want victim/requeued", w0, s0)
+	}
+	if w1 != "peer" || s1 != "done" {
+		t.Errorf("span 1 = %s/%s, want peer/done", w1, s1)
+	}
+}
+
+// TestWriteChromeTraceDangling: a job claimed but never terminated (the
+// journal simply ends) renders a span with status "open", and a
+// re-claim with no observed terminal event closes the stale span "lost".
+func TestWriteChromeTraceDangling(t *testing.T) {
+	events := []ShippedEvent{
+		{Node: CoordinatorNode, Event: fleetEv(1, 100, "fleet.claim",
+			map[string]any{"job": "j1", "worker": "w1", "attempt": 1})},
+		{Node: CoordinatorNode, Event: fleetEv(2, 200, "fleet.claim",
+			map[string]any{"job": "j1", "worker": "w2", "attempt": 2})},
+		{Node: CoordinatorNode, Event: fleetEv(3, 300, "fleet.claim",
+			map[string]any{"job": "j2", "worker": "w1", "attempt": 1})},
+	}
+	doc := assembleTrace(t, events)
+	statuses := map[string]int{}
+	for _, e := range traceEvents(t, doc) {
+		if e["ph"] != "X" {
+			continue
+		}
+		args := e["args"].(map[string]any)
+		statuses[args["status"].(string)]++
+	}
+	if statuses["lost"] != 1 || statuses["open"] != 2 {
+		t.Fatalf("span statuses = %v, want 1 lost + 2 open", statuses)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "t1", nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("empty trace missing traceEvents key")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum := Summarize([]ShippedEvent{
+		{Node: "c", Trace: "t9", Event: fleetEv(1, 1, "fleet.claim",
+			map[string]any{"job": "j1", "worker": "w1"})},
+		{Node: "w1", Trace: "t9", Event: fleetEv(1, 2, "step", nil)},
+		{Node: "c", Trace: "t9", Event: fleetEv(2, 3, "fleet.request",
+			map[string]any{"status": "complete"})},
+	})
+	if sum.Trace != "t9" || sum.Claims != 1 || sum.Requests != 1 || !sum.Complete {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Nodes["c"] != 2 || sum.Nodes["w1"] != 1 {
+		t.Fatalf("node counts = %v", sum.Nodes)
+	}
+	// A seq regression (impossible from Store.Append) is counted.
+	bad := Summarize([]ShippedEvent{
+		{Node: "w1", Event: fleetEv(2, 1, "a", nil)},
+		{Node: "w1", Event: fleetEv(1, 2, "b", nil)},
+	})
+	if bad.SeqViolations != 1 {
+		t.Fatalf("SeqViolations = %d, want 1", bad.SeqViolations)
+	}
+}

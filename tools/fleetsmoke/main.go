@@ -15,7 +15,16 @@
 // checkpoint.resume with a nonzero step on the surviving worker and by
 // readouts exactly equal to an uninterrupted in-process run.
 //
-//	go run ./tools/fleetsmoke -journal fleet.jsonl
+// Between the phases the smoke gates the observability plane (DESIGN.md
+// §16): the request's trace ID is read from its status, the merged
+// multi-node journal is downloaded from /v1/fleet/jobs/{id}/events and
+// the assembled Chrome trace from /v1/fleet/jobs/{id}/trace — and the
+// run fails unless the SIGKILLed worker's shipped events survived at
+// the coordinator and the trace spans at least two nodes. Both
+// downloads are left behind as artifacts for journalcheck -fleet,
+// swdoctor -fleet, and CI upload.
+//
+//	go run ./tools/fleetsmoke -journal fleet.jsonl -events fleet-trace.jsonl -trace fleet-trace.json
 //
 // The journal written by the coordinator is left behind for
 // journalcheck and for the fleet.claim / fleet.requeue greps in the
@@ -28,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -40,21 +50,24 @@ import (
 	"time"
 
 	"spinwave"
+	"spinwave/internal/obsplane"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fleetsmoke: ")
 	journalPath := flag.String("journal", "fleet.jsonl", "coordinator journal output (validated by journalcheck afterwards)")
+	eventsPath := flag.String("events", "fleet-trace.jsonl", "merged fleet journal snapshot download (validated by journalcheck/swdoctor -fleet)")
+	tracePath := flag.String("trace", "fleet-trace.json", "assembled Chrome trace JSON download (CI artifact)")
 	timeout := flag.Duration("timeout", 3*time.Minute, "overall deadline for the smoke run")
 	flag.Parse()
 
-	if err := run(*journalPath, *timeout); err != nil {
+	if err := run(*journalPath, *eventsPath, *tracePath, *timeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(journalPath string, timeout time.Duration) error {
+func run(journalPath, eventsPath, tracePath string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	tmp, err := os.MkdirTemp("", "fleetsmoke-")
 	if err != nil {
@@ -160,6 +173,11 @@ func run(journalPath string, timeout time.Duration) error {
 	if !ok {
 		return fmt.Errorf("coordinator reports unknown active worker %q", victim)
 	}
+	// The journal shipper's contract is "a SIGKILL loses at most one
+	// flush interval": give the victim two intervals to land its claim's
+	// traced events at the coordinator, still well inside the 1500ms
+	// case delay, so the post-mortem gate below has a tail to find.
+	time.Sleep(3 * obsplane.DefaultFlushEvery)
 	if err := proc.Process.Kill(); err != nil {
 		return err
 	}
@@ -201,12 +219,113 @@ func run(journalPath string, timeout time.Duration) error {
 	log.Printf("request %s complete after worker loss: %d/%d cases, table decodes correctly",
 		reqID, st.CasesDone, st.CasesTotal)
 
+	// The post-mortem gate: the dead worker's journal tail must have
+	// survived at the coordinator, queryable by the request ID alone.
+	if err := observabilityPhase(base, reqID, victim, eventsPath, tracePath); err != nil {
+		return err
+	}
+
 	// Phase 2: the checkpointed transient. Restore the fleet to two
 	// workers first — the phase kills one of them again.
 	if err := startWorker("smoke-w3"); err != nil {
 		return err
 	}
 	return transientPhase(base, workers, journals, deadline)
+}
+
+// observabilityPhase downloads the completed request's merged fleet
+// journal and assembled Chrome trace, saves both as artifacts, and
+// fails unless the SIGKILLed worker's shipped events are present and
+// the trace spans at least two nodes.
+func observabilityPhase(base, reqID, victim, eventsPath, tracePath string) error {
+	// The trace ID travels on the request status — a post-mortem can
+	// start from either ID, but the smoke asserts the correlation chain.
+	resp, err := http.Get(base + "/v1/fleet/jobs/" + reqID)
+	if err != nil {
+		return err
+	}
+	var withTrace struct {
+		Trace string `json:"trace"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&withTrace)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if withTrace.Trace == "" {
+		return fmt.Errorf("completed request %s reports no trace ID", reqID)
+	}
+
+	// Merged journal snapshot: every event must carry the request's
+	// trace, per-node events must include the dead worker's.
+	body, err := download(base+"/v1/fleet/jobs/"+reqID+"/events?follow=false", eventsPath)
+	if err != nil {
+		return fmt.Errorf("fleet journal download: %w", err)
+	}
+	nodes := make(map[string]int)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		var ev struct {
+			Node  string `json:"node"`
+			Trace string `json:"trace"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("fleet journal line %q: %w", sc.Text(), err)
+		}
+		if ev.Node == "" {
+			continue // NDJSON framing (heartbeat / server_draining)
+		}
+		if ev.Trace != withTrace.Trace {
+			return fmt.Errorf("fleet journal event on node %s carries trace %q, want %q", ev.Node, ev.Trace, withTrace.Trace)
+		}
+		nodes[ev.Node]++
+	}
+	if nodes[victim] == 0 {
+		return fmt.Errorf("dead worker %s has no events in the coordinator's fleet journal (nodes: %v)", victim, nodes)
+	}
+	if len(nodes) < 2 {
+		return fmt.Errorf("fleet journal spans %d node(s), want at least 2 (nodes: %v)", len(nodes), nodes)
+	}
+
+	// Assembled Chrome trace: well-formed JSON with events, naming the
+	// dead worker's row.
+	body, err = download(base+"/v1/fleet/jobs/"+reqID+"/trace", tracePath)
+	if err != nil {
+		return fmt.Errorf("fleet trace download: %w", err)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		return fmt.Errorf("fleet trace JSON: %w", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		return fmt.Errorf("fleet trace has no traceEvents")
+	}
+	if !bytes.Contains(body, []byte(victim)) {
+		return fmt.Errorf("fleet trace does not name the dead worker %s", victim)
+	}
+	log.Printf("post-mortem gate: trace %s spans %d nodes incl. dead %s (%d events from it); artifacts %s, %s",
+		withTrace.Trace, len(nodes), victim, nodes[victim], eventsPath, tracePath)
+	return nil
+}
+
+// download GETs url, saves the body to path, and returns it.
+func download(url, path string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, os.WriteFile(path, body, 0o644)
 }
 
 // transientPhase submits one micromagnetic XOR case split into three

@@ -10,6 +10,19 @@
 // "health.verdict" needs a "verdict" of healthy/degraded/violated.
 //
 //	go run ./tools/journalcheck journal.jsonl
+//	go run ./tools/journalcheck -fleet fleet-journal.jsonl
+//
+// -fleet validates a merged multi-node fleet journal instead (DESIGN.md
+// §16) — the coordinator's per-trace store files or a downloaded
+// /v1/fleet/jobs/{id}/events snapshot. There every line must also name
+// its emitting "node" and its "trace", sequence numbers are strictly
+// increasing per node (not globally — the merge interleaves nodes),
+// NDJSON framing lines (heartbeat / server_draining) are tolerated,
+// fleet.journal_shipped receipts must name the shipping node and a
+// non-negative event count, and fleet.requeue events must name the
+// parent request (the post-mortem joinability fix). Lifecycle ordering
+// is not enforced per run in fleet mode: a requeued run legitimately
+// re-starts on a peer node.
 //
 // It is the CI gate behind the probed-simulation smoke job: a journal
 // that drops events, reorders them, or emits malformed lines fails the
@@ -19,6 +32,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -28,16 +42,25 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("journalcheck: ")
-	if len(os.Args) != 2 {
-		log.Fatal("usage: journalcheck <journal.jsonl>")
+	fleetMode := flag.Bool("fleet", false, "validate a merged multi-node fleet journal (per-node seq ordering, node/trace stamps)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: journalcheck [-fleet] <journal.jsonl>")
 	}
-	f, err := os.Open(os.Args[1])
+	path := flag.Arg(0)
+	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
 
-	problems, lines, err := check(f)
+	var problems []string
+	var lines int
+	if *fleetMode {
+		problems, lines, err = checkFleet(f)
+	} else {
+		problems, lines, err = check(f)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +70,83 @@ func main() {
 		}
 		log.Fatalf("%d violation(s) in %d line(s)", len(problems), lines)
 	}
-	fmt.Printf("journalcheck: %s ok (%d events)\n", os.Args[1], lines)
+	fmt.Printf("journalcheck: %s ok (%d events)\n", path, lines)
+}
+
+// checkFleet validates a merged fleet journal: per-node monotonic
+// sequence numbers, node and trace stamps on every event, and the
+// fleet event schemas.
+func checkFleet(f *os.File) (problems []string, lines int, err error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	lastSeq := make(map[string]uint64)
+	for sc.Scan() {
+		lines++
+		at := func(format string, args ...any) {
+			problems = append(problems, fmt.Sprintf("line:%d: %s", lines, fmt.Sprintf(format, args...)))
+		}
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
+			at("not a JSON object: %v", err)
+			continue
+		}
+		name, ok := stringField(raw, "event")
+		if !ok || name == "" {
+			at(`missing or empty string "event"`)
+			continue
+		}
+		// NDJSON framing lines from a live tail download carry no node or
+		// sequence; they are stream chrome, not journal events.
+		if _, hasNode := raw["node"]; !hasNode && (name == "heartbeat" || name == "server_draining") {
+			continue
+		}
+		node, ok := stringField(raw, "node")
+		if !ok || node == "" {
+			at(`missing or empty string "node"`)
+			continue
+		}
+		if trace, ok := stringField(raw, "trace"); !ok || trace == "" {
+			at(`missing or empty string "trace"`)
+		}
+		seq, ok := uintField(raw, "seq")
+		if !ok {
+			at(`missing or non-positive-integer "seq"`)
+		} else {
+			if seq <= lastSeq[node] {
+				at(`node %s "seq" %d not strictly increasing (previous %d)`, node, seq, lastSeq[node])
+			}
+			lastSeq[node] = seq
+		}
+		if _, ok := intField(raw, "time_ns"); !ok {
+			at(`missing or non-integer "time_ns"`)
+		}
+		fields := nestedFields(raw)
+		switch name {
+		case "fleet.journal_shipped":
+			if n, ok := stringField(fields, "node"); !ok || n == "" {
+				at(`fleet.journal_shipped missing non-empty string "node"`)
+			}
+			if n, ok := intField(fields, "events"); !ok || n < 0 {
+				at(`fleet.journal_shipped missing non-negative integer "events"`)
+			}
+		case "fleet.requeue":
+			if req, ok := stringField(fields, "request"); !ok || req == "" {
+				at(`fleet.requeue missing non-empty string "request"`)
+			}
+		case "alert":
+			if rule, ok := stringField(fields, "rule"); !ok || rule == "" {
+				at(`alert missing non-empty string "rule"`)
+			}
+			if sev, ok := stringField(fields, "severity"); !ok || !validSeverity(sev) {
+				at(`alert "severity" must be one of info/warn/critical, got %s`, fields["severity"])
+			}
+		case "health.verdict":
+			if v, ok := stringField(fields, "verdict"); !ok || !validVerdict(v) {
+				at(`health.verdict "verdict" must be one of healthy/degraded/violated, got %s`, fields["verdict"])
+			}
+		}
+	}
+	return problems, lines, sc.Err()
 }
 
 // runState tracks per-run lifecycle progress.

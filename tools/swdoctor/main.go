@@ -6,6 +6,7 @@
 //
 //	swdoctor journal.jsonl
 //	swdoctor -probes probes.csv journal.jsonl
+//	swdoctor -fleet fleet-trace.jsonl
 //
 // From the journal it reconstructs each run's lifecycle (run.start →
 // run.complete / run.error), collects its health alerts, and reads the
@@ -15,6 +16,15 @@
 // verdict (health monitoring was off) get one derived from the
 // evidence: run.error or a critical alert → violated, any other alert
 // → degraded, else healthy.
+//
+// -fleet scores an assembled fleet job instead (DESIGN.md §16): the
+// input is a merged multi-node journal — a coordinator store file or a
+// downloaded /v1/fleet/jobs/{id}/events snapshot — and the report is
+// the trace's fleet lifecycle accounting: per-node event counts,
+// claims, requeues, checkpoint resumes, request completion, and
+// per-node sequence regressions (which a healthy shipping plane never
+// produces). A trace with sequence violations or without an observed
+// completion is a violated finding.
 //
 // Prints a per-run report and exits non-zero when any run is violated.
 package main
@@ -27,9 +37,11 @@ import (
 	"log"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"spinwave/internal/obsplane"
 	"spinwave/internal/report"
 )
 
@@ -42,10 +54,14 @@ func main() {
 func run() int {
 	probesPath := flag.String("probes", "", "probe CSV (t,<name>.mx,... rows) to audit alongside the journal")
 	ampMax := flag.Float64("amplitude-max", 0.5, "linear-regime bound on the in-plane probe amplitude")
+	fleetMode := flag.Bool("fleet", false, "score a merged multi-node fleet journal (trace lifecycle accounting)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Print("usage: swdoctor [-probes probes.csv] <journal.jsonl>")
+		log.Print("usage: swdoctor [-fleet] [-probes probes.csv] <journal.jsonl>")
 		return 2
+	}
+	if *fleetMode {
+		return runFleet(flag.Arg(0))
 	}
 
 	runs, order, err := readJournal(flag.Arg(0))
@@ -97,6 +113,87 @@ func run() int {
 	}
 	fmt.Println("swdoctor: all runs healthy or degraded")
 	return 0
+}
+
+// runFleet scores a merged fleet journal: it re-merges the events into
+// canonical (node, seq) order, folds them into the trace's lifecycle
+// summary, and prints the accounting a post-mortem starts from.
+func runFleet(path string) int {
+	events, skipped, err := readFleetJournal(path)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if len(events) == 0 {
+		log.Printf("%s: no fleet events", path)
+		return 2
+	}
+	sum := obsplane.Summarize(obsplane.MergeEvents(events))
+
+	nodes := make([]string, 0, len(sum.Nodes))
+	for n := range sum.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	t := report.NewTable("fleet trace report: "+path, "node", "events")
+	for _, n := range nodes {
+		t.AddRow(n, fmt.Sprintf("%d", sum.Nodes[n]))
+	}
+	fmt.Print(t.String())
+	trace := sum.Trace
+	if trace == "" {
+		trace = "-"
+	}
+	fmt.Printf("trace %s: %d claims, %d requeues, %d resumes, %d request updates",
+		trace, sum.Claims, sum.Requeues, sum.Resumes, sum.Requests)
+	if skipped > 0 {
+		fmt.Printf(" (%d framing lines skipped)", skipped)
+	}
+	fmt.Println()
+
+	violated := 0
+	if sum.SeqViolations > 0 {
+		fmt.Printf("swdoctor: VIOLATED — %d per-node sequence regression(s)\n", sum.SeqViolations)
+		violated++
+	}
+	if !sum.Complete {
+		fmt.Println("swdoctor: VIOLATED — no fleet.request completion observed for this trace")
+		violated++
+	}
+	if violated > 0 {
+		fmt.Printf("swdoctor: %d violated finding(s)\n", violated)
+		return 1
+	}
+	fmt.Printf("swdoctor: trace %s complete across %d node(s)\n", trace, len(sum.Nodes))
+	return 0
+}
+
+// readFleetJournal parses a merged fleet journal into shipped events,
+// skipping NDJSON framing lines (heartbeat / server_draining carry no
+// node) so a live-tail download scores the same as a store file.
+func readFleetJournal(path string) (events []obsplane.ShippedEvent, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var se obsplane.ShippedEvent
+		if err := json.Unmarshal(sc.Bytes(), &se); err != nil {
+			return nil, 0, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if se.Node == "" {
+			skipped++
+			continue
+		}
+		events = append(events, se)
+	}
+	return events, skipped, sc.Err()
 }
 
 // runRecord accumulates the journal evidence for one run.
