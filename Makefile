@@ -4,7 +4,7 @@ GO ?= go
 # with -short; the margin absorbs run-to-run jitter, not regressions.
 COVER_BASELINE ?= 69.0
 
-.PHONY: all build vet test test-race bench bench-pr3 bench-pr5 bench-pr6 bench-compare bench-smoke cover docs-lint journal-smoke health-smoke surrogate-smoke fleet-smoke checkpoint-smoke fuzz clean
+.PHONY: all build vet test test-race bench bench-pr3 bench-pr5 bench-pr6 bench-compare bench-smoke cover docs-lint journal-smoke health-smoke surrogate-smoke fleet-smoke checkpoint-smoke history-smoke fuzz clean
 
 all: build vet test docs-lint
 
@@ -22,14 +22,14 @@ test:
 # tiled LLG solver and its worker pool, the frequency-parallel gates,
 # the metrics registry and the fleet observability plane.
 test-race:
-	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./internal/health/ ./internal/fleet/ ./internal/fleet/faults/ ./internal/checkpoint/ ./internal/obsplane/ ./cmd/swserve/ ./cmd/swworker/
+	$(GO) test -race ./internal/engine/ ./internal/mag/ ./internal/llg/ ./internal/tile/ ./internal/parallel/ ./internal/obs/ ./internal/journal/ ./internal/probe/ ./internal/health/ ./internal/fleet/ ./internal/fleet/faults/ ./internal/checkpoint/ ./internal/obsplane/ ./internal/runhistory/ ./cmd/swserve/ ./cmd/swworker/
 
 # Godoc coverage gate (ISSUE 3): every exported identifier in the LLG
 # core, the field evaluator, the gate backends, the flight-recorder
 # packages, the checkpoint/fleet layers, the worker entrypoint and the
 # root package must carry a doc comment.
 docs-lint:
-	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal ./internal/health ./internal/fleet ./internal/fleet/faults ./internal/checkpoint ./internal/obsplane ./cmd/swworker
+	$(GO) run ./tools/docslint . ./internal/llg ./internal/mag ./internal/core ./internal/probe ./internal/journal ./internal/health ./internal/fleet ./internal/fleet/faults ./internal/checkpoint ./internal/obsplane ./internal/runhistory ./cmd/swworker
 
 # Flight-recorder smoke (ISSUE 4): a short probed XOR case writing the
 # JSONL journal and Chrome trace, then schema-validating the journal.
@@ -104,6 +104,21 @@ checkpoint-smoke:
 	$(GO) run ./tools/journalcheck checkpoint.jsonl
 	@grep -q '"event":"checkpoint.resume"' checkpoint.jsonl || { echo "FAIL: no checkpoint.resume in checkpoint.jsonl"; exit 1; }
 	@grep -q '"event":"checkpoint.save"' checkpoint.jsonl || { echo "FAIL: no checkpoint.save in checkpoint.jsonl"; exit 1; }
+
+# Run-history / retention smoke (ISSUE 10): boot swserve with history
+# indexing and a trace budget of one, serve evals and a table, run two
+# fleet requests back to back, and require the retention sweeper to
+# reclaim the older request's fleet-journal trace — journaled as
+# retention.gc with nonzero bytes — while the newer trace still answers
+# its events endpoint and everything stays queryable through
+# /v1/history and the swhistory CLI. journalcheck then validates the
+# retention.gc / history.indexed schemas, and the greps pin the events
+# the smoke's assertions rode on.
+history-smoke:
+	$(GO) run ./tools/historysmoke -journal history-fleet.jsonl -catalog history-catalog.jsonl
+	$(GO) run ./tools/journalcheck history-fleet.jsonl
+	@grep -q '"event":"retention.gc"' history-fleet.jsonl || { echo "FAIL: no retention.gc in history-fleet.jsonl"; exit 1; }
+	@grep -q '"event":"history.indexed"' history-fleet.jsonl || { echo "FAIL: no history.indexed in history-fleet.jsonl"; exit 1; }
 
 # Fuzz the OVF parser, the fleet job-file parser and the checkpoint
 # manifest parser beyond their checked-in seeds.

@@ -1,0 +1,146 @@
+// Command swhistory queries the run-history catalog (DESIGN.md §17)
+// from the command line — the offline post-mortem view of what swserve
+// and swsim indexed.
+//
+//	swhistory -catalog /var/lib/spinwave/history
+//	swhistory -catalog dir -gate xor -tier micromag -limit 20
+//	swhistory -catalog dir -trace tr-abc123 -json
+//
+// Filters compose (AND); -json prints the matching records as a JSON
+// array for scripting, the default is an aligned table newest first.
+// The catalog is read in place: a directory that has never been
+// indexed into is an error, not an empty table, so a typo'd -catalog
+// path fails loudly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"spinwave/internal/report"
+	"spinwave/internal/runhistory"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swhistory: ")
+	os.Exit(run())
+}
+
+func run() int {
+	catalogDir := flag.String("catalog", "", "run-history catalog directory (the swserve -history / swsim -history directory)")
+	gate := flag.String("gate", "", "filter: gate (xor, maj3, ...)")
+	verdict := flag.String("verdict", "", "filter: health verdict (healthy, degraded, violated)")
+	trace := flag.String("trace", "", "filter: fleet trace ID")
+	tier := flag.String("tier", "", "filter: serving tier (cache, disk, surrogate, micromag, behavioral, mixed)")
+	kind := flag.String("kind", "", "filter: record kind (eval, table, fleet, sim)")
+	since := flag.String("since", "", "filter: RFC3339 timestamp or Unix seconds; keep records indexed at or after")
+	limit := flag.Int("limit", 0, "cap the result count, newest first (0 = all)")
+	jsonOut := flag.Bool("json", false, "print the matching records as a JSON array")
+	flag.Parse()
+
+	if *catalogDir == "" {
+		log.Print("need -catalog (the swserve -history directory)")
+		flag.Usage()
+		return 2
+	}
+	// Refuse to invent an empty catalog: a query against a directory
+	// nothing ever indexed into is almost certainly a typo'd path.
+	if _, err := os.Stat(filepath.Join(*catalogDir, runhistory.CatalogFile)); err != nil {
+		log.Printf("no catalog at %s: %v", *catalogDir, err)
+		return 1
+	}
+	cat, err := runhistory.Open(*catalogDir)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	f := runhistory.Filter{
+		Gate: *gate, Verdict: *verdict, Trace: *trace,
+		Tier: *tier, Kind: *kind, Limit: *limit,
+	}
+	if f.SinceNS, err = parseSince(*since); err != nil {
+		log.Print(err)
+		return 2
+	}
+	recs, err := cat.Query(f)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	if *jsonOut {
+		if recs == nil {
+			recs = []runhistory.Record{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			log.Print(err)
+			return 1
+		}
+		return 0
+	}
+	printTable(recs, cat.Len())
+	return 0
+}
+
+// parseSince accepts an RFC3339 timestamp or integer Unix seconds.
+func parseSince(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return sec * int64(time.Second), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return 0, fmt.Errorf("bad -since %q (want RFC3339 or Unix seconds)", s)
+	}
+	return t.UnixNano(), nil
+}
+
+// printTable renders the records as an aligned table, newest first.
+func printTable(recs []runhistory.Record, total int) {
+	t := report.NewTable(fmt.Sprintf("%d of %d records", len(recs), total),
+		"indexed", "kind", "id", "gate", "inputs", "tier", "verdict", "cases", "wall", "files")
+	for _, r := range recs {
+		files := ""
+		if n := len(r.Files); n > 0 {
+			var bytes int64
+			for _, f := range r.Files {
+				bytes += f.Size
+			}
+			files = fmt.Sprintf("%d (%s)", n, sizeLabel(bytes))
+		}
+		wall := ""
+		if r.WallNS > 0 {
+			wall = time.Duration(r.WallNS).Round(time.Millisecond).String()
+		}
+		t.AddRow(
+			time.Unix(0, r.IndexedNS).Format("2006-01-02T15:04:05"),
+			r.Kind, r.ID, r.Gate, r.Inputs, r.Tier, r.Verdict,
+			strconv.Itoa(r.Cases), wall, files,
+		)
+	}
+	fmt.Print(t.String())
+}
+
+// sizeLabel renders a byte count human-readably.
+func sizeLabel(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"spinwave/internal/runhistory"
+)
+
+// resetFlags re-arms the flag package for a fresh run() invocation.
+func resetFlags(t *testing.T, args ...string) {
+	t.Helper()
+	oldArgs := os.Args
+	t.Cleanup(func() { os.Args = oldArgs })
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+	os.Args = append([]string{"swhistory"}, args...)
+}
+
+func TestRunRefusesMissingCatalog(t *testing.T) {
+	resetFlags(t, "-catalog", t.TempDir())
+	if code := run(); code != 1 {
+		t.Fatalf("missing catalog exit = %d, want 1", code)
+	}
+}
+
+func TestRunQueriesCatalog(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := runhistory.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Append(
+		runhistory.Record{ID: "r1", Kind: "eval", Gate: "xor", Tier: "behavioral"},
+		runhistory.Record{ID: "r2", Kind: "fleet", Gate: "maj3", Trace: "tr-1"},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	resetFlags(t, "-catalog", dir, "-gate", "xor", "-json")
+	if code := run(); code != 0 {
+		t.Fatalf("query exit = %d, want 0", code)
+	}
+	resetFlags(t, "-catalog", dir)
+	if code := run(); code != 0 {
+		t.Fatalf("table exit = %d, want 0", code)
+	}
+	resetFlags(t, "-catalog", dir, "-since", "garbage")
+	if code := run(); code != 2 {
+		t.Fatalf("bad since exit = %d, want 2", code)
+	}
+}

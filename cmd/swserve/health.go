@@ -135,6 +135,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Run-history catalog and retention engine: an unwritable catalog
+	// means completed work silently stops being indexed, so the
+	// instance is not ready. The section also reports the retention
+	// engine's last sweep (DESIGN.md §17).
+	if s.historyEnabled() {
+		section, ok := s.historyHealth()
+		resp["history"] = section
+		if !ok {
+			healthy = false
+		}
+	}
+
 	// Surrogate admission state: a rejected, failed or stale startup
 	// surrogate means "surrogate"-mode traffic the operator configured
 	// would 503, so the instance is not ready.

@@ -12,6 +12,8 @@
 //	                  ?deep=1 adds a behavioral canary eval + pool ping
 //	                  and the surrogate admission state)
 //	GET  /v1/slo      rolling-window SLO state with burn rates
+//	GET  /v1/history  run-history catalog query: completed evals, tables
+//	                  and fleet requests with file pointers (-history)
 //	GET  /v1/runs                 run IDs with retained probe data
 //	GET  /v1/runs/{id}/events     NDJSON live tail of the run journal
 //	GET  /v1/runs/{id}/probes     probe time-series (JSON, ?format=csv)
@@ -65,6 +67,7 @@ import (
 	"spinwave/internal/fleet"
 	"spinwave/internal/journal"
 	"spinwave/internal/obsplane"
+	"spinwave/internal/runhistory"
 )
 
 func main() {
@@ -91,6 +94,15 @@ func main() {
 	fleetJournal := flag.String("fleet-journal", "", "durable fleet journal directory for shipped worker journals and the coordinator mirror (default <fleet-queue>/fleet-journal when the fleet is enabled)")
 	artifactsDir := flag.String("artifacts", "", "durable run-artifact store directory (checkpoints, probe CSVs, journals; serves /v1/runs/{id}/artifacts)")
 	journalFile := flag.String("journal", "", "append journal events as JSONL to this file (fleet.*, alert, run lifecycle)")
+	historyDir := flag.String("history", "", "durable run-history catalog directory; indexes every served eval, table and fleet request and serves GET /v1/history")
+	retainAge := flag.Duration("retain-age", 0, "retention: expire fleet-journal traces, probe CSVs and run-artifact directories older than this (0 = no age cap)")
+	retainTraces := flag.Int("retain-traces", 0, "retention: keep at most this many fleet-journal traces, newest first (0 = no count cap)")
+	retainCheckpoints := flag.Int("retain-checkpoints", 0, "retention: keep at most this many checkpoint pairs per run beyond the newest (0 = no cap; the newest pair always survives)")
+	retainRuns := flag.Int("retain-runs", 0, "retention: keep at most this many run-artifact directories, newest first (0 = no count cap)")
+	retainBytes := flag.Int64("retain-bytes", 0, "retention: cap the run-artifact store at this many cumulative bytes, newest runs first (0 = no byte cap)")
+	retainHistory := flag.Int("retain-history", 0, "retention: compact the history catalog down to this many records (0 = never compact)")
+	retainEvery := flag.Duration("retain-every", time.Minute, "retention: sweep cadence of the periodic GC")
+	retainDryRun := flag.Bool("retain-dry-run", false, "retention: journal and report what a sweep would delete without deleting anything")
 	flag.Parse()
 
 	var opts []spinwave.EngineOption
@@ -154,6 +166,30 @@ func main() {
 		// Background lease sweeper: recovery must not depend on a worker
 		// happening to poll.
 		go srv.fleet.Run(ctx, 0)
+	}
+	if *historyDir != "" {
+		if err := srv.initHistory(*historyDir); err != nil {
+			log.Fatal(err)
+		}
+		if srv.fleetEnabled() {
+			// Index every completed fleet request into the catalog. Set
+			// before the listener opens, so no completion can slip by.
+			srv.fleet.OnComplete = srv.indexFleetRequest
+		}
+	}
+	policy := runhistory.Policy{
+		Traces:            runhistory.ClassPolicy{MaxAge: *retainAge, MaxCount: *retainTraces},
+		Checkpoints:       runhistory.ClassPolicy{MaxCount: *retainCheckpoints},
+		ProbeCSV:          runhistory.ClassPolicy{MaxAge: *retainAge},
+		Artifacts:         runhistory.ClassPolicy{MaxAge: *retainAge, MaxCount: *retainRuns, MaxBytes: *retainBytes},
+		HistoryMaxRecords: *retainHistory,
+		DryRun:            *retainDryRun,
+	}
+	if gc := srv.initRetention(policy); gc != nil {
+		// Periodic GC: reclaim expired observability data on a cadence,
+		// never racing active fleet requests (the coordinator's in-flight
+		// sets are protected).
+		go gc.Run(ctx, *retainEvery)
 	}
 
 	httpSrv := &http.Server{Handler: srv.routes()}
@@ -227,6 +263,11 @@ type server struct {
 	// Run-artifact store (artifacts.go); nil unless -artifacts is set.
 	artifacts *checkpoint.ArtifactStore
 
+	// Run-history catalog and retention engine (history.go); nil unless
+	// -history / the -retain-* flags are set.
+	history *runhistory.Catalog
+	gc      *runhistory.GC
+
 	requests  atomic.Int64
 	errors    atomic.Int64
 	evalCases atomic.Int64
@@ -276,6 +317,9 @@ func (s *server) routes() http.Handler {
 	}
 	if s.artifactsEnabled() {
 		s.artifactRoutes(mux)
+	}
+	if s.historyEnabled() {
+		s.historyRoutes(mux)
 	}
 	if s.pprofOn {
 		registerPprof(mux)
@@ -411,6 +455,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	resp := evalResponse{Gate: b.Kind().String(), Backend: b.Name(), Mode: modeLabel,
 		Results: make([]caseResponse, len(cases))}
 	fps := make([]string, len(cases))
+	evalStart := time.Now()
 	err = s.eng.Map(ctx, len(cases), func(ctx context.Context, i int) error {
 		// Mint the run ID here (rather than letting the engine do it) so
 		// the response can tell the client which ID to tail or fetch
@@ -431,6 +476,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Fingerprint = fps[0]
 	s.evalCases.Add(int64(len(cases)))
+	s.indexEval(gateName(b.Kind()), resp, cases, fps, time.Since(evalStart))
 	s.reply(w, resp)
 }
 
@@ -455,6 +501,7 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
 	defer cancel()
+	tableStart := time.Now()
 	var tt *spinwave.TruthTable
 	var src spinwave.EvalSource
 	switch {
@@ -479,6 +526,8 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.tables.Add(1)
+	s.indexTable(gateName(b.Kind()), b.Name(), backendFingerprint(b), string(src),
+		len(tt.Cases), time.Since(tableStart))
 	s.reply(w, tableResponse{TruthTable: tt, Mode: modeLabel,
 		Source: string(src), Fingerprint: backendFingerprint(b)})
 }

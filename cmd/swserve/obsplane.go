@@ -140,8 +140,13 @@ func (s *server) resolveTrace(id string) string {
 }
 
 // fleetTerminalEvent reports whether e ends a fleet request's timeline:
-// the coordinator's request-complete (or failure) lifecycle event.
+// the coordinator's request-complete (or failure) lifecycle event, or
+// the synthetic store-removal event the retention engine injects so a
+// live tail of a reclaimed trace ends cleanly instead of erroring.
 func fleetTerminalEvent(e obsplane.ShippedEvent) bool {
+	if e.Name == obsplane.RemovedEventName {
+		return true
+	}
 	if e.Name != "fleet.request" {
 		return false
 	}

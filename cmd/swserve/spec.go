@@ -64,6 +64,11 @@ func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
 			endpointSpec{"PUT", "/v1/runs/{id}/artifacts/{name}", "worker: upload one artifact (checkpoints)"},
 		)
 	}
+	if s.historyEnabled() {
+		endpoints = append(endpoints,
+			endpointSpec{"GET", "/v1/history", "run-history catalog query (?gate=&verdict=&trace=&tier=&kind=&since=&limit=)"},
+		)
+	}
 	if s.fleetEnabled() {
 		endpoints = append(endpoints,
 			endpointSpec{"POST", "/v1/fleet/jobs", "submit cases or a truth table to the worker fleet"},

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"log/slog"
+	"time"
+
+	"spinwave"
+	"spinwave/internal/runhistory"
+)
+
+// flagHistory points at the durable run-history catalog (DESIGN.md
+// §17); every offline swsim gate run is indexed there as a "sim"
+// record, so campaign post-mortems see local runs next to the fleet's.
+var flagHistory = flag.String("history", "", "index this run into the run-history catalog at this directory (swserve -history / swhistory read the same catalog)")
+
+// indexSimRun appends the completed run to the catalog, best effort: a
+// catalog failure is logged, never a run failure.
+func indexSimRun(gate, inputs string, cases int, wall time.Duration) {
+	if *flagHistory == "" {
+		return
+	}
+	cat, err := runhistory.Open(*flagHistory)
+	if err != nil {
+		log.Printf("history: %v", err)
+		return
+	}
+	rec := runhistory.Record{
+		ID:      spinwave.NewRunID(),
+		Kind:    "sim",
+		Gate:    gate,
+		Backend: "micromag",
+		Inputs:  inputs,
+		Cases:   cases,
+		WallNS:  wall.Nanoseconds(),
+		Verdict: worstVerdict(),
+	}
+	if _, err := cat.Append(rec); err != nil {
+		log.Printf("history: %v", err)
+		return
+	}
+	slog.Info("run indexed", "catalog", cat.Path(), "id", rec.ID, "kind", rec.Kind)
+}
+
+// worstVerdict aggregates the health verdicts of the monitored runs
+// (empty when -health was off): the record carries the worst outcome,
+// which is what a post-mortem filters for.
+func worstVerdict() string {
+	if !*flagHealth {
+		return ""
+	}
+	worst := spinwave.VerdictHealthy.String()
+	seen := false
+	for _, id := range spinwave.MonitoredRuns() {
+		rep, ok := spinwave.HealthFor(id)
+		if !ok {
+			continue
+		}
+		seen = true
+		switch rep.Verdict {
+		case spinwave.VerdictViolated.String():
+			return rep.Verdict
+		case spinwave.VerdictDegraded.String():
+			worst = rep.Verdict
+		}
+	}
+	if !seen {
+		return ""
+	}
+	return worst
+}

@@ -17,6 +17,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"time"
 
 	"spinwave"
 	"spinwave/internal/core"
@@ -122,10 +123,13 @@ func run() int {
 	if *surrogateMode {
 		return runSurrogate(m)
 	}
+	caseStart := time.Now()
 	if *inputs == "" {
 		runTruthTable(kind, m)
+		indexSimRun(*gate, "", 1<<kind.NumInputs(), time.Since(caseStart))
 	} else {
 		runSingleCase(kind, m, *inputs, *temp > 0, *readoutJSON)
+		indexSimRun(*gate, *inputs, 1, time.Since(caseStart))
 	}
 	reportProbes()
 	if *asciiArt {

@@ -75,31 +75,43 @@ func runTransientSegment(ctx context.Context, coordinator string, spec fleet.Job
 	// remembered and fails the job afterwards, so the lease requeues the
 	// segment instead of silently leaving the store stale.
 	var uploadErr error
-	m, err := buildTransientBackend(spec, spinwave.WithCheckpoint(spinwave.CheckpointConfig{
-		Dir:        dir,
-		EverySteps: ts.EverySteps,
-		Resume:     true,
-		StopAtStep: stopAt,
-		// The fleet trace rides the evaluation context (the worker wraps it
-		// at claim), so every manifest this segment writes names the trace
-		// a post-mortem will query.
-		Trace: obsplane.Trace(ctx),
-		OnSnapshot: func(d string, snap spinwave.CheckpointSnapshot) {
-			if err := art.uploadSnapshot(ctx, ts.Run, d, snap); err != nil && uploadErr == nil {
-				uploadErr = err
-			}
-		},
-	}))
+	m, err := buildTransientBackend(spec,
+		// Probes ride every transient segment (≤3% budget, E-OBS2): each
+		// segment uploads its slice of the run's probe time-series beside
+		// its checkpoints, so at completion the artifact store holds the
+		// full probe history of the run.
+		spinwave.WithProbes(spinwave.ProbeConfig{Enabled: true}),
+		spinwave.WithCheckpoint(spinwave.CheckpointConfig{
+			Dir:        dir,
+			EverySteps: ts.EverySteps,
+			Resume:     true,
+			StopAtStep: stopAt,
+			// The fleet trace rides the evaluation context (the worker wraps it
+			// at claim), so every manifest this segment writes names the trace
+			// a post-mortem will query.
+			Trace: obsplane.Trace(ctx),
+			OnSnapshot: func(d string, snap spinwave.CheckpointSnapshot) {
+				if err := art.uploadSnapshot(ctx, ts.Run, d, snap); err != nil && uploadErr == nil {
+					uploadErr = err
+				}
+			},
+		}))
 	if err != nil {
 		return "", nil, err
 	}
 
-	res, runErr := m.RunContext(ctx, inputs)
+	// The recorder publishes under the run ID the solver sees; pin it to
+	// the durable transient run ID so the probe CSV below and the
+	// /v1/runs surfaces key by the same name the artifacts do.
+	res, runErr := m.RunContext(spinwave.WithRunID(ctx, ts.Run), inputs)
 	fp, _ := m.Fingerprint()
 	switch {
 	case errors.Is(runErr, spinwave.ErrRunPaused):
 		if uploadErr != nil {
 			return "", nil, fmt.Errorf("swworker: checkpoint upload: %w", uploadErr)
+		}
+		if err := uploadProbeCSV(ctx, art, ts, dir); err != nil {
+			return "", nil, err
 		}
 		return fp, []fleet.CaseOutcome{{Inputs: inputs, Source: fleet.SourceCheckpoint}}, nil
 	case runErr != nil:
@@ -108,7 +120,42 @@ func runTransientSegment(ctx context.Context, coordinator string, spec fleet.Job
 	if uploadErr != nil {
 		return "", nil, fmt.Errorf("swworker: checkpoint upload: %w", uploadErr)
 	}
+	if err := uploadProbeCSV(ctx, art, ts, dir); err != nil {
+		return "", nil, err
+	}
 	return fp, []fleet.CaseOutcome{{Inputs: inputs, Outputs: res, Source: string(spinwave.EvalSourceMicromag)}}, nil
+}
+
+// uploadProbeCSV lands this segment's probe time-series in the run's
+// artifact store as probes-s<segment>.csv. Each segment contributes its
+// own slice (the recorder starts fresh per segment), so a completed
+// run's store holds the full probe history next to its checkpoints —
+// the ROADMAP's post-mortem story. A failed upload fails the job like a
+// failed checkpoint upload: the lease requeues the segment rather than
+// completing a run whose telemetry silently went missing.
+func uploadProbeCSV(ctx context.Context, art *artifactClient, ts *fleet.TransientSpec, scratch string) error {
+	rec, ok := spinwave.ProbesFor(ts.Run)
+	if !ok {
+		return nil // probes unavailable: nothing to publish
+	}
+	name := fmt.Sprintf("probes-s%02d.csv", ts.Segment)
+	path := filepath.Join(scratch, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("swworker: probe csv: %w", err)
+	}
+	snap := rec.Snapshot(ts.Run)
+	if err := snap.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("swworker: probe csv: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("swworker: probe csv: %w", err)
+	}
+	if err := art.put(ctx, ts.Run, name, path); err != nil {
+		return fmt.Errorf("swworker: probe csv upload: %w", err)
+	}
+	return nil
 }
 
 // buildTransientBackend resolves a transient job spec to the

@@ -22,11 +22,41 @@ type Coordinator struct {
 	q     *Queue
 	clock Clock
 
+	// OnComplete, when set, is invoked (outside the coordinator's lock,
+	// on the ingesting goroutine) each time a request completes — the
+	// hook the run-history catalog indexes fleet requests through. Set
+	// it before the coordinator serves traffic.
+	OnComplete func(CompletedRequest)
+
 	mu       sync.Mutex
 	requests map[string]*request
 	workers  map[string]*workerState
 
 	dupResults atomic.Int64
+}
+
+// CompletedRequest summarizes one fleet request at the moment its last
+// case result is ingested — the payload of the OnComplete hook.
+type CompletedRequest struct {
+	// ID is the request ID.
+	ID string
+	// Trace is the request's fleet trace ID.
+	Trace string
+	// Run is the transient run ID (empty for plain requests).
+	Run string
+	// Gate is the evaluated logic gate.
+	Gate string
+	// Backend is the solver the spec requested.
+	Backend string
+	// Fingerprint is the backend fingerprint results were keyed under.
+	Fingerprint string
+	// Cases is the number of merged case results.
+	Cases int
+	// SubmittedNS and CompletedNS bound the request's wall-clock life.
+	SubmittedNS, CompletedNS int64
+	// Tier is the result-store tier that answered every case, or
+	// "mixed" when cases came from different tiers.
+	Tier string
 }
 
 // request is the in-memory aggregation of one submitted request.
@@ -62,6 +92,10 @@ type workerState struct {
 	done       int64
 	failed     int64
 	health     map[string]any
+	// gaugesDropped marks that the node's federated engine gauges were
+	// aged out of /metrics after the worker went lost; a fresh health
+	// heartbeat clears it (and re-exports the gauges).
+	gaugesDropped bool
 }
 
 // RequestState is the aggregate lifecycle state of a fleet request.
@@ -515,6 +549,7 @@ func (c *Coordinator) IngestResult(workerID, jobID, fingerprint string, results 
 	j, _ := c.q.Get(jobID)
 	var completedReq, completedTrace string
 	var completedCases int
+	var completed CompletedRequest
 	if j != nil && j.Request != "" {
 		if r := c.requests[j.Request]; r != nil {
 			r.fingerprint = fingerprint
@@ -544,6 +579,14 @@ func (c *Coordinator) IngestResult(workerID, jobID, fingerprint string, results 
 				completedReq = r.id
 				completedCases = len(r.cases)
 				completedTrace = r.trace
+				completed = CompletedRequest{
+					ID: r.id, Trace: r.trace, Run: r.run,
+					Gate: r.spec.Gate, Backend: r.spec.Backend,
+					Fingerprint: r.fingerprint,
+					Cases:       len(r.cases),
+					SubmittedNS: r.submittedNS, CompletedNS: r.completedAt,
+					Tier: mergedTier(r.merged),
+				}
 			}
 		}
 	}
@@ -563,8 +606,61 @@ func (c *Coordinator) IngestResult(workerID, jobID, fingerprint string, results 
 				journal.F("cases", completedCases),
 			}, completedReq, completedTrace)...)
 		}
+		if c.OnComplete != nil {
+			c.OnComplete(completed)
+		}
 	}
 	return true, nil
+}
+
+// mergedTier collapses per-case result tiers into one label: the shared
+// tier when every case agrees, "mixed" otherwise.
+func mergedTier(merged map[string]CaseOutcome) string {
+	tier := ""
+	for _, out := range merged {
+		switch {
+		case out.Source == "":
+			continue
+		case tier == "":
+			tier = out.Source
+		case tier != out.Source:
+			return "mixed"
+		}
+	}
+	return tier
+}
+
+// ActiveTraces returns the trace IDs of requests that have not yet
+// completed. The retention sweeper treats them as protected: deleting
+// an in-flight request's journal would sever its post-mortem before it
+// even finished. (A failed request never completes and stays protected
+// — its telemetry is exactly the post-mortem worth keeping — until the
+// operator clears the queue.)
+func (c *Coordinator) ActiveTraces() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool)
+	for _, r := range c.requests {
+		if r.completedAt == 0 && r.trace != "" {
+			out[r.trace] = true
+		}
+	}
+	return out
+}
+
+// ActiveRuns returns the transient run IDs of requests that have not
+// yet completed — their checkpoints and artifacts are resume state, not
+// garbage, and the retention sweeper must leave them alone.
+func (c *Coordinator) ActiveRuns() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool)
+	for _, r := range c.requests {
+		if r.completedAt == 0 && r.run != "" {
+			out[r.run] = true
+		}
+	}
+	return out
 }
 
 // touch refreshes a worker's liveness (and health snapshot, when given).
@@ -578,6 +674,7 @@ func (c *Coordinator) touch(workerID string, health map[string]any) {
 		w.lastSeen = now
 		if health != nil {
 			w.health = health
+			w.gaugesDropped = false // back from the dead: re-export below
 		}
 	}
 	c.mu.Unlock()
@@ -601,8 +698,8 @@ func (c *Coordinator) Workers() []WorkerStatus {
 		}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]WorkerStatus, 0, len(c.workers))
+	var aged []string
 	for _, w := range c.workers {
 		ws := WorkerStatus{
 			ID: w.id, Host: w.host, PID: w.pid,
@@ -614,12 +711,29 @@ func (c *Coordinator) Workers() []WorkerStatus {
 		switch {
 		case now.Sub(w.lastSeen) > c.lostAfter():
 			ws.State = "lost"
+			if !w.gaugesDropped {
+				w.gaugesDropped = true
+				aged = append(aged, w.id)
+			}
 		case ws.ActiveJobs > 0:
 			ws.State = "active"
 		default:
 			ws.State = "idle"
 		}
 		out = append(out, ws)
+	}
+	c.mu.Unlock()
+	// Age the lost nodes' federated gauges out of /metrics after the
+	// lock is released (the registry and journal are never touched under
+	// c.mu). A node that heartbeats again re-exports on touch.
+	for _, id := range aged {
+		n := dropNodeGauges(id)
+		if jd := journal.Default(); jd.Enabled() {
+			jd.Emit("", "fleet.worker",
+				journal.F("worker", id),
+				journal.F("status", "lost"),
+				journal.F("gauges_dropped", n))
+		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
@@ -666,6 +780,9 @@ func (c *Coordinator) Run(ctx context.Context, every time.Duration) {
 			return
 		case <-t.C:
 			c.q.Sweep()
+			// Recomputing worker states here ages lost nodes' federated
+			// gauges out of /metrics even when no one is polling.
+			c.Workers()
 		}
 	}
 }

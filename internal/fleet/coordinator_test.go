@@ -1,10 +1,13 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"spinwave/internal/detect"
 	"spinwave/internal/fleet/faults"
+	"spinwave/internal/obs"
 )
 
 func newTestCoordinator(t *testing.T, opts ...QueueOption) *Coordinator {
@@ -235,5 +238,87 @@ func TestCoordinatorStatusUnknown(t *testing.T) {
 	c := newTestCoordinator(t)
 	if _, err := c.Status("nope"); err == nil {
 		t.Fatal("Status of unknown request succeeded")
+	}
+}
+
+func TestLostWorkerGaugesAgedOut(t *testing.T) {
+	clock := faults.NewClock(time.Unix(3000, 0))
+	c := newTestCoordinator(t, WithClock(clock), WithLease(5*time.Second))
+	if _, err := c.Register("wfade", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	c.touch("wfade", map[string]any{"engine": map[string]any{"evals": 7.0}})
+
+	expose := func() string {
+		var b strings.Builder
+		obs.Default().WritePrometheus(&b)
+		return b.String()
+	}
+	series := `spinwave_fleet_node_engine{node="wfade",stat="evals"}`
+	if !strings.Contains(expose(), series) {
+		t.Fatal("heartbeat did not export the node gauge")
+	}
+
+	// Past the lost threshold, computing worker states ages the node's
+	// gauges out of the exposition.
+	clock.Advance(16 * time.Second)
+	ws := c.Workers()
+	if len(ws) != 1 || ws[0].State != "lost" {
+		t.Fatalf("worker state = %+v, want lost", ws)
+	}
+	if strings.Contains(expose(), series) {
+		t.Fatal("lost worker's gauge still exposed")
+	}
+	// Idempotent: a second pass has nothing left to drop.
+	c.Workers()
+
+	// The node comes back: a fresh health heartbeat re-exports.
+	c.touch("wfade", map[string]any{"engine": map[string]any{"evals": 9.0}})
+	if !strings.Contains(expose(), series+" 9") {
+		t.Fatal("returning worker's gauge not re-exported")
+	}
+}
+
+func TestCoordinatorOnCompleteHook(t *testing.T) {
+	c := newTestCoordinator(t)
+	var got []CompletedRequest
+	c.OnComplete = func(cr CompletedRequest) { got = append(got, cr) }
+
+	st, err := c.Submit(JobSpec{Gate: "xor", Backend: "behavioral"}, xorCases(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Register("w1", "", 0)
+	j, err := c.Claim("w1")
+	if err != nil || j == nil {
+		t.Fatalf("claim: %v", err)
+	}
+	results := make([]CaseOutcome, len(j.Cases))
+	for i, in := range j.Cases {
+		results[i] = CaseOutcome{Inputs: in, Source: "behavioral",
+			Outputs: map[string]detect.Readout{"O": {}}}
+	}
+	if _, err := c.IngestResult("w1", j.ID, "fp1", results, ""); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("OnComplete fired %d times, want 1", len(got))
+	}
+	cr := got[0]
+	if cr.ID != st.ID || cr.Trace != st.Trace || cr.Gate != "xor" ||
+		cr.Fingerprint != "fp1" || cr.Cases != 4 || cr.Tier != "behavioral" {
+		t.Fatalf("CompletedRequest = %+v", cr)
+	}
+	if cr.CompletedNS < cr.SubmittedNS {
+		t.Fatalf("completion before submission: %+v", cr)
+	}
+
+	// Requests in flight are active; completed ones are not.
+	if traces := c.ActiveTraces(); len(traces) != 0 {
+		t.Fatalf("ActiveTraces after completion = %v", traces)
+	}
+	st2, _ := c.Submit(JobSpec{Gate: "maj3"}, xorCases(), 4)
+	if traces := c.ActiveTraces(); !traces[st2.Trace] {
+		t.Fatalf("in-flight trace missing from ActiveTraces: %v", traces)
 	}
 }

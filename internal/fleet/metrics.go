@@ -51,6 +51,34 @@ func initMetrics() {
 	})
 }
 
+// nodeGaugeStats remembers which spinwave_fleet_node_engine{node,stat}
+// series each node has exported, so dropNodeGauges can unregister
+// exactly those when the node goes lost.
+var (
+	nodeGaugeMu    sync.Mutex
+	nodeGaugeStats = make(map[string]map[string]bool)
+)
+
+// dropNodeGauges removes every federated engine gauge exported for the
+// node from /metrics and forgets the node's series set. Returns how
+// many series were dropped. A later heartbeat from the node re-exports
+// fresh series through recordNodeHealth.
+func dropNodeGauges(workerID string) int {
+	nodeGaugeMu.Lock()
+	stats := nodeGaugeStats[workerID]
+	delete(nodeGaugeStats, workerID)
+	nodeGaugeMu.Unlock()
+	r := obs.Default()
+	n := 0
+	for stat := range stats {
+		if r.Unregister("spinwave_fleet_node_engine",
+			obs.L("node", workerID), obs.L("stat", stat)) {
+			n++
+		}
+	}
+	return n
+}
+
 // recordNodeHealth federates a worker's self-reported health snapshot
 // into spinwave_fleet_node_engine{node,stat} gauges, so one coordinator
 // /metrics scrape covers every node's engine counters without scraping
@@ -89,5 +117,13 @@ func recordNodeHealth(workerID string, health map[string]any) {
 		}
 		r.Gauge("spinwave_fleet_node_engine",
 			obs.L("node", workerID), obs.L("stat", stat)).Set(val)
+		nodeGaugeMu.Lock()
+		set := nodeGaugeStats[workerID]
+		if set == nil {
+			set = make(map[string]bool)
+			nodeGaugeStats[workerID] = set
+		}
+		set[stat] = true
+		nodeGaugeMu.Unlock()
 	}
 }

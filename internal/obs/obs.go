@@ -254,6 +254,30 @@ func (r *Registry) Histogram(family string, buckets []float64, labels ...Label) 
 	}).h
 }
 
+// Unregister removes one series (family + exact label set) from the
+// registry so it disappears from the exposition. It exists for series
+// keyed by a dynamic label — per-node fleet gauges, for example — whose
+// subject can go away for good; without removal a dead node's last
+// values would be scraped forever. Returns whether the series existed.
+// A later lookup with the same family and labels re-registers a fresh
+// series (holders of the old handle keep a detached, unexported value).
+func (r *Registry) Unregister(family string, labels ...Label) bool {
+	key := seriesKey(family, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.series[key]; !ok {
+		return false
+	}
+	delete(r.series, key)
+	for i, k := range r.order {
+		if k == key {
+			r.order = append(r.order[:i:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Describe attaches HELP text to a metric family for the Prometheus
 // exposition.
 func (r *Registry) Describe(family, help string) {

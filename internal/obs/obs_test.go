@@ -186,3 +186,37 @@ func TestSummaryOutput(t *testing.T) {
 		t.Errorf("summary includes zero-valued series:\n%s", out)
 	}
 }
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("node_stat", L("node", "w1"), L("stat", "evals")).Set(3)
+	r.Gauge("node_stat", L("node", "w2"), L("stat", "evals")).Set(5)
+
+	// Label order must not matter — the key is canonical.
+	if !r.Unregister("node_stat", L("stat", "evals"), L("node", "w1")) {
+		t.Fatal("Unregister missed a registered series")
+	}
+	if r.Unregister("node_stat", L("node", "w1"), L("stat", "evals")) {
+		t.Fatal("second Unregister reported success")
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `node="w1"`) {
+		t.Fatalf("unregistered series still exposed:\n%s", out)
+	}
+	if !strings.Contains(out, `node_stat{node="w2",stat="evals"} 5`) {
+		t.Fatalf("sibling series lost:\n%s", out)
+	}
+
+	// Re-registration after removal starts a fresh series.
+	r.Gauge("node_stat", L("node", "w1"), L("stat", "evals")).Set(9)
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `node_stat{node="w1",stat="evals"} 9`) {
+		t.Fatal("series did not re-register after Unregister")
+	}
+}

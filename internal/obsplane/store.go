@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"spinwave/internal/journal"
 )
@@ -44,6 +45,14 @@ type storeSub struct {
 	trace   string
 	ch      chan ShippedEvent
 	dropped int64
+	closed  sync.Once
+}
+
+// shut closes the subscription channel exactly once — both the
+// subscriber's own cancel and a retention Remove may race to end the
+// tail, and close must win only once.
+func (sub *storeSub) shut() {
+	sub.closed.Do(func() { close(sub.ch) })
 }
 
 // OpenStore opens (creating if needed) the fleet journal directory.
@@ -265,19 +274,78 @@ func (s *Store) Subscribe(trace string, buffer int) (events <-chan ShippedEvent,
 	s.nextSub++
 	s.subs[id] = sub
 	s.mu.Unlock()
-	var once sync.Once
 	return sub.ch, func() int64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			return sub.dropped
 		}, func() {
-			once.Do(func() {
-				s.mu.Lock()
-				delete(s.subs, id)
-				s.mu.Unlock()
-				close(sub.ch)
-			})
+			s.mu.Lock()
+			delete(s.subs, id)
+			s.mu.Unlock()
+			sub.shut()
 		}
+}
+
+// RemovedEventName is the synthetic terminal event a live subscriber
+// receives when the trace it is tailing is deleted by retention. It is
+// never written to disk — it exists only on the wire, so a tail ends
+// with an explicit "this journal is gone" marker instead of an error
+// loop against a missing file.
+const RemovedEventName = "retention.removed"
+
+// Remove deletes one trace's journal file and ends its live tails
+// cleanly: every subscriber on the trace receives a synthetic
+// RemovedEventName event (sequenced past the trace's highest stored
+// coordinator sequence so per-node dedup cannot drop it) and then its
+// channel is closed. Returns the bytes freed. Removing an absent trace
+// is a no-op. This is the retention engine's only path into the store —
+// deleting the file behind the store's back would leave stale sequence
+// watermarks and error-looping tails.
+func (s *Store) Remove(trace string) (int64, error) {
+	if !ValidID(trace) {
+		return 0, fmt.Errorf("obsplane: bad trace id %q", trace)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Load the watermarks before deleting so the terminal event's
+	// sequence number lands beyond everything a subscriber has seen.
+	if err := s.ensureLoadedLocked(trace); err != nil {
+		return 0, err
+	}
+	var maxSeq uint64
+	for _, seq := range s.lastSeq[trace] {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	path := s.fileFor(trace)
+	var size int64
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return 0, fmt.Errorf("obsplane: store remove: %w", err)
+	}
+	delete(s.lastSeq, trace)
+	delete(s.loaded, trace)
+	term := ShippedEvent{Node: CoordinatorNode, Trace: trace, Event: journal.Event{
+		Seq:    maxSeq + 1,
+		TimeNS: time.Now().UnixNano(),
+		Name:   RemovedEventName,
+	}}
+	for id, sub := range s.subs {
+		if sub.trace != trace {
+			continue
+		}
+		select {
+		case sub.ch <- term:
+		default:
+			sub.dropped++
+		}
+		delete(s.subs, id)
+		sub.shut()
+	}
+	return size, nil
 }
 
 // Traces lists the trace IDs with stored journals, sorted.

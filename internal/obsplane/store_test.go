@@ -234,3 +234,83 @@ func TestValidID(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreRemoveMidTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append("t1", "w1", []journal.Event{ev(1, 10, "a"), ev(2, 20, "b")})
+	s.Append("t1", CoordinatorNode, []journal.Event{ev(5, 30, "fleet.claim")})
+
+	// A live tail is mid-stream when retention removes the trace.
+	events, _, cancel := s.Subscribe("t1", 8)
+	defer cancel()
+	s.Append("t1", "w1", []journal.Event{ev(3, 40, "c")})
+
+	freed, err := s.Remove("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed <= 0 {
+		t.Fatalf("Remove freed %d bytes, want > 0", freed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t1.jsonl")); !os.IsNotExist(err) {
+		t.Fatal("trace file still on disk after Remove")
+	}
+
+	// The subscriber drains its buffered event, then the terminal
+	// marker, then a clean channel close — no error loop.
+	var names []string
+	for e := range events {
+		names = append(names, e.Name)
+	}
+	if len(names) != 2 || names[0] != "c" || names[1] != RemovedEventName {
+		t.Fatalf("tail saw %v, want [c %s]", names, RemovedEventName)
+	}
+	if s.Subscribers() != 0 {
+		t.Fatalf("Subscribers = %d after Remove, want 0", s.Subscribers())
+	}
+
+	// The terminal event outsequences everything stored for the trace,
+	// so a per-node dedup downstream cannot drop it.
+	// (Highest stored seq was the coordinator's 5; terminal must be 6.)
+	// Also: the subscriber's own deferred cancel after Remove's close
+	// must be a no-op, not a double-close panic.
+	cancel()
+
+	// Removing an absent trace is a no-op.
+	if freed, err := s.Remove("t1"); err != nil || freed != 0 {
+		t.Fatalf("second Remove = %d, %v; want 0, nil", freed, err)
+	}
+
+	// The store accepts the trace again from scratch (fresh watermarks).
+	if n, err := s.Append("t1", "w1", []journal.Event{ev(1, 50, "fresh")}); err != nil || n != 1 {
+		t.Fatalf("Append after Remove = %d, %v; want 1, nil", n, err)
+	}
+}
+
+func TestStoreRemoveTerminalSeq(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append("t1", CoordinatorNode, []journal.Event{ev(9, 10, "fleet.claim")})
+	events, _, cancel := s.Subscribe("t1", 4)
+	defer cancel()
+	if _, err := s.Remove("t1"); err != nil {
+		t.Fatal(err)
+	}
+	term, open := <-events
+	if !open {
+		t.Fatal("channel closed before delivering the terminal event")
+	}
+	if term.Name != RemovedEventName || term.Node != CoordinatorNode || term.Seq != 10 {
+		t.Fatalf("terminal = %s/%s seq %d, want %s/%s seq 10",
+			term.Node, term.Name, term.Seq, CoordinatorNode, RemovedEventName)
+	}
+	if _, open := <-events; open {
+		t.Fatal("channel not closed after terminal event")
+	}
+}

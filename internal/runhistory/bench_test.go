@@ -1,0 +1,60 @@
+package runhistory
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkCatalogAppend measures the per-record indexing cost on the
+// serving path (one durable JSONL append + the in-memory index).
+func BenchmarkCatalogAppend(b *testing.B) {
+	cat, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := Record{
+		Kind: "eval", Gate: "xor", Backend: "behavioral",
+		Inputs: "10", Tier: "micromag", Verdict: "healthy", Cases: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.ID = fmt.Sprintf("r%08d", i)
+		if _, err := cat.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSteadyState measures one GC sweep over an artifact
+// store with nothing to reclaim — the cost every idle cadence pays.
+func BenchmarkSweepSteadyState(b *testing.B) {
+	root := b.TempDir()
+	for r := 0; r < 20; r++ {
+		dir := filepath.Join(root, fmt.Sprintf("run-%02d", r))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < 5; f++ {
+			name := filepath.Join(dir, fmt.Sprintf("ck-%06d.json", f))
+			if err := os.WriteFile(name, []byte(`{"step":1}`), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	gc := &GC{
+		Policy: Policy{
+			Checkpoints: ClassPolicy{MaxCount: 10},
+			Artifacts:   ClassPolicy{MaxCount: 100},
+		},
+		ArtifactRoot: root,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gc.Sweep(time.Now()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package runhistory
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"spinwave/internal/journal"
+)
+
+// CatalogFile is the name of the JSONL catalog inside its directory.
+const CatalogFile = "catalog.jsonl"
+
+// Catalog is the durable run-history index: an append-only JSONL file
+// of Records, idempotent per record ID, tolerant of a torn final line
+// after a crash. All methods are safe for concurrent use.
+type Catalog struct {
+	dir  string
+	path string
+
+	mu   sync.Mutex
+	seen map[string]bool
+	dups int64
+}
+
+// Open opens (creating if needed) the catalog in dir and scans any
+// existing file to rebuild the per-ID dedup set. A torn final line —
+// the signature of a crash mid-append — is skipped, never an error.
+func Open(dir string) (*Catalog, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runhistory: empty catalog dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runhistory: open catalog: %w", err)
+	}
+	initMetrics()
+	c := &Catalog{
+		dir:  dir,
+		path: filepath.Join(dir, CatalogFile),
+		seen: make(map[string]bool),
+	}
+	recs, err := c.load()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		c.seen[r.ID] = true
+	}
+	return c, nil
+}
+
+// Dir returns the catalog directory.
+func (c *Catalog) Dir() string { return c.dir }
+
+// Path returns the catalog file path.
+func (c *Catalog) Path() string { return c.path }
+
+// Len returns the number of distinct records indexed.
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen)
+}
+
+// Duplicates returns how many appends were dropped as duplicate IDs.
+func (c *Catalog) Duplicates() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dups
+}
+
+// Append indexes the given records, dropping any whose ID was already
+// indexed (counted, not an error), stamping IndexedNS when unset, and
+// writing all accepted records in one buffered O_APPEND write so a
+// crash tears at most the final line. Each accepted record is
+// journaled as a history.indexed event. Returns how many records were
+// accepted.
+func (c *Catalog) Append(recs ...Record) (int, error) {
+	now := time.Now().UnixNano()
+	var buf bytes.Buffer
+	accepted := make([]Record, 0, len(recs))
+
+	c.mu.Lock()
+	for _, r := range recs {
+		if r.ID == "" || r.Kind == "" {
+			c.mu.Unlock()
+			return 0, fmt.Errorf("runhistory: record needs id and kind")
+		}
+		if c.seen[r.ID] {
+			c.dups++
+			mDuplicates.Inc()
+			continue
+		}
+		if r.IndexedNS == 0 {
+			r.IndexedNS = now
+		}
+		line, err := json.Marshal(r)
+		if err != nil {
+			c.mu.Unlock()
+			return 0, fmt.Errorf("runhistory: marshal record: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		c.seen[r.ID] = true
+		accepted = append(accepted, r)
+	}
+	if len(accepted) == 0 {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	err := c.appendLocked(buf.Bytes())
+	if err != nil {
+		// Roll the dedup set back so a retry after a transient disk
+		// error is not silently swallowed as a duplicate.
+		for _, r := range accepted {
+			delete(c.seen, r.ID)
+		}
+	}
+	c.mu.Unlock()
+	if err != nil {
+		mErrors.Inc()
+		return 0, err
+	}
+
+	for _, r := range accepted {
+		mIndexed(r.Kind).Inc()
+	}
+	if jd := journal.Default(); jd.Enabled() {
+		for _, r := range accepted {
+			fields := []journal.Field{
+				journal.F("id", r.ID),
+				journal.F("kind", r.Kind),
+			}
+			if r.Trace != "" {
+				fields = append(fields, journal.F("trace", r.Trace))
+			}
+			if r.Gate != "" {
+				fields = append(fields, journal.F("gate", r.Gate))
+			}
+			if r.Tier != "" {
+				fields = append(fields, journal.F("tier", r.Tier))
+			}
+			if r.Cases > 0 {
+				fields = append(fields, journal.F("cases", r.Cases))
+			}
+			if n := len(r.Files); n > 0 {
+				fields = append(fields, journal.F("files", n))
+			}
+			jd.Emit("", "history.indexed", fields...)
+		}
+	}
+	return len(accepted), nil
+}
+
+func (c *Catalog) appendLocked(data []byte) error {
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("runhistory: append: %w", err)
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("runhistory: append: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("runhistory: append: %w", cerr)
+	}
+	return nil
+}
+
+// load reads every parseable record from the catalog file. Unparseable
+// lines (a torn tail, a partial write) are skipped.
+func (c *Catalog) load() ([]Record, error) {
+	f, err := os.Open(c.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runhistory: read catalog: %w", err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runhistory: read catalog: %w", err)
+	}
+	return recs, nil
+}
+
+// Records returns every indexed record, newest first by IndexedNS.
+func (c *Catalog) Records() ([]Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recs, err := c.load()
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		return recs[i].IndexedNS > recs[j].IndexedNS
+	})
+	return recs, nil
+}
+
+// Filter selects records in a Query. Zero-valued fields match
+// everything.
+type Filter struct {
+	// Gate matches Record.Gate exactly.
+	Gate string
+	// Verdict matches Record.Verdict exactly.
+	Verdict string
+	// Trace matches Record.Trace exactly.
+	Trace string
+	// Tier matches Record.Tier exactly.
+	Tier string
+	// Kind matches Record.Kind exactly.
+	Kind string
+	// SinceNS keeps records indexed at or after this Unix-nanosecond
+	// time.
+	SinceNS int64
+	// Limit caps the result count (0 = unlimited), applied after the
+	// newest-first sort.
+	Limit int
+}
+
+func (f Filter) matches(r Record) bool {
+	if f.Gate != "" && r.Gate != f.Gate {
+		return false
+	}
+	if f.Verdict != "" && r.Verdict != f.Verdict {
+		return false
+	}
+	if f.Trace != "" && r.Trace != f.Trace {
+		return false
+	}
+	if f.Tier != "" && r.Tier != f.Tier {
+		return false
+	}
+	if f.Kind != "" && r.Kind != f.Kind {
+		return false
+	}
+	if f.SinceNS > 0 && r.IndexedNS < f.SinceNS {
+		return false
+	}
+	return true
+}
+
+// Query returns the records matching f, newest first.
+func (c *Catalog) Query(f Filter) ([]Record, error) {
+	recs, err := c.Records()
+	if err != nil {
+		return nil, err
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out, nil
+}
+
+// Compact rewrites the catalog keeping only the newest maxRecords
+// records (by IndexedNS), using a same-directory temp file committed by
+// atomic rename so readers never observe a partial catalog. Returns how
+// many records were dropped and how many bytes the file shrank by. A
+// maxRecords of zero or a catalog already within the cap is a no-op.
+func (c *Catalog) Compact(maxRecords int) (removed int, bytes int64, err error) {
+	if maxRecords <= 0 {
+		return 0, 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recs, err := c.load()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(recs) <= maxRecords {
+		return 0, 0, nil
+	}
+	var before int64
+	if fi, err := os.Stat(c.path); err == nil {
+		before = fi.Size()
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		return recs[i].IndexedNS > recs[j].IndexedNS
+	})
+	keep := recs[:maxRecords]
+	removed = len(recs) - maxRecords
+
+	tmp, err := os.CreateTemp(c.dir, ".compact-*.tmp")
+	if err != nil {
+		return 0, 0, fmt.Errorf("runhistory: compact: %w", err)
+	}
+	tmpName := tmp.Name()
+	w := bufio.NewWriter(tmp)
+	// Rewrite oldest-first so the on-disk order stays append order.
+	for i := len(keep) - 1; i >= 0; i-- {
+		line, merr := json.Marshal(keep[i])
+		if merr != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return 0, 0, fmt.Errorf("runhistory: compact: %w", merr)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, 0, fmt.Errorf("runhistory: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, 0, fmt.Errorf("runhistory: compact: %w", err)
+	}
+	if err := os.Rename(tmpName, c.path); err != nil {
+		os.Remove(tmpName)
+		return 0, 0, fmt.Errorf("runhistory: compact: %w", err)
+	}
+
+	c.seen = make(map[string]bool, len(keep))
+	for _, r := range keep {
+		c.seen[r.ID] = true
+	}
+	var after int64
+	if fi, err := os.Stat(c.path); err == nil {
+		after = fi.Size()
+	}
+	if bytes = before - after; bytes < 0 {
+		bytes = 0
+	}
+	return removed, bytes, nil
+}
+
+// WritableProbe verifies the catalog directory accepts writes — the
+// deep-healthz check backing the "catalog unwritable → 503" rule. It
+// creates and removes a probe file without touching the catalog.
+func (c *Catalog) WritableProbe() error {
+	f, err := os.CreateTemp(c.dir, ".probe-*.tmp")
+	if err != nil {
+		return fmt.Errorf("runhistory: catalog not writable: %w", err)
+	}
+	name := f.Name()
+	_, werr := f.WriteString("probe")
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return fmt.Errorf("runhistory: catalog not writable: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("runhistory: catalog not writable: %w", cerr)
+	}
+	return nil
+}

@@ -419,7 +419,47 @@ func transientPhase(base string, workers map[string]*exec.Cmd, journals map[stri
 	if err := survivorResumed(workers, journals); err != nil {
 		return err
 	}
+
+	// Post-mortem artifacts: each completed segment uploads its probe
+	// time-series CSV next to the checkpoints, so the run's physics is
+	// inspectable without rerunning it.
+	if err := probeCSVsUploaded(base, run); err != nil {
+		return err
+	}
 	log.Printf("transient request %s complete after worker loss: readouts exactly match the uninterrupted run", reqID)
+	return nil
+}
+
+// probeCSVsUploaded asserts the run's artifact listing contains at
+// least one non-empty per-segment probe CSV (probes-sNN.csv).
+func probeCSVsUploaded(base, run string) error {
+	resp, err := http.Get(base + "/v1/runs/" + run + "/artifacts")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Artifacts []struct {
+			Name string `json:"name"`
+			Size int64  `json:"size"`
+		} `json:"artifacts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return err
+	}
+	csvs := 0
+	for _, a := range list.Artifacts {
+		if strings.HasPrefix(a.Name, "probes-s") && strings.HasSuffix(a.Name, ".csv") {
+			if a.Size == 0 {
+				return fmt.Errorf("probe CSV %s is empty", a.Name)
+			}
+			csvs++
+		}
+	}
+	if csvs == 0 {
+		return fmt.Errorf("run %s has no probes-s*.csv artifacts (listing: %+v)", run, list.Artifacts)
+	}
+	log.Printf("run %s has %d per-segment probe CSV artifact(s)", run, csvs)
 	return nil
 }
 

@@ -8,6 +8,10 @@
 // (DESIGN.md §12) must carry their required fields — "alert" needs a
 // non-empty "rule" and a "severity" of info/warn/critical, and
 // "health.verdict" needs a "verdict" of healthy/degraded/violated.
+// Retention/history events (DESIGN.md §17) are schema-checked in both
+// modes: "retention.gc" needs a class, a reason, a non-negative byte
+// count and no "trace" field; "history.indexed" needs the record's id
+// and kind, with any trace stamp a non-empty string.
 //
 //	go run ./tools/journalcheck journal.jsonl
 //	go run ./tools/journalcheck -fleet fleet-journal.jsonl
@@ -144,9 +148,50 @@ func checkFleet(f *os.File) (problems []string, lines int, err error) {
 			if v, ok := stringField(fields, "verdict"); !ok || !validVerdict(v) {
 				at(`health.verdict "verdict" must be one of healthy/degraded/violated, got %s`, fields["verdict"])
 			}
+		case "retention.gc":
+			checkRetentionGC(fields, at)
+		case "history.indexed":
+			checkHistoryIndexed(fields, at)
 		}
 	}
 	return problems, lines, sc.Err()
+}
+
+// checkRetentionGC validates one retention.gc payload (DESIGN.md §17):
+// a deletion must name its retention class and reason and account for
+// the bytes it reclaimed. It must NOT carry a "trace" field — the
+// coordinator mirror files trace-stamped events back into the trace's
+// store file, which would resurrect the journal the sweep just deleted.
+func checkRetentionGC(fields map[string]json.RawMessage, at func(string, ...any)) {
+	if c, ok := stringField(fields, "class"); !ok || c == "" {
+		at(`retention.gc missing non-empty string "class"`)
+	}
+	if b, ok := intField(fields, "bytes"); !ok || b < 0 {
+		at(`retention.gc missing non-negative integer "bytes"`)
+	}
+	if r, ok := stringField(fields, "reason"); !ok || r == "" {
+		at(`retention.gc missing non-empty string "reason"`)
+	}
+	if _, present := fields["trace"]; present {
+		at(`retention.gc must not carry a "trace" field (the coordinator mirror would resurrect the deleted trace file)`)
+	}
+}
+
+// checkHistoryIndexed validates one history.indexed payload (DESIGN.md
+// §17): the catalog record's ID and kind are required; a trace stamp,
+// when present, must be a non-empty string.
+func checkHistoryIndexed(fields map[string]json.RawMessage, at func(string, ...any)) {
+	if id, ok := stringField(fields, "id"); !ok || id == "" {
+		at(`history.indexed missing non-empty string "id"`)
+	}
+	if k, ok := stringField(fields, "kind"); !ok || k == "" {
+		at(`history.indexed missing non-empty string "kind"`)
+	}
+	if _, present := fields["trace"]; present {
+		if tr, ok := stringField(fields, "trace"); !ok || tr == "" {
+			at(`history.indexed "trace" stamp must be a non-empty string`)
+		}
+	}
 }
 
 // runState tracks per-run lifecycle progress.
@@ -213,6 +258,10 @@ func check(f *os.File) (problems []string, lines int, err error) {
 			if v, ok := stringField(fields, "verdict"); !ok || !validVerdict(v) {
 				at(`health.verdict "verdict" must be one of healthy/degraded/violated, got %s`, fields["verdict"])
 			}
+		case "retention.gc":
+			checkRetentionGC(nestedFields(raw), at)
+		case "history.indexed":
+			checkHistoryIndexed(nestedFields(raw), at)
 		}
 		if run == "" {
 			continue // process-level event: no lifecycle to track
